@@ -1,0 +1,103 @@
+// Ablation: "using the priority paradigm to drive who gets reservations
+// and to what degree" — the research direction the paper's conclusion
+// proposes. Four video streams with distinct CORBA priorities share the
+// 10 Mbps bottleneck with a 43.8 Mbps load pulse; the middleware allocates
+// RSVP reservations greedily in priority order until admission control
+// refuses, then compares per-stream delivery with and without the policy.
+#include <array>
+#include <iostream>
+#include <memory>
+
+#include "avstreams/stream.hpp"
+#include "common/table.hpp"
+#include "core/testbed.hpp"
+#include "media/video_sink.hpp"
+#include "media/video_source.hpp"
+
+namespace {
+
+using namespace aqm;
+using namespace aqm::bench;
+
+struct Stream {
+  orb::CorbaPriority priority;
+  net::FlowId flow;
+  std::unique_ptr<media::VideoSinkStats> stats;
+  std::unique_ptr<av::VideoSinkEndpoint> sink;
+  std::unique_ptr<av::StreamBinding> binding;
+  std::unique_ptr<media::VideoSource> source;
+  bool reserved = false;
+};
+
+void run_case(bool priority_driven_reservations, TextTable& table) {
+  core::ReservationTestbed bed((core::ReservationTestbedParams{}));
+  const media::GopStructure gop = media::GopStructure::mpeg1_paper_profile();
+  // Deliberately generous per-stream reservations (jitter headroom) so the
+  // 90%-of-10Mbps admission budget cannot hold all four streams.
+  const double stream_rate = 2.8e6;
+
+  std::array<Stream, 4> streams;
+  const orb::CorbaPriority priorities[] = {30'000, 22'000, 14'000, 6'000};
+  orb::Poa& poa = bed.receiver_orb.create_poa("video");
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    Stream& s = streams[i];
+    s.priority = priorities[i];
+    s.flow = core::kFlowVideo + i;
+    s.stats = std::make_unique<media::VideoSinkStats>(bed.engine, gop);
+    auto* stats = s.stats.get();
+    s.sink = std::make_unique<av::VideoSinkEndpoint>(
+        poa, "display" + std::to_string(i), microseconds(400),
+        [stats](const media::VideoFrame& f) { stats->on_received(f); });
+    s.binding = std::make_unique<av::StreamBinding>(bed.sender_orb, s.sink->ref(), s.flow);
+    s.binding->set_priority(s.priority);
+    auto* binding = s.binding.get();
+    s.source = std::make_unique<media::VideoSource>(
+        bed.engine, gop, 30.0, [stats, binding](const media::VideoFrame& f) {
+          stats->on_transmitted(f);
+          binding->push(f);
+        });
+  }
+
+  if (priority_driven_reservations) {
+    // Priority drives reservation: walk streams from highest CORBA
+    // priority down, reserving until admission control says no.
+    for (auto& s : streams) {
+      s.binding->reserve(bed.qos.agent(bed.sender_node),
+                         net::FlowSpec{stream_rate, 40'000},
+                         [&s](Status<std::string> status) { s.reserved = status.ok(); });
+    }
+  }
+
+  const TimePoint start{seconds(1).ns()};
+  const TimePoint stop{seconds(61).ns()};
+  for (auto& s : streams) s.source->run_between(start, stop);
+  bed.load_traffic->run_between(TimePoint{seconds(10).ns()}, TimePoint{seconds(50).ns()});
+  bed.engine.run_until(stop + seconds(5));
+
+  for (const auto& s : streams) {
+    const auto lat = s.stats->latency_series().stats();
+    const double pct = s.stats->transmitted_count() == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(s.stats->received_count()) /
+                                 static_cast<double>(s.stats->transmitted_count());
+    table.row({priority_driven_reservations ? "priority-driven" : "best effort",
+               std::to_string(s.priority), s.reserved ? "yes" : "no", fmt(pct, 1),
+               fmt(lat.mean(), 1), fmt(lat.stddev(), 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: priority-driven reservation allocation (paper Section 6)");
+  TextTable table({"policy", "CORBA priority", "reserved", "% delivered",
+                   "mean latency(ms)", "stddev(ms)"});
+  run_case(false, table);
+  run_case(true, table);
+  table.print();
+  std::cout << "\nReading: 4 x 1.2 Mbps streams + 43.8 Mbps load over 10 Mbps.\n"
+            << "Admission control (90% reservable) grants reservations to the\n"
+            << "highest-priority streams; they ride out the load pulse while\n"
+            << "unreserved streams collapse with the best-effort traffic.\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "common/priority_scenario.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "orb/orb.hpp"
+#include "orb/rt/dscp_mapping.hpp"
+#include "orb/servant.hpp"
+#include "os/load_generator.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::bench {
+
+PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) {
+  core::PriorityTestbedParams params;
+  params.diffserv_bottleneck = cfg.diffserv_router || cfg.map_dscp;
+  params.cross_rate_bps = cfg.cross_rate_bps;
+  params.router_queue_pkts = cfg.queue_pkts;
+  core::PriorityTestbed bed(params);
+
+  if (cfg.map_dscp) {
+    bed.sender_orb.dscp_mappings().install(
+        std::make_unique<orb::rt::BandedDscpMapping>());
+  }
+
+  PriorityScenarioResult result;
+
+  // Two servants in two separate POAs, as in the paper's receiver host.
+  auto make_sink = [&](const std::string& poa_name, TimeSeries& series,
+                       std::uint64_t& count) {
+    orb::Poa& poa = bed.receiver_orb.create_poa(poa_name);
+    auto servant = std::make_shared<orb::FunctionServant>(
+        cfg.servant_cost, [&series, &count, &bed](orb::ServerRequest& req) {
+          ++count;
+          if (req.client_send_time) {
+            series.add(bed.engine.now(),
+                       (bed.engine.now() - *req.client_send_time).millis());
+          }
+        });
+    return poa.activate_object("sink", std::move(servant));
+  };
+  const orb::ObjectRef sink1 = make_sink("recv1", result.s1_latency_ms, result.s1_received);
+  const orb::ObjectRef sink2 = make_sink("recv2", result.s2_latency_ms, result.s2_received);
+
+  orb::ObjectStub stub1(bed.sender_orb, sink1);
+  stub1.set_flow(core::kFlowSender1);
+  stub1.set_priority(cfg.sender1_priority);
+  stub1.ref().protocol.dscp = cfg.sender1_dscp;
+  orb::ObjectStub stub2(bed.sender_orb, sink2);
+  stub2.set_flow(core::kFlowSender2);
+  stub2.set_priority(cfg.sender2_priority);
+  stub2.ref().protocol.dscp = cfg.sender2_dscp;
+
+  const auto interval =
+      Duration{static_cast<std::int64_t>(std::llround(1e9 / cfg.messages_per_second))};
+  sim::PeriodicTimer task1(bed.engine, interval, [&] {
+    ++result.s1_sent;
+    stub1.oneway("frame", std::vector<std::uint8_t>(cfg.message_bytes));
+  });
+  sim::PeriodicTimer task2(bed.engine, interval, [&] {
+    ++result.s2_sent;
+    stub2.oneway("frame", std::vector<std::uint8_t>(cfg.message_bytes));
+  });
+
+  std::unique_ptr<os::LoadGenerator> load;
+  if (cfg.cpu_load) {
+    os::LoadGenerator::Config load_cfg;
+    load_cfg.priority = cfg.cpu_load_priority;
+    load_cfg.burst_mean = cfg.cpu_load_burst;
+    load_cfg.interval_mean = cfg.cpu_load_interval;
+    load_cfg.seed = cfg.seed;
+    load = std::make_unique<os::LoadGenerator>(bed.engine, bed.receiver_cpu, load_cfg);
+    load->start();
+  }
+
+  task1.start();
+  // Stagger the second task half a period so the senders do not always
+  // collide on the shared uplink at the exact same instant.
+  task2.start_after(interval / 2 + interval);
+  if (cfg.cross_traffic) bed.cross_traffic->start();
+
+  bed.engine.run_until(TimePoint::zero() + cfg.duration);
+  task1.stop();
+  task2.stop();
+  if (cfg.cross_traffic) bed.cross_traffic->stop();
+  if (load) load->stop();
+  // Drain in-flight messages.
+  bed.engine.run_until(TimePoint::zero() + cfg.duration + seconds(5));
+  return result;
+}
+
+void print_latency_series(const PriorityScenarioResult& result, Duration bucket,
+                          TimePoint end) {
+  const auto b1 = result.s1_latency_ms.bucketize(bucket, end);
+  const auto b2 = result.s2_latency_ms.bucketize(bucket, end);
+  TextTable table({"t(s)", "s1 msgs", "s1 mean(ms)", "s1 max(ms)", "s2 msgs",
+                   "s2 mean(ms)", "s2 max(ms)"});
+  for (std::size_t i = 0; i < b1.size(); ++i) {
+    const auto& r1 = b1[i];
+    const auto& r2 = i < b2.size() ? b2[i] : b1[i];
+    table.row({fmt(r1.start.seconds(), 0), std::to_string(r1.count), fmt(r1.mean),
+               fmt(r1.max), std::to_string(r2.count), fmt(r2.mean), fmt(r2.max)});
+  }
+  table.print();
+}
+
+void print_summary(const std::string& title, const PriorityScenarioResult& result) {
+  const RunningStats s1 = result.s1_stats();
+  const RunningStats s2 = result.s2_stats();
+  std::cout << "\n" << title << "\n";
+  TextTable table({"sender", "sent", "delivered", "loss%", "mean(ms)", "stddev(ms)",
+                   "min(ms)", "max(ms)"});
+  auto add = [&](const char* name, std::uint64_t sent, std::uint64_t recv,
+                 const RunningStats& s) {
+    const double loss =
+        sent == 0 ? 0.0
+                  : 100.0 * static_cast<double>(sent - std::min(sent, recv)) /
+                        static_cast<double>(sent);
+    table.row({name, std::to_string(sent), std::to_string(recv), fmt(loss, 1),
+               fmt(s.mean()), fmt(s.stddev()), fmt(s.empty() ? 0 : s.min()),
+               fmt(s.empty() ? 0 : s.max())});
+  };
+  add("sender1", result.s1_sent, result.s1_received, s1);
+  add("sender2", result.s2_sent, result.s2_received, s2);
+  table.print();
+}
+
+}  // namespace aqm::bench

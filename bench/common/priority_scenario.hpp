@@ -1,0 +1,76 @@
+// Shared runner for the Figure 4/5/6 experiments: two video-sender tasks
+// pushing GIOP messages through the contended router to two receiver
+// servants in separate POAs, with optional thread priorities, DSCP marking,
+// CPU load on the receiver host, and cross traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/stats.hpp"
+#include "net/dscp.hpp"
+#include "core/testbed.hpp"
+#include "orb/types.hpp"
+
+namespace aqm::bench {
+
+struct PriorityScenarioConfig {
+  /// CORBA priorities of the two sender tasks.
+  orb::CorbaPriority sender1_priority = 1000;
+  orb::CorbaPriority sender2_priority = 1000;
+  /// Build the router with a DiffServ (strict-priority PHB) bottleneck
+  /// queue instead of plain drop-tail.
+  bool diffserv_router = false;
+  /// Install the banded CORBA-priority -> DSCP mapping on the sender ORB
+  /// (the paper's TAO enhancement). Needs diffserv_router for any effect.
+  bool map_dscp = false;
+  /// Explicit per-binding DSCPs via protocol properties (independent of
+  /// thread priorities) — lets experiments isolate network priority alone.
+  std::optional<net::Dscp> sender1_dscp;
+  std::optional<net::Dscp> sender2_dscp;
+  /// Competing network traffic through the bottleneck (16 Mbps).
+  bool cross_traffic = false;
+  double cross_rate_bps = 16e6;
+  std::size_t queue_pkts = 1000;  // bottleneck egress queue depth
+  /// Competing CPU load on the receiver host (between the two mapped
+  /// thread priorities).
+  bool cpu_load = false;
+  os::Priority cpu_load_priority = 128;
+  Duration cpu_load_burst = milliseconds(15);
+  Duration cpu_load_interval = milliseconds(25);
+
+  /// Message workload: ~1.2 Mbps per sender (paper Section 5.1).
+  double messages_per_second = 120.0;
+  std::uint32_t message_bytes = 1200;
+  Duration servant_cost = microseconds(300);
+
+  Duration duration = seconds(60);
+  std::uint64_t seed = 11;
+};
+
+struct PriorityScenarioResult {
+  TimeSeries s1_latency_ms;  // one point per delivered message
+  TimeSeries s2_latency_ms;
+  std::uint64_t s1_sent = 0;
+  std::uint64_t s2_sent = 0;
+  std::uint64_t s1_received = 0;
+  std::uint64_t s2_received = 0;
+
+  [[nodiscard]] RunningStats s1_stats() const { return s1_latency_ms.stats(); }
+  [[nodiscard]] RunningStats s2_stats() const { return s2_latency_ms.stats(); }
+};
+
+/// Builds a PriorityTestbed (DiffServ bottleneck iff `cfg.map_dscp`) and
+/// runs the scenario to completion.
+PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg);
+
+/// Prints the per-second latency series of both senders side by side —
+/// the textual equivalent of the paper's latency-vs-time figures.
+void print_latency_series(const PriorityScenarioResult& result, Duration bucket,
+                          TimePoint end);
+
+/// Prints the summary block (count, mean/min/max latency, jitter, loss).
+void print_summary(const std::string& title, const PriorityScenarioResult& result);
+
+}  // namespace aqm::bench

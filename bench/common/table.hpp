@@ -1,0 +1,58 @@
+// Plain-text table formatting for benchmark output that mirrors the
+// paper's tables and figure series.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace aqm::bench {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  TextTable& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], r[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      os << "  ";
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        os << std::left << std::setw(static_cast<int>(widths[i]) + 3) << cells[i];
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    std::size_t total = 2;
+    for (const auto w : widths) total += w + 3;
+    os << "  " << std::string(total - 2, '-') << "\n";
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace aqm::bench

@@ -1,0 +1,104 @@
+// Micro-benchmarks of the simulation substrate itself (google-benchmark):
+// event-engine throughput, CPU-scheduler throughput, packet forwarding,
+// and the real edge-detection kernels (pixels/second of actual work).
+#include <benchmark/benchmark.h>
+
+#include "imgproc/edge.hpp"
+#include "imgproc/synth.hpp"
+#include "net/network.hpp"
+#include "net/queue.hpp"
+#include "os/cpu.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace aqm;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      engine.after(microseconds(i), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_CpuSchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    os::Cpu cpu(engine, "cpu");
+    int done = 0;
+    for (int i = 0; i < 2'000; ++i) {
+      cpu.submit_for(microseconds(50), i % 16, [&done] { ++done; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 2'000);
+}
+BENCHMARK(BM_CpuSchedulerThroughput);
+
+void BM_PacketForwarding(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Network net(engine);
+    const auto a = net.add_node("a");
+    const auto r = net.add_node("r");
+    const auto b = net.add_node("b");
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 1e9;
+    net.add_duplex_link(a, r, cfg);
+    net.add_duplex_link(r, b, cfg);
+    int delivered = 0;
+    net.set_receiver(b, [&delivered](net::Packet&&) { ++delivered; });
+    for (int i = 0; i < 2'000; ++i) {
+      net::Packet p;
+      p.dst = b;
+      p.size_bytes = 1000;
+      net.send(a, std::move(p));
+    }
+    engine.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 2'000);
+}
+BENCHMARK(BM_PacketForwarding);
+
+void BM_DiffServQueueOps(benchmark::State& state) {
+  net::DiffServQueue q(100'000);
+  const TimePoint t0 = TimePoint::zero();
+  std::uint8_t dscps[] = {0, 10, 34, 46};
+  int i = 0;
+  for (auto _ : state) {
+    net::Packet p;
+    p.dst = 0;
+    p.size_bytes = 1000;
+    p.dscp = dscps[i++ % 4];
+    (void)q.enqueue(std::move(p), t0);
+    benchmark::DoNotOptimize(q.dequeue(t0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiffServQueueOps);
+
+void BM_EdgeDetection(benchmark::State& state) {
+  const img::GrayImage image = img::make_paper_scene(1).to_gray();
+  const auto algorithm = static_cast<img::EdgeAlgorithm>(state.range(0));
+  for (auto _ : state) {
+    const img::GrayImage out = img::run_edge(algorithm, image);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(image.pixel_count()));
+  state.SetLabel(img::to_string(algorithm));
+}
+BENCHMARK(BM_EdgeDetection)->Arg(0)->Arg(1)->Arg(2);  // Kirsch, Prewitt, Sobel
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Table 2: CPU reservation experiments. A client streams 400x250 PPM
+// sensor images to a CORBA image-processing (ATR) server that runs the
+// Kirsch, Prewitt and Sobel edge detectors in sequence on each image.
+// Three runs: {no load, competing variable CPU load, load + CPU reserve}.
+// Reported: average processing time and standard deviation per algorithm.
+//
+// Paper shape: load inflates times (Kirsch +41%, Prewitt +13%, Sobel +30%)
+// and their variance; adding a CPU reserve restores both to near-unloaded
+// values. The reserve here is created remotely through the CORBA
+// CPU-reservation-manager servant (the paper's Utah/CMU agent).
+#include <array>
+#include <iostream>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/cpu_reservation_manager.hpp"
+#include "core/testbed.hpp"
+#include "imgproc/edge.hpp"
+#include "imgproc/ppm.hpp"
+#include "imgproc/synth.hpp"
+#include "orb/orb.hpp"
+#include "os/load_generator.hpp"
+
+namespace {
+
+using namespace aqm;
+using namespace aqm::bench;
+
+constexpr std::array<img::EdgeAlgorithm, 3> kAlgorithms = {
+    img::EdgeAlgorithm::Kirsch, img::EdgeAlgorithm::Prewitt, img::EdgeAlgorithm::Sobel};
+constexpr os::Priority kAtrPriority = 100;
+constexpr int kImages = 40;
+
+struct RunResult {
+  std::array<RunningStats, 3> per_algorithm_ms;
+};
+
+RunResult run_condition(bool with_load, bool with_reserve) {
+  core::AtrTestbedParams params;
+  params.server_cpu.reserve_utilization_cap = 0.95;
+  core::AtrTestbed bed(params);
+
+  // CPU reservation manager exposed over CORBA on the server host.
+  orb::Poa& mgmt_poa = bed.server_orb.create_poa("mgmt");
+  core::CpuReservationManagerServer manager(mgmt_poa, bed.server_cpu);
+  core::CpuReservationClient reserve_client(bed.client_orb, manager.ref());
+
+  os::ReserveId reserve = os::kNoReserve;
+  if (with_reserve) {
+    reserve_client.create_reserve(
+        {microseconds(47'500), milliseconds(50), true},
+        [&](Result<os::ReserveId> r) {
+          if (r.ok()) reserve = r.value();
+        });
+    bed.engine.run_until(bed.engine.now() + seconds(1));
+    if (reserve == os::kNoReserve) {
+      std::cerr << "reserve creation failed\n";
+      std::exit(1);
+    }
+  }
+
+  std::unique_ptr<os::LoadGenerator> load;
+  if (with_load) {
+    os::LoadGenerator::Config cfg;
+    cfg.priority = kAtrPriority;  // vanilla-Linux-style timeshared contention
+    cfg.burst_mean = milliseconds(14);
+    cfg.interval_mean = milliseconds(55);
+    cfg.burst_jitter = 0.8;  // "variable and not sustained"
+    cfg.seed = 17;
+    load = std::make_unique<os::LoadGenerator>(bed.engine, bed.server_cpu, cfg);
+    load->start();
+  }
+
+  RunResult result;
+  const std::size_t pixels = 400 * 250;
+
+  // ATR server: each image is a twoway request answered asynchronously
+  // (AMI deferred reply) after the three detectors ran in sequence as CPU
+  // jobs (optionally attached to the reserve).
+  orb::Poa& atr_poa = bed.server_orb.create_poa("atr");
+  auto process_image = [&](std::size_t algo_index, orb::ServerRequest::Replier reply,
+                           auto&& self) -> void {
+    if (algo_index == kAlgorithms.size()) {
+      reply({});
+      return;
+    }
+    const auto algorithm = kAlgorithms[algo_index];
+    const Duration cost =
+        img::estimated_cost(algorithm, pixels, bed.server_cpu.hz());
+    const TimePoint begin = bed.engine.now();
+    bed.server_cpu.submit_for(
+        cost, kAtrPriority,
+        [&, algo_index, begin, reply, self]() mutable {
+          result.per_algorithm_ms[algo_index].add((bed.engine.now() - begin).millis());
+          self(algo_index + 1, std::move(reply), self);
+        },
+        reserve);
+  };
+  auto atr_servant = std::make_shared<orb::FunctionServant>(
+      milliseconds(2),  // demarshal + PPM decode of the 300 KB image
+      [&](orb::ServerRequest& req) {
+        (void)img::decode_ppm(req.body);  // real decode; throws on corruption
+        process_image(0, req.defer(), process_image);
+      });
+  const orb::ObjectRef atr_ref = atr_poa.activate_object("processor", atr_servant);
+
+  // Client: send the next image when the previous one's reply arrives.
+  int remaining = kImages;
+  orb::ObjectStub atr_stub(bed.client_orb, atr_ref);
+  atr_stub.set_flow(core::kFlowImages);
+  std::uint64_t image_seed = 1;
+  std::function<void()> send_next = [&] {
+    if (remaining-- <= 0) return;
+    const img::RgbImage scene = img::make_paper_scene(image_seed++);
+    atr_stub.twoway("process_image", img::encode_ppm(scene),
+                    [&](orb::CompletionStatus, std::vector<std::uint8_t>) { send_next(); },
+                    seconds(30));
+  };
+
+  send_next();
+  bed.engine.run_until(bed.engine.now() + seconds(120));
+  if (load) load->stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  banner("Table 2: CPU reservation experiments (400x250 PPM, Kirsch/Prewitt/Sobel)");
+
+  std::cout << "running: no load" << std::flush;
+  const RunResult no_load = run_condition(false, false);
+  std::cout << ", competing load" << std::flush;
+  const RunResult loaded = run_condition(true, false);
+  std::cout << ", load + CPU reservation\n\n" << std::flush;
+  const RunResult reserved = run_condition(true, true);
+
+  TextTable table({"Algorithm", "No Load avg(ms)", "std", "Load avg(ms)", "std",
+                   "+%", "Load+Resv avg(ms)", "std"});
+  for (std::size_t i = 0; i < kAlgorithms.size(); ++i) {
+    const auto& base = no_load.per_algorithm_ms[i];
+    const auto& load = loaded.per_algorithm_ms[i];
+    const auto& resv = reserved.per_algorithm_ms[i];
+    const double inflation = 100.0 * (load.mean() / base.mean() - 1.0);
+    table.row({img::to_string(kAlgorithms[i]), fmt(base.mean(), 1), fmt(base.stddev(), 1),
+               fmt(load.mean(), 1), fmt(load.stddev(), 1), "+" + fmt(inflation, 0) + "%",
+               fmt(resv.mean(), 1), fmt(resv.stddev(), 1)});
+  }
+  table.print();
+  std::cout << "\nShape check vs paper: competing load inflates execution time\n"
+            << "(paper: Kirsch +41%, Prewitt +13%, Sobel +30%) and variance; the\n"
+            << "CPU reserve (47.5 ms / 50 ms, granted via the CORBA reservation\n"
+            << "manager) restores both to near-unloaded values.\n";
+  return 0;
+}

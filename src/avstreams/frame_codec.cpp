@@ -1,0 +1,41 @@
+#include "avstreams/frame_codec.hpp"
+
+#include "orb/cdr.hpp"
+
+namespace aqm::av {
+namespace {
+constexpr std::size_t kFrameHeaderBytes = 24;  // index + type + size + timestamp
+}
+
+std::vector<std::uint8_t> encode_frame(const media::VideoFrame& f) {
+  orb::CdrWriter w;
+  w.write_u64(f.index);
+  w.write_u8(static_cast<std::uint8_t>(f.type));
+  w.write_u32(f.size_bytes);
+  w.write_i64(f.capture_time.ns());
+  // Pad to the frame's actual size so transport/queueing behavior matches
+  // real MPEG data volumes.
+  if (f.size_bytes > w.size()) {
+    const std::size_t pad = f.size_bytes - w.size();
+    std::vector<std::uint8_t> zeros(pad, 0);
+    w.write_raw(zeros);
+  }
+  return w.take();
+}
+
+media::VideoFrame decode_frame(const std::vector<std::uint8_t>& body) {
+  if (body.size() < kFrameHeaderBytes) throw orb::MarshalError("frame body too short");
+  orb::CdrReader r(body);
+  media::VideoFrame f;
+  f.index = r.read_u64();
+  const std::uint8_t type = r.read_u8();
+  if (type > static_cast<std::uint8_t>(media::FrameType::B)) {
+    throw orb::MarshalError("bad frame type");
+  }
+  f.type = static_cast<media::FrameType>(type);
+  f.size_bytes = r.read_u32();
+  f.capture_time = TimePoint{r.read_i64()};
+  return f;
+}
+
+}  // namespace aqm::av

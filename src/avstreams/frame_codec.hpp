@@ -1,0 +1,20 @@
+// Wire codec for video frames pushed over the A/V streaming service.
+// The CDR body carries the frame metadata followed by padding up to the
+// frame's real size, so the network sees authentic MPEG frame sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/frame.hpp"
+
+namespace aqm::av {
+
+inline constexpr const char* kPushFrameOp = "push_frame";
+
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const media::VideoFrame& f);
+
+/// Throws orb::MarshalError on malformed bodies.
+[[nodiscard]] media::VideoFrame decode_frame(const std::vector<std::uint8_t>& body);
+
+}  // namespace aqm::av

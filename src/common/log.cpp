@@ -1,0 +1,50 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace aqm {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+Log::Sink& sink_storage() {
+  static Log::Sink sink;  // empty -> default stderr sink
+  return sink;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
+void Log::write(LogLevel level, std::string_view msg) {
+  if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink_storage()) {
+    sink_storage()(level, msg);
+  } else {
+    std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  }
+}
+
+}  // namespace aqm

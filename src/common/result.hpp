@@ -1,0 +1,73 @@
+// A small Result<T, E> for operations whose failure is an expected outcome
+// (admission control rejections, reservation denials) rather than a
+// programming or protocol error. Protocol errors use exceptions instead
+// (see orb/exceptions.hpp).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aqm {
+
+template <typename T, typename E = std::string>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Result err(E error) {
+    return Result{std::variant<T, E>{std::in_place_index<1>, std::move(error)}};
+  }
+
+  [[nodiscard]] bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(v_));
+  }
+
+  [[nodiscard]] const E& error() const {
+    assert(!ok());
+    return std::get<1>(v_);
+  }
+
+ private:
+  explicit Result(std::variant<T, E> v) : v_(std::move(v)) {}
+  std::variant<T, E> v_;
+};
+
+/// Result specialization-alike for operations with no payload.
+template <typename E = std::string>
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  [[nodiscard]] static Status err(E error) {
+    Status s;
+    s.has_error_ = true;
+    s.error_ = std::move(error);
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return !has_error_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const E& error() const {
+    assert(has_error_);
+    return error_;
+  }
+
+ private:
+  bool has_error_ = false;
+  E error_{};
+};
+
+}  // namespace aqm

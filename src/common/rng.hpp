@@ -1,0 +1,49 @@
+// Deterministic random number generation.
+//
+// Experiments must be bit-reproducible across platforms, so we use a small
+// self-contained xoshiro256** generator seeded through splitmix64 rather
+// than std::mt19937 + std::*_distribution (whose outputs are not pinned by
+// the standard for all distributions).
+#pragma once
+
+#include <cstdint>
+
+namespace aqm {
+
+/// xoshiro256** PRNG. Deterministic for a given seed on every platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller, scaled to (mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Creates an independent generator derived from this one's stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  // Cached second Box-Muller variate.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace aqm

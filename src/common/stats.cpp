@@ -1,0 +1,134 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <iomanip>
+
+namespace aqm {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ += delta * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>((x - lo_) / w);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+RunningStats TimeSeries::stats_between(TimePoint from, TimePoint to) const {
+  RunningStats s;
+  for (const auto& p : points_) {
+    if (p.t >= from && p.t < to) s.add(p.value);
+  }
+  return s;
+}
+
+RunningStats TimeSeries::stats() const {
+  return stats_between(TimePoint::zero(), TimePoint::max());
+}
+
+std::vector<TimeSeries::Bucket> TimeSeries::bucketize(Duration width, TimePoint end) const {
+  assert(width > Duration::zero());
+  std::vector<Bucket> out;
+  for (TimePoint start = TimePoint::zero(); start < end; start = start + width) {
+    const RunningStats s = stats_between(start, start + width);
+    out.push_back({start, s.count(), s.mean(), s.empty() ? 0.0 : s.min(),
+                   s.empty() ? 0.0 : s.max()});
+  }
+  return out;
+}
+
+std::string format_series_table(const std::vector<TimeSeries::Bucket>& buckets,
+                                const std::string& value_label) {
+  std::ostringstream os;
+  os << std::setw(10) << "t(s)" << std::setw(10) << "count" << std::setw(14)
+     << ("mean " + value_label) << std::setw(14) << "min" << std::setw(14) << "max"
+     << "\n";
+  os << std::fixed << std::setprecision(3);
+  for (const auto& b : buckets) {
+    os << std::setw(10) << b.start.seconds() << std::setw(10) << b.count
+       << std::setw(14) << b.mean << std::setw(14) << b.min << std::setw(14) << b.max
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aqm

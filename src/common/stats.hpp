@@ -1,0 +1,109 @@
+// Streaming statistics, histograms and time series used by experiment
+// harnesses and QuO system condition objects.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aqm {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Mean of the observed samples; 0 when empty.
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples are clamped
+/// into the first/last bucket so totals always match the sample count.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+
+  /// Linear-interpolated quantile in [0, 1]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// A (time, value) series with helpers for per-interval aggregation.
+/// Used to emit the per-second figure data the paper plots.
+class TimeSeries {
+ public:
+  struct Point {
+    TimePoint t;
+    double value;
+  };
+
+  void add(TimePoint t, double value) { points_.push_back({t, value}); }
+  void clear() { points_.clear(); }
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Stats over all points with t in [from, to).
+  [[nodiscard]] RunningStats stats_between(TimePoint from, TimePoint to) const;
+  /// Stats over the whole series.
+  [[nodiscard]] RunningStats stats() const;
+
+  struct Bucket {
+    TimePoint start;
+    std::size_t count;
+    double mean;
+    double min;
+    double max;
+  };
+  /// Aggregates points into consecutive intervals of the given width,
+  /// starting at t=0. Empty intervals are included with count 0.
+  [[nodiscard]] std::vector<Bucket> bucketize(Duration width, TimePoint end) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Renders a bucketized series as aligned text rows (one per interval),
+/// for benchmark output that mirrors the paper's figures.
+std::string format_series_table(const std::vector<TimeSeries::Bucket>& buckets,
+                                const std::string& value_label);
+
+}  // namespace aqm

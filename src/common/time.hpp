@@ -1,0 +1,88 @@
+// Simulation time types.
+//
+// All simulation code measures time as integer nanoseconds to keep event
+// ordering exact and runs bit-reproducible. Duration and TimePoint are
+// distinct strong types so that "a time" and "a span of time" cannot be
+// mixed up in interfaces.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace aqm {
+
+/// A span of simulated time in nanoseconds. May be negative in arithmetic
+/// intermediates, though most APIs expect non-negative values.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration d) { ns_ += d.ns_; return *this; }
+  constexpr Duration& operator-=(Duration d) { ns_ -= d.ns_; return *this; }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+[[nodiscard]] constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns() + b.ns()}; }
+[[nodiscard]] constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns() - b.ns()}; }
+[[nodiscard]] constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns() * k}; }
+[[nodiscard]] constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+[[nodiscard]] constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns() / k}; }
+[[nodiscard]] constexpr Duration operator-(Duration a) { return Duration{-a.ns()}; }
+
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+[[nodiscard]] constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1'000}; }
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+[[nodiscard]] constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+
+/// Converts a floating-point number of seconds, rounding toward zero.
+[[nodiscard]] constexpr Duration seconds_f(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e9)};
+}
+
+/// An absolute instant on the simulation clock (ns since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+[[nodiscard]] constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint{t.ns() + d.ns()}; }
+[[nodiscard]] constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+[[nodiscard]] constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint{t.ns() - d.ns()}; }
+[[nodiscard]] constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration{a.ns() - b.ns()}; }
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ns() << "ns"; }
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << "t+" << t.ns() << "ns"; }
+
+}  // namespace aqm

@@ -1,0 +1,101 @@
+#include "core/cpu_reservation_manager.hpp"
+
+#include "orb/cdr.hpp"
+#include "orb/servant.hpp"
+
+namespace aqm::core {
+namespace {
+
+std::vector<std::uint8_t> encode_create_request(const os::ReserveSpec& spec) {
+  orb::CdrWriter w;
+  w.write_i64(spec.compute.ns());
+  w.write_i64(spec.period.ns());
+  w.write_bool(spec.hard);
+  return w.take();
+}
+
+os::ReserveSpec decode_create_request(const std::vector<std::uint8_t>& body) {
+  orb::CdrReader r(body);
+  os::ReserveSpec spec;
+  spec.compute = Duration{r.read_i64()};
+  spec.period = Duration{r.read_i64()};
+  spec.hard = r.read_bool();
+  return spec;
+}
+
+std::vector<std::uint8_t> encode_create_reply(const Result<os::ReserveId>& result) {
+  orb::CdrWriter w;
+  w.write_bool(result.ok());
+  if (result.ok()) {
+    w.write_u64(result.value());
+  } else {
+    w.write_string(result.error());
+  }
+  return w.take();
+}
+
+Result<os::ReserveId> decode_create_reply(const std::vector<std::uint8_t>& body) {
+  orb::CdrReader r(body);
+  if (r.read_bool()) return Result<os::ReserveId>{r.read_u64()};
+  return Result<os::ReserveId>::err(r.read_string());
+}
+
+}  // namespace
+
+CpuReservationManagerServer::CpuReservationManagerServer(orb::Poa& poa, os::Cpu& cpu) {
+  // Reservation signaling is control-plane work: cheap and fast.
+  auto servant = std::make_shared<orb::FunctionServant>(
+      microseconds(30), [&cpu](orb::ServerRequest& req) {
+        if (req.operation == kCreateReserveOp) {
+          const os::ReserveSpec spec = decode_create_request(req.body);
+          req.reply_body = encode_create_reply(cpu.create_reserve(spec));
+          return;
+        }
+        if (req.operation == kDestroyReserveOp) {
+          orb::CdrReader r(req.body);
+          cpu.destroy_reserve(r.read_u64());
+          orb::CdrWriter w;
+          w.write_bool(true);
+          req.reply_body = w.take();
+          return;
+        }
+        throw orb::BadParam("unknown reservation-manager operation: " + req.operation);
+      });
+  ref_ = poa.activate_object(kCpuReserveManagerObjectId, std::move(servant));
+}
+
+CpuReservationClient::CpuReservationClient(orb::OrbEndpoint& orb, orb::ObjectRef manager)
+    : stub_(orb, std::move(manager)) {}
+
+void CpuReservationClient::create_reserve(const os::ReserveSpec& spec, CreateCallback cb,
+                                          Duration timeout) {
+  stub_.twoway(kCreateReserveOp, encode_create_request(spec),
+               [cb = std::move(cb)](orb::CompletionStatus status,
+                                    std::vector<std::uint8_t> body) {
+                 if (status != orb::CompletionStatus::Ok) {
+                   cb(Result<os::ReserveId>::err(std::string("rpc failed: ") +
+                                                 orb::to_string(status)));
+                   return;
+                 }
+                 try {
+                   cb(decode_create_reply(body));
+                 } catch (const orb::MarshalError& e) {
+                   cb(Result<os::ReserveId>::err(e.what()));
+                 }
+               },
+               timeout);
+}
+
+void CpuReservationClient::destroy_reserve(os::ReserveId id, DestroyCallback cb,
+                                           Duration timeout) {
+  orb::CdrWriter w;
+  w.write_u64(id);
+  stub_.twoway(kDestroyReserveOp, w.take(),
+               [cb = std::move(cb)](orb::CompletionStatus status,
+                                    std::vector<std::uint8_t>) {
+                 if (cb) cb(status == orb::CompletionStatus::Ok);
+               },
+               timeout);
+}
+
+}  // namespace aqm::core

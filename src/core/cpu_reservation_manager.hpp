@@ -1,0 +1,60 @@
+// CORBA-based CPU reservation manager.
+//
+// The paper (Section 3.3): "We are working with the University of Utah to
+// develop a CORBA-based CPU reservation manager that will (1) be the local
+// agent for setting up reservations on a host and (2) translate various
+// representations of reservation specification into the particular style
+// supported by the TimeSys implementation."
+//
+// Server side exposes create/destroy operations over the ORB; the client
+// helper gives remote middleware (the QoS manager, QuO behaviors) typed
+// asynchronous access.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.hpp"
+#include "orb/orb.hpp"
+#include "os/cpu.hpp"
+
+namespace aqm::core {
+
+inline constexpr const char* kCpuReserveManagerObjectId = "cpu_reserve_manager";
+inline constexpr const char* kCreateReserveOp = "create_reserve";
+inline constexpr const char* kDestroyReserveOp = "destroy_reserve";
+
+/// Host-local agent: activates the manager servant in `poa` and forwards
+/// reservation requests to the host's resource kernel (os::Cpu).
+class CpuReservationManagerServer {
+ public:
+  CpuReservationManagerServer(orb::Poa& poa, os::Cpu& cpu);
+
+  [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
+
+ private:
+  orb::ObjectRef ref_;
+};
+
+/// Remote client for a host's reservation manager.
+class CpuReservationClient {
+ public:
+  using CreateCallback = std::function<void(Result<os::ReserveId>)>;
+  using DestroyCallback = std::function<void(bool ok)>;
+
+  CpuReservationClient(orb::OrbEndpoint& orb, orb::ObjectRef manager);
+
+  /// Requests a reserve of `spec.compute` every `spec.period` on the remote
+  /// host. The callback receives the reserve id or the admission error.
+  void create_reserve(const os::ReserveSpec& spec, CreateCallback cb,
+                      Duration timeout = seconds(2));
+
+  void destroy_reserve(os::ReserveId id, DestroyCallback cb = nullptr,
+                       Duration timeout = seconds(2));
+
+ private:
+  orb::ObjectStub stub_;
+};
+
+}  // namespace aqm::core

@@ -1,0 +1,42 @@
+// End-to-end QoS policy: one declarative description covering both of the
+// paper's paradigms. A policy can use either paradigm alone or combine
+// them ("Ultimately, we suspect that priority- and reservation-based
+// approaches will both have their place").
+#pragma once
+
+#include <optional>
+
+#include "net/dscp.hpp"
+#include "net/rsvp.hpp"
+#include "orb/types.hpp"
+#include "os/cpu.hpp"
+
+namespace aqm::core {
+
+struct EndToEndQosPolicy {
+  // --- priority-based control (Sections 3.1, 3.2) ---------------------------
+  /// CORBA priority for the binding (mapped to native thread priorities on
+  /// both hosts via the priority-mapping managers).
+  std::optional<orb::CorbaPriority> priority;
+  /// Map the CORBA priority onto DiffServ codepoints (installs the banded
+  /// DSCP mapping on the client ORB).
+  bool map_priority_to_dscp = false;
+  /// Explicit DSCP override via protocol properties (wins over the mapping).
+  std::optional<net::Dscp> explicit_dscp;
+
+  // --- reservation-based control (Sections 3.3, 3.4) -----------------------
+  /// CPU reserve to establish on the *server* host through the CORBA
+  /// CPU-reservation manager.
+  std::optional<os::ReserveSpec> server_cpu_reserve;
+  /// RSVP/IntServ bandwidth reservation for the binding's flow.
+  std::optional<net::FlowSpec> network_reservation;
+
+  [[nodiscard]] bool uses_priorities() const {
+    return priority.has_value() || map_priority_to_dscp || explicit_dscp.has_value();
+  }
+  [[nodiscard]] bool uses_reservations() const {
+    return server_cpu_reserve.has_value() || network_reservation.has_value();
+  }
+};
+
+}  // namespace aqm::core

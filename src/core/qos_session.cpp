@@ -1,0 +1,103 @@
+#include "core/qos_session.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "common/log.hpp"
+#include "orb/rt/dscp_mapping.hpp"
+
+namespace aqm::core {
+
+QoSSession::QoSSession(orb::OrbEndpoint& client_orb, orb::ObjectStub& stub,
+                       NetworkQosManager* net_qos, CpuReservationClient* cpu_client)
+    : client_orb_(client_orb), stub_(stub), net_qos_(net_qos), cpu_client_(cpu_client) {}
+
+void QoSSession::apply(EndToEndQosPolicy policy, ApplyCallback cb) {
+  policy_ = std::move(policy);
+  pending_cb_ = std::move(cb);
+  errors_.clear();
+  pending_parts_ = 1;  // sentinel for the synchronous part
+
+  // --- synchronous, priority-based mechanisms -------------------------------
+  if (policy_.priority) {
+    stub_.set_priority(*policy_.priority);
+  }
+  if (policy_.map_priority_to_dscp) {
+    client_orb_.dscp_mappings().install(std::make_unique<orb::rt::BandedDscpMapping>());
+  }
+  if (policy_.explicit_dscp) {
+    stub_.ref().protocol.dscp = *policy_.explicit_dscp;
+  } else if (!policy_.map_priority_to_dscp) {
+    stub_.ref().protocol.dscp.reset();
+  }
+
+  // --- asynchronous, reservation-based mechanisms ---------------------------
+  if (policy_.network_reservation) {
+    if (net_qos_ == nullptr) {
+      errors_.emplace_back("network reservation requested without a NetworkQosManager");
+    } else if (stub_.flow() == net::kNoFlow) {
+      errors_.emplace_back("network reservation requires the binding to have a flow id");
+    } else {
+      ++pending_parts_;
+      net_qos_->reserve(stub_.flow(), client_orb_.node(), stub_.ref().node,
+                        *policy_.network_reservation,
+                        [this](Status<std::string> status) {
+                          network_reserved_ = status.ok();
+                          settle_part(std::move(status));
+                        });
+    }
+  }
+  if (policy_.server_cpu_reserve) {
+    if (cpu_client_ == nullptr) {
+      errors_.emplace_back("CPU reserve requested without a CpuReservationClient");
+    } else {
+      ++pending_parts_;
+      cpu_client_->create_reserve(
+          *policy_.server_cpu_reserve, [this](Result<os::ReserveId> result) {
+            if (result.ok()) {
+              cpu_reserve_ = result.value();
+              settle_part({});
+            } else {
+              settle_part(Status<std::string>::err(result.error()));
+            }
+          });
+    }
+  }
+
+  settle_part({});  // the synchronous sentinel
+}
+
+void QoSSession::settle_part(Status<std::string> status) {
+  if (!status.ok()) errors_.push_back(status.error());
+  assert(pending_parts_ > 0);
+  if (--pending_parts_ > 0) return;
+  if (!pending_cb_) return;
+  auto cb = std::move(pending_cb_);
+  pending_cb_ = nullptr;
+  if (errors_.empty()) {
+    cb({});
+    return;
+  }
+  std::string combined;
+  for (const auto& e : errors_) {
+    if (!combined.empty()) combined += "; ";
+    combined += e;
+  }
+  cb(Status<std::string>::err(combined));
+}
+
+void QoSSession::revoke() {
+  if (network_reserved_ && net_qos_ != nullptr) {
+    net_qos_->release(stub_.flow(), client_orb_.node());
+    network_reserved_ = false;
+  }
+  if (cpu_reserve_ && cpu_client_ != nullptr) {
+    cpu_client_->destroy_reserve(*cpu_reserve_);
+    cpu_reserve_.reset();
+  }
+  stub_.clear_priority();
+  stub_.ref().protocol.dscp.reset();
+  policy_ = EndToEndQosPolicy{};
+}
+
+}  // namespace aqm::core

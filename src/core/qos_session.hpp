@@ -1,0 +1,60 @@
+// QoSSession: applies an EndToEndQosPolicy to one client->object binding,
+// coordinating all four mechanisms (thread priorities, DSCPs, CPU
+// reserves, RSVP reservations) from the middleware's end-to-end vantage
+// point. This is the integration layer the paper contributes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/cpu_reservation_manager.hpp"
+#include "core/network_qos_manager.hpp"
+#include "core/qos_policy.hpp"
+#include "orb/orb.hpp"
+
+namespace aqm::core {
+
+class QoSSession {
+ public:
+  using ApplyCallback = std::function<void(Status<std::string>)>;
+
+  /// `stub` is the client-side binding the policy governs; it must outlive
+  /// the session. `net_qos` is required for network reservations,
+  /// `cpu_client` for server CPU reserves.
+  QoSSession(orb::OrbEndpoint& client_orb, orb::ObjectStub& stub,
+             NetworkQosManager* net_qos = nullptr,
+             CpuReservationClient* cpu_client = nullptr);
+
+  /// Applies the policy. The callback fires once every asynchronous
+  /// mechanism (RSVP signaling, remote reserve creation) settles; partial
+  /// failures are reported with the combined error text while successful
+  /// mechanisms stay in force.
+  void apply(EndToEndQosPolicy policy, ApplyCallback cb = nullptr);
+
+  /// Releases reservations and restores best-effort defaults.
+  void revoke();
+
+  [[nodiscard]] const EndToEndQosPolicy& active_policy() const { return policy_; }
+  [[nodiscard]] bool network_reserved() const { return network_reserved_; }
+  [[nodiscard]] std::optional<os::ReserveId> cpu_reserve_id() const { return cpu_reserve_; }
+
+ private:
+  void settle_part(Status<std::string> status);
+
+  orb::OrbEndpoint& client_orb_;
+  orb::ObjectStub& stub_;
+  NetworkQosManager* net_qos_;
+  CpuReservationClient* cpu_client_;
+
+  EndToEndQosPolicy policy_;
+  ApplyCallback pending_cb_;
+  int pending_parts_ = 0;
+  std::vector<std::string> errors_;
+  bool network_reserved_ = false;
+  std::optional<os::ReserveId> cpu_reserve_;
+};
+
+}  // namespace aqm::core

@@ -1,0 +1,131 @@
+#include "core/scheduling_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aqm::core {
+
+SchedulingService::SchedulingService(Config config) : config_(config) {
+  assert(config_.band_min < config_.band_max);
+}
+
+void SchedulingService::declare(ActivitySpec spec) {
+  assert(!spec.name.empty());
+  assert(spec.period > Duration::zero());
+  assert(spec.cost > Duration::zero());
+  assert(spec.cost <= spec.period);
+  activities_[spec.name] = std::move(spec);
+}
+
+void SchedulingService::remove(const std::string& name) {
+  activities_.erase(name);
+  assigned_.erase(name);
+}
+
+std::vector<const ActivitySpec*> SchedulingService::rm_order() const {
+  std::vector<const ActivitySpec*> order;
+  order.reserve(activities_.size());
+  for (const auto& [name, spec] : activities_) order.push_back(&spec);
+  std::sort(order.begin(), order.end(), [](const ActivitySpec* a, const ActivitySpec* b) {
+    if (a->period != b->period) return a->period < b->period;  // RM: shorter first
+    if (a->importance != b->importance) return a->importance > b->importance;
+    return a->name < b->name;
+  });
+  return order;
+}
+
+std::optional<Duration> SchedulingService::response_time(
+    const ActivitySpec& task, const std::vector<const ActivitySpec*>& higher) {
+  // Fixed-point iteration: R = C + sum ceil(R / T_j) * C_j.
+  Duration r = task.cost;
+  for (int iterations = 0; iterations < 1000; ++iterations) {
+    std::int64_t interference_ns = 0;
+    for (const ActivitySpec* h : higher) {
+      const std::int64_t activations =
+          (r.ns() + h->period.ns() - 1) / h->period.ns();  // ceil
+      interference_ns += activations * h->cost.ns();
+    }
+    const Duration next = task.cost + Duration{interference_ns};
+    if (next == r) return r;          // converged
+    if (next > task.period) return std::nullopt;  // deadline miss
+    r = next;
+  }
+  return std::nullopt;
+}
+
+Status<std::string> SchedulingService::assign() {
+  const auto order = rm_order();
+
+  // Exact feasibility first: refuse to hand out priorities for a task set
+  // that cannot meet its deadlines.
+  std::vector<const ActivitySpec*> higher;
+  for (const ActivitySpec* task : order) {
+    if (!response_time(*task, higher)) {
+      return Status<std::string>::err("task set infeasible: '" + task->name +
+                                      "' misses its deadline under RM");
+    }
+    higher.push_back(task);
+  }
+
+  assigned_.clear();
+  if (order.empty()) return {};
+  // Spread priorities across the band, highest first.
+  const auto n = static_cast<std::int64_t>(order.size());
+  const std::int64_t span = config_.band_max - config_.band_min;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const orb::CorbaPriority p =
+        n == 1 ? config_.band_max
+               : static_cast<orb::CorbaPriority>(config_.band_max - span * i / (n - 1));
+    assigned_[order[static_cast<std::size_t>(i)]->name] = p;
+  }
+  return {};
+}
+
+std::optional<orb::CorbaPriority> SchedulingService::priority_of(
+    const std::string& name) const {
+  const auto it = assigned_.find(name);
+  if (it == assigned_.end()) return std::nullopt;
+  return it->second;
+}
+
+double SchedulingService::total_utilization() const {
+  double u = 0.0;
+  for (const auto& [name, spec] : activities_) {
+    u += static_cast<double>(spec.cost.ns()) / static_cast<double>(spec.period.ns());
+  }
+  return u;
+}
+
+double SchedulingService::liu_layland_bound(std::size_t n) {
+  if (n == 0) return 0.0;
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+bool SchedulingService::feasible_by_bound() const {
+  return total_utilization() <= liu_layland_bound(activities_.size());
+}
+
+bool SchedulingService::feasible_by_response_time() const {
+  const auto order = rm_order();
+  std::vector<const ActivitySpec*> higher;
+  for (const ActivitySpec* task : order) {
+    if (!response_time(*task, higher)) return false;
+    higher.push_back(task);
+  }
+  return true;
+}
+
+std::optional<Duration> SchedulingService::worst_case_response(
+    const std::string& name) const {
+  const auto order = rm_order();
+  std::vector<const ActivitySpec*> higher;
+  for (const ActivitySpec* task : order) {
+    if (task->name == name) return response_time(*task, higher);
+    higher.push_back(task);
+  }
+  return std::nullopt;
+}
+
+}  // namespace aqm::core

@@ -1,0 +1,87 @@
+// Global scheduling service.
+//
+// RT-CORBA pairs its priority machinery with "a global scheduling service"
+// that maps application QoS requirements (periods, deadlines, importance)
+// onto CORBA priorities, so applications declare *timing needs* and the
+// middleware owns the priority arithmetic (TAO's static rate-monotonic
+// scheduling strategy [Gill:98i]).
+//
+// This service implements the static side: declared periodic activities
+// get CORBA priorities in rate-monotonic order (shorter period = higher
+// priority; importance breaks ties), spread across a configurable band.
+// It also answers feasibility questions with the Liu & Layland utilization
+// bound and exact response-time analysis for fixed-priority preemptive
+// scheduling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "orb/types.hpp"
+
+namespace aqm::core {
+
+struct ActivitySpec {
+  std::string name;
+  Duration period;           // also the implicit deadline
+  Duration cost;             // worst-case execution time per period
+  int importance = 0;        // tie breaker (higher = more important)
+};
+
+struct SchedulingServiceConfig {
+  orb::CorbaPriority band_min = 4'000;
+  orb::CorbaPriority band_max = 30'000;
+};
+
+class SchedulingService {
+ public:
+  using Config = SchedulingServiceConfig;
+
+  explicit SchedulingService(Config config = {});
+
+  /// Declares (or replaces) an activity. Call assign() afterwards.
+  void declare(ActivitySpec spec);
+  void remove(const std::string& name);
+
+  /// Recomputes the priority table in rate-monotonic order. Fails (and
+  /// assigns nothing new) when the task set is infeasible by exact
+  /// response-time analysis.
+  Status<std::string> assign();
+
+  /// Priority of an activity after a successful assign().
+  [[nodiscard]] std::optional<orb::CorbaPriority> priority_of(const std::string& name) const;
+
+  [[nodiscard]] std::size_t activity_count() const { return activities_.size(); }
+
+  // --- schedulability analysis ---------------------------------------------------
+
+  /// Sum of cost/period over all declared activities.
+  [[nodiscard]] double total_utilization() const;
+
+  /// Liu & Layland bound n(2^(1/n) - 1): sufficient, not necessary.
+  [[nodiscard]] static double liu_layland_bound(std::size_t n);
+  [[nodiscard]] bool feasible_by_bound() const;
+
+  /// Exact test: iterate R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) C_j.
+  [[nodiscard]] bool feasible_by_response_time() const;
+
+  /// Worst-case response time of an activity under the RM order, if it
+  /// converges within its period; nullopt for unknown/ infeasible tasks.
+  [[nodiscard]] std::optional<Duration> worst_case_response(const std::string& name) const;
+
+ private:
+  /// Activities in rate-monotonic order (highest priority first).
+  [[nodiscard]] std::vector<const ActivitySpec*> rm_order() const;
+  [[nodiscard]] static std::optional<Duration> response_time(
+      const ActivitySpec& task, const std::vector<const ActivitySpec*>& higher);
+
+  Config config_;
+  std::map<std::string, ActivitySpec> activities_;
+  std::map<std::string, orb::CorbaPriority> assigned_;
+};
+
+}  // namespace aqm::core

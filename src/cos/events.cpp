@@ -1,0 +1,130 @@
+#include "cos/events.hpp"
+
+#include <cassert>
+
+#include "orb/cdr.hpp"
+#include "orb/ior.hpp"
+#include "orb/servant.hpp"
+
+namespace aqm::cos {
+
+std::vector<std::uint8_t> encode_event(const Event& event) {
+  orb::CdrWriter w;
+  w.write_string(event.topic);
+  w.write_i32(event.priority);
+  w.write_i64(event.published_at.ns());
+  w.write_octets(event.payload);
+  return w.take();
+}
+
+Event decode_event(const std::vector<std::uint8_t>& body) {
+  orb::CdrReader r(body);
+  Event event;
+  event.topic = r.read_string();
+  event.priority = r.read_i32();
+  event.published_at = TimePoint{r.read_i64()};
+  event.payload = r.read_octets();
+  return event;
+}
+
+EventChannel::EventChannel(orb::OrbEndpoint& orb, orb::Poa& poa) : orb_(orb) {
+  auto servant = std::make_shared<orb::FunctionServant>(
+      microseconds(30), [this](orb::ServerRequest& req) { handle(req); });
+  ref_ = poa.activate_object(kEventChannelObjectId, std::move(servant));
+}
+
+void EventChannel::handle(orb::ServerRequest& req) {
+  if (req.operation == kPushOp) {
+    publish(decode_event(req.body));
+    return;
+  }
+  orb::CdrReader r(req.body);
+  orb::CdrWriter w;
+  if (req.operation == kSubscribeOp) {
+    const std::string prefix = r.read_string();
+    subscribe(prefix, orb::string_to_object(r.read_string()));
+    w.write_bool(true);
+  } else if (req.operation == kUnsubscribeOp) {
+    const std::string prefix = r.read_string();
+    unsubscribe(prefix, orb::string_to_object(r.read_string()));
+    w.write_bool(true);
+  } else {
+    throw orb::BadParam("unknown event-channel operation: " + req.operation);
+  }
+  req.reply_body = w.take();
+}
+
+void EventChannel::subscribe(const std::string& topic_prefix,
+                             const orb::ObjectRef& consumer) {
+  assert(consumer.valid());
+  // Replace an identical subscription instead of duplicating it.
+  unsubscribe(topic_prefix, consumer);
+  subscriptions_.push_back(Subscription{topic_prefix, consumer});
+}
+
+void EventChannel::unsubscribe(const std::string& topic_prefix,
+                               const orb::ObjectRef& consumer) {
+  std::erase_if(subscriptions_, [&](const Subscription& s) {
+    return s.prefix == topic_prefix && s.consumer.node == consumer.node &&
+           s.consumer.object_key == consumer.object_key;
+  });
+}
+
+void EventChannel::publish(const Event& event) {
+  ++published_;
+  const auto body = encode_event(event);
+  for (const auto& s : subscriptions_) {
+    if (event.topic.compare(0, s.prefix.size(), s.prefix) != 0) continue;
+    ++deliveries_;
+    orb::InvokeOptions opts;
+    opts.oneway = true;
+    opts.priority = event.priority;  // priority-preserving fan-out
+    orb_.invoke(s.consumer, kPushEventOp, body, opts);
+  }
+}
+
+EventSupplier::EventSupplier(orb::OrbEndpoint& orb, orb::ObjectRef channel)
+    : orb_(orb), stub_(orb, std::move(channel)) {}
+
+void EventSupplier::push(const std::string& topic, orb::CorbaPriority priority,
+                         std::vector<std::uint8_t> payload) {
+  Event event;
+  event.topic = topic;
+  event.priority = priority;
+  event.payload = std::move(payload);
+  event.published_at = orb_.engine().now();
+  ++pushed_;
+  // The push to the channel itself also travels at the event's priority.
+  orb::InvokeOptions opts;
+  opts.oneway = true;
+  opts.priority = priority;
+  orb_.invoke(stub_.ref(), kPushOp, encode_event(event), opts);
+}
+
+EventConsumer::EventConsumer(orb::Poa& poa, const std::string& object_id, Duration cost,
+                             Handler handler) {
+  assert(handler);
+  auto servant = std::make_shared<orb::FunctionServant>(
+      cost, [this, handler = std::move(handler)](orb::ServerRequest& req) {
+        if (req.operation != kPushEventOp) return;
+        ++received_;
+        handler(decode_event(req.body));
+      });
+  ref_ = poa.activate_object(object_id, std::move(servant));
+}
+
+void EventConsumer::subscribe(orb::OrbEndpoint& orb, const orb::ObjectRef& channel,
+                              const std::string& topic_prefix,
+                              std::function<void(bool)> ack) {
+  orb::CdrWriter w;
+  w.write_string(topic_prefix);
+  w.write_string(orb::object_to_string(ref_));
+  orb::ObjectStub stub(orb, channel);
+  stub.twoway(kSubscribeOp, w.take(),
+              [ack = std::move(ack)](orb::CompletionStatus status,
+                                     std::vector<std::uint8_t>) {
+                if (ack) ack(status == orb::CompletionStatus::Ok);
+              });
+}
+
+}  // namespace aqm::cos

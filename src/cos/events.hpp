@@ -1,0 +1,115 @@
+// Real-time event service (push model), after TAO's RT Event Channel.
+//
+// The paper's middleware stack (Figure 1) lists "Event Services" and its
+// prior-work list includes "scalable event processing". This channel
+// decouples suppliers from consumers: suppliers push typed events at a
+// CORBA priority; the channel fans each event out to every consumer whose
+// topic subscription matches, forwarding with the *event's* priority so
+// the RT machinery (thread priorities, DSCP marking) applies to event
+// delivery exactly as it does to direct calls.
+//
+// Topics are slash-separated strings; subscriptions match by prefix
+// ("sensors/" receives "sensors/uav1/frame").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "orb/orb.hpp"
+
+namespace aqm::cos {
+
+inline constexpr const char* kEventChannelObjectId = "event_channel";
+inline constexpr const char* kPushOp = "push";
+inline constexpr const char* kSubscribeOp = "subscribe";
+inline constexpr const char* kUnsubscribeOp = "unsubscribe";
+inline constexpr const char* kPushEventOp = "push_event";
+
+struct Event {
+  std::string topic;
+  orb::CorbaPriority priority = 0;
+  std::vector<std::uint8_t> payload;
+  TimePoint published_at{};
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_event(const Event& event);
+/// Throws orb::MarshalError on malformed input.
+[[nodiscard]] Event decode_event(const std::vector<std::uint8_t>& body);
+
+/// The channel: activates its servant in `poa`; uses `orb` to forward
+/// events to consumers (oneway, at the event's priority).
+class EventChannel {
+ public:
+  EventChannel(orb::OrbEndpoint& orb, orb::Poa& poa);
+
+  [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
+
+  /// Local subscription management (remote consumers use kSubscribeOp).
+  void subscribe(const std::string& topic_prefix, const orb::ObjectRef& consumer);
+  void unsubscribe(const std::string& topic_prefix, const orb::ObjectRef& consumer);
+
+  /// Local publish (suppliers in other processes use kPushOp).
+  void publish(const Event& event);
+
+  [[nodiscard]] std::size_t consumer_count() const { return subscriptions_.size(); }
+  [[nodiscard]] std::uint64_t events_published() const { return published_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  struct Subscription {
+    std::string prefix;
+    orb::ObjectRef consumer;
+  };
+
+  void handle(orb::ServerRequest& req);
+
+  orb::OrbEndpoint& orb_;
+  orb::ObjectRef ref_;
+  std::vector<Subscription> subscriptions_;
+  std::uint64_t published_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
+
+/// Supplier helper: pushes events into a (possibly remote) channel.
+class EventSupplier {
+ public:
+  EventSupplier(orb::OrbEndpoint& orb, orb::ObjectRef channel);
+
+  void push(const std::string& topic, orb::CorbaPriority priority,
+            std::vector<std::uint8_t> payload = {});
+
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+
+ private:
+  orb::OrbEndpoint& orb_;
+  orb::ObjectStub stub_;
+  std::uint64_t pushed_ = 0;
+};
+
+/// Consumer helper: activates a consumer servant and subscribes it to a
+/// channel over the ORB.
+class EventConsumer {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  /// `cost` is the per-event processing cost on the consuming host.
+  EventConsumer(orb::Poa& poa, const std::string& object_id, Duration cost,
+                Handler handler);
+
+  /// Subscribes via the channel's remote interface; `ack` reports success.
+  void subscribe(orb::OrbEndpoint& orb, const orb::ObjectRef& channel,
+                 const std::string& topic_prefix,
+                 std::function<void(bool)> ack = nullptr);
+
+  [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  orb::ObjectRef ref_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace aqm::cos

@@ -1,0 +1,139 @@
+#include "cos/naming.hpp"
+
+#include <cassert>
+
+#include "orb/cdr.hpp"
+#include "orb/ior.hpp"
+#include "orb/servant.hpp"
+
+namespace aqm::cos {
+namespace {
+
+bool valid_name(const std::string& name) {
+  if (name.empty() || name.front() == '/' || name.back() == '/') return false;
+  return name.find("//") == std::string::npos;
+}
+
+}  // namespace
+
+NamingServiceServer::NamingServiceServer(orb::Poa& poa) {
+  auto servant = std::make_shared<orb::FunctionServant>(
+      microseconds(40), [this](orb::ServerRequest& req) {
+        orb::CdrReader r(req.body);
+        orb::CdrWriter w;
+        if (req.operation == kBindOp) {
+          const std::string name = r.read_string();
+          const std::string ior = r.read_string();
+          const auto status = bind(name, orb::string_to_object(ior));
+          w.write_bool(status.ok());
+        } else if (req.operation == kResolveOp) {
+          const std::string name = r.read_string();
+          const auto found = resolve(name);
+          w.write_bool(found.has_value());
+          if (found) w.write_string(orb::object_to_string(*found));
+        } else if (req.operation == kUnbindOp) {
+          w.write_bool(unbind(r.read_string()));
+        } else if (req.operation == kListOp) {
+          const auto names = list(r.read_string());
+          w.write_u32(static_cast<std::uint32_t>(names.size()));
+          for (const auto& n : names) w.write_string(n);
+        } else {
+          throw orb::BadParam("unknown naming operation: " + req.operation);
+        }
+        req.reply_body = w.take();
+      });
+  ref_ = poa.activate_object(kNamingObjectId, std::move(servant));
+}
+
+Status<std::string> NamingServiceServer::bind(const std::string& name,
+                                              const orb::ObjectRef& obj, bool rebind) {
+  if (!valid_name(name)) return Status<std::string>::err("malformed name: " + name);
+  if (!obj.valid()) return Status<std::string>::err("cannot bind an invalid reference");
+  if (!rebind && bindings_.count(name) > 0) {
+    return Status<std::string>::err("already bound: " + name);
+  }
+  bindings_[name] = orb::object_to_string(obj);
+  return {};
+}
+
+std::optional<orb::ObjectRef> NamingServiceServer::resolve(const std::string& name) const {
+  const auto it = bindings_.find(name);
+  if (it == bindings_.end()) return std::nullopt;
+  return orb::string_to_object(it->second);
+}
+
+bool NamingServiceServer::unbind(const std::string& name) {
+  return bindings_.erase(name) > 0;
+}
+
+std::vector<std::string> NamingServiceServer::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [name, ior] : bindings_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+NamingClient::NamingClient(orb::OrbEndpoint& orb, orb::ObjectRef naming_ref)
+    : stub_(orb, std::move(naming_ref)) {}
+
+void NamingClient::bind(const std::string& name, const orb::ObjectRef& obj,
+                        AckCallback cb) {
+  orb::CdrWriter w;
+  w.write_string(name);
+  w.write_string(orb::object_to_string(obj));
+  stub_.twoway(kBindOp, w.take(),
+               [cb = std::move(cb)](orb::CompletionStatus status,
+                                    std::vector<std::uint8_t> body) {
+                 if (!cb) return;
+                 if (status != orb::CompletionStatus::Ok) {
+                   cb(false);
+                   return;
+                 }
+                 orb::CdrReader r(body);
+                 cb(r.read_bool());
+               });
+}
+
+void NamingClient::resolve(const std::string& name, ResolveCallback cb) {
+  assert(cb);
+  orb::CdrWriter w;
+  w.write_string(name);
+  stub_.twoway(kResolveOp, w.take(),
+               [cb = std::move(cb)](orb::CompletionStatus status,
+                                    std::vector<std::uint8_t> body) {
+                 if (status != orb::CompletionStatus::Ok) {
+                   cb(Result<orb::ObjectRef>::err(std::string("rpc failed: ") +
+                                                  orb::to_string(status)));
+                   return;
+                 }
+                 try {
+                   orb::CdrReader r(body);
+                   if (!r.read_bool()) {
+                     cb(Result<orb::ObjectRef>::err("name not bound"));
+                     return;
+                   }
+                   cb(orb::string_to_object(r.read_string()));
+                 } catch (const orb::SystemException& e) {
+                   cb(Result<orb::ObjectRef>::err(e.what()));
+                 }
+               });
+}
+
+void NamingClient::unbind(const std::string& name, AckCallback cb) {
+  orb::CdrWriter w;
+  w.write_string(name);
+  stub_.twoway(kUnbindOp, w.take(),
+               [cb = std::move(cb)](orb::CompletionStatus status,
+                                    std::vector<std::uint8_t> body) {
+                 if (!cb) return;
+                 if (status != orb::CompletionStatus::Ok) {
+                   cb(false);
+                   return;
+                 }
+                 orb::CdrReader r(body);
+                 cb(r.read_bool());
+               });
+}
+
+}  // namespace aqm::cos

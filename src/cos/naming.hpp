@@ -1,0 +1,66 @@
+// CORBA Naming Service (CosNaming, simplified).
+//
+// The paper's Figure 1 lists "Name Services" among the common middleware
+// services. This is the standard bootstrap mechanism: servers bind
+// stringified object references under hierarchical names; clients resolve
+// names to references instead of exchanging IORs out of band.
+//
+// Names are slash-separated paths ("sensors/uav1/video"); contexts are
+// implicit (created on bind, like `mkdir -p`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "orb/orb.hpp"
+
+namespace aqm::cos {
+
+inline constexpr const char* kNamingObjectId = "naming";
+inline constexpr const char* kBindOp = "bind";
+inline constexpr const char* kResolveOp = "resolve";
+inline constexpr const char* kUnbindOp = "unbind";
+inline constexpr const char* kListOp = "list";
+
+/// Server side: activates the naming servant in a POA. State is in-process;
+/// remote access goes through the ORB like any other servant.
+class NamingServiceServer {
+ public:
+  explicit NamingServiceServer(orb::Poa& poa);
+
+  [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
+
+  // Local (in-process) access, also used by the servant.
+  Status<std::string> bind(const std::string& name, const orb::ObjectRef& obj,
+                           bool rebind = true);
+  [[nodiscard]] std::optional<orb::ObjectRef> resolve(const std::string& name) const;
+  bool unbind(const std::string& name);
+  /// All bound names with the given prefix (lexicographic order).
+  [[nodiscard]] std::vector<std::string> list(const std::string& prefix = "") const;
+  [[nodiscard]] std::size_t size() const { return bindings_.size(); }
+
+ private:
+  orb::ObjectRef ref_;
+  std::map<std::string, std::string> bindings_;  // name -> stringified IOR
+};
+
+/// Remote client: asynchronous bind/resolve against a naming servant.
+class NamingClient {
+ public:
+  using ResolveCallback = std::function<void(Result<orb::ObjectRef>)>;
+  using AckCallback = std::function<void(bool ok)>;
+
+  NamingClient(orb::OrbEndpoint& orb, orb::ObjectRef naming_ref);
+
+  void bind(const std::string& name, const orb::ObjectRef& obj, AckCallback cb = nullptr);
+  void resolve(const std::string& name, ResolveCallback cb);
+  void unbind(const std::string& name, AckCallback cb = nullptr);
+
+ private:
+  orb::ObjectStub stub_;
+};
+
+}  // namespace aqm::cos

@@ -1,0 +1,113 @@
+#include "imgproc/edge.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+namespace aqm::img {
+namespace {
+
+using Kernel = std::array<int, 9>;
+
+int apply_kernel(const GrayImage& in, int x, int y, const Kernel& k) {
+  int acc = 0;
+  int idx = 0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      acc += k[static_cast<std::size_t>(idx++)] * in.at_clamped(x + dx, y + dy);
+    }
+  }
+  return acc;
+}
+
+/// |Gx| + |Gy| gradient magnitude, scaled into [0, 255].
+GrayImage two_kernel_gradient(const GrayImage& in, const Kernel& gx, const Kernel& gy,
+                              int norm) {
+  GrayImage out(in.width(), in.height());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      const int mag = std::abs(apply_kernel(in, x, y, gx)) +
+                      std::abs(apply_kernel(in, x, y, gy));
+      out.at(x, y) = static_cast<std::uint8_t>(std::min(255, mag / norm));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GrayImage prewitt(const GrayImage& in) {
+  static constexpr Kernel gx{-1, 0, 1, -1, 0, 1, -1, 0, 1};
+  static constexpr Kernel gy{-1, -1, -1, 0, 0, 0, 1, 1, 1};
+  // Max |Gx|+|Gy| = 6*255; scale by 3 to keep contrast while clamping.
+  return two_kernel_gradient(in, gx, gy, 3);
+}
+
+GrayImage sobel(const GrayImage& in) {
+  static constexpr Kernel gx{-1, 0, 1, -2, 0, 2, -1, 0, 1};
+  static constexpr Kernel gy{-1, -2, -1, 0, 0, 0, 1, 2, 1};
+  return two_kernel_gradient(in, gx, gy, 4);
+}
+
+GrayImage kirsch(const GrayImage& in) {
+  // The 8 Kirsch compass masks: three 5s rotate around the 8-neighbour
+  // ring, the rest are -3 (every mask sums to zero). Generated instead of
+  // hand-written so the rotation cannot be botched.
+  static const std::array<Kernel, 8> masks = [] {
+    // Ring positions clockwise from top-left in kernel index space:
+    //  0 1 2
+    //  3 4 5      ring: 0,1,2,5,8,7,6,3
+    //  6 7 8
+    constexpr std::array<int, 8> ring{0, 1, 2, 5, 8, 7, 6, 3};
+    std::array<Kernel, 8> out{};
+    for (std::size_t rot = 0; rot < 8; ++rot) {
+      Kernel k{};
+      k.fill(-3);
+      k[4] = 0;
+      for (std::size_t i = 0; i < 3; ++i) {
+        k[static_cast<std::size_t>(ring[(rot + i) % 8])] = 5;
+      }
+      out[rot] = k;
+    }
+    return out;
+  }();
+  GrayImage out(in.width(), in.height());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      int best = 0;
+      for (const auto& m : masks) {
+        best = std::max(best, apply_kernel(in, x, y, m));
+      }
+      // Max response is 15*255; scale by 8.
+      out.at(x, y) = static_cast<std::uint8_t>(std::min(255, best / 8));
+    }
+  }
+  return out;
+}
+
+GrayImage run_edge(EdgeAlgorithm a, const GrayImage& in) {
+  switch (a) {
+    case EdgeAlgorithm::Kirsch: return kirsch(in);
+    case EdgeAlgorithm::Prewitt: return prewitt(in);
+    case EdgeAlgorithm::Sobel: return sobel(in);
+  }
+  return GrayImage{};
+}
+
+GrayImage threshold(const GrayImage& in, std::uint8_t level) {
+  GrayImage out(in.width(), in.height());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      out.at(x, y) = in.at(x, y) >= level ? 255 : 0;
+    }
+  }
+  return out;
+}
+
+Duration estimated_cost(EdgeAlgorithm a, std::size_t pixels, std::uint64_t hz) {
+  const double cycles = cycles_per_pixel(a) * static_cast<double>(pixels);
+  return Duration{static_cast<std::int64_t>(cycles * 1e9 / static_cast<double>(hz))};
+}
+
+}  // namespace aqm::img

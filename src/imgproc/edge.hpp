@@ -1,0 +1,60 @@
+// Edge detection: the three algorithms the paper runs in its ATR server
+// (Table 2): Prewitt, Sobel (two-kernel gradient operators) and Kirsch
+// (eight compass masks, max response). Real implementations over real
+// pixels; the cost model below feeds the simulated servant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "imgproc/image.hpp"
+
+namespace aqm::img {
+
+enum class EdgeAlgorithm : std::uint8_t { Kirsch = 0, Prewitt = 1, Sobel = 2 };
+
+[[nodiscard]] constexpr const char* to_string(EdgeAlgorithm a) {
+  switch (a) {
+    case EdgeAlgorithm::Kirsch: return "Kirsch";
+    case EdgeAlgorithm::Prewitt: return "Prewitt";
+    case EdgeAlgorithm::Sobel: return "Sobel";
+  }
+  return "?";
+}
+
+/// Gradient magnitude with the Prewitt operator, normalized to [0, 255].
+[[nodiscard]] GrayImage prewitt(const GrayImage& in);
+
+/// Gradient magnitude with the Sobel operator, normalized to [0, 255].
+[[nodiscard]] GrayImage sobel(const GrayImage& in);
+
+/// Kirsch compass operator: max response over the 8 rotated masks.
+[[nodiscard]] GrayImage kirsch(const GrayImage& in);
+
+[[nodiscard]] GrayImage run_edge(EdgeAlgorithm a, const GrayImage& in);
+
+/// Binary threshold helper (edge maps are usually thresholded downstream).
+[[nodiscard]] GrayImage threshold(const GrayImage& in, std::uint8_t level);
+
+// --- cost model for the simulated ATR servant -----------------------------------
+//
+// Approximate per-pixel cycle costs of straightforward scalar C++
+// implementations: two 3x3 kernels (Prewitt/Sobel) vs eight (Kirsch).
+// These drive the CPU-time of the ATR servant in the Table 2 experiment;
+// absolute values are calibration constants, the Kirsch/Prewitt/Sobel
+// ratios are what matters.
+
+[[nodiscard]] constexpr double cycles_per_pixel(EdgeAlgorithm a) {
+  switch (a) {
+    case EdgeAlgorithm::Kirsch: return 1000.0;  // 8 masks + max-reduce
+    case EdgeAlgorithm::Prewitt: return 250.0;  // 2 masks
+    case EdgeAlgorithm::Sobel: return 300.0;    // 2 masks, heavier weights
+  }
+  return 0.0;
+}
+
+/// Simulated CPU time for running `a` over `pixels` pixels at `hz`.
+[[nodiscard]] Duration estimated_cost(EdgeAlgorithm a, std::size_t pixels, std::uint64_t hz);
+
+}  // namespace aqm::img

@@ -1,0 +1,42 @@
+#include "imgproc/image.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqm::img {
+
+GrayImage::GrayImage(int width, int height, std::uint8_t fill)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill) {
+  assert(width > 0 && height > 0);
+}
+
+std::uint8_t GrayImage::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+RgbImage::RgbImage(int width, int height)
+    : width_(width),
+      height_(height),
+      data_(3 * static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0) {
+  assert(width > 0 && height > 0);
+}
+
+GrayImage RgbImage::to_gray() const {
+  GrayImage out(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const int r = at(x, y, 0);
+      const int g = at(x, y, 1);
+      const int b = at(x, y, 2);
+      // Integer ITU-R 601: Y = 0.299R + 0.587G + 0.114B.
+      out.at(x, y) = static_cast<std::uint8_t>((299 * r + 587 * g + 114 * b) / 1000);
+    }
+  }
+  return out;
+}
+
+}  // namespace aqm::img

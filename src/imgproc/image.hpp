@@ -1,0 +1,78 @@
+// In-memory image types used by the ATR (automated target recognition)
+// stand-in: real pixels, real algorithms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aqm::img {
+
+class GrayImage {
+ public:
+  GrayImage() = default;
+  GrayImage(int width, int height, std::uint8_t fill = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  std::uint8_t& at(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+
+  /// Clamp-to-edge sampling (for kernel borders).
+  [[nodiscard]] std::uint8_t at_clamped(int x, int y) const;
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const { return data_; }
+  [[nodiscard]] std::span<std::uint8_t> data() { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+class RgbImage {
+ public:
+  RgbImage() = default;
+  RgbImage(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t byte_count() const { return data_.size(); }
+
+  /// Channel c in {0,1,2} = {R,G,B}.
+  [[nodiscard]] std::uint8_t at(int x, int y, int c) const {
+    return data_[pixel_offset(x, y) + static_cast<std::size_t>(c)];
+  }
+  std::uint8_t& at(int x, int y, int c) {
+    return data_[pixel_offset(x, y) + static_cast<std::size_t>(c)];
+  }
+
+  /// ITU-R 601 luma conversion.
+  [[nodiscard]] GrayImage to_gray() const;
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const { return data_; }
+  [[nodiscard]] std::span<std::uint8_t> data() { return data_; }
+
+ private:
+  [[nodiscard]] std::size_t pixel_offset(int x, int y) const {
+    return 3 * (static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                static_cast<std::size_t>(x));
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace aqm::img

@@ -1,0 +1,121 @@
+#include "imgproc/ppm.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace aqm::img {
+namespace {
+
+void append_header(std::vector<std::uint8_t>& out, const char* magic, int w, int h) {
+  const std::string header =
+      std::string(magic) + "\n" + std::to_string(w) + " " + std::to_string(h) + "\n255\n";
+  out.insert(out.end(), header.begin(), header.end());
+}
+
+struct HeaderInfo {
+  int width = 0;
+  int height = 0;
+  std::size_t data_offset = 0;
+};
+
+HeaderInfo parse_header(const std::vector<std::uint8_t>& bytes, const char* magic) {
+  std::size_t pos = 0;
+  const std::size_t magic_len = std::strlen(magic);
+  if (bytes.size() < magic_len || std::memcmp(bytes.data(), magic, magic_len) != 0) {
+    throw std::runtime_error("bad PNM magic");
+  }
+  pos = magic_len;
+
+  auto next_int = [&bytes, &pos]() -> int {
+    // Skip whitespace and comments.
+    while (pos < bytes.size()) {
+      if (std::isspace(bytes[pos]) != 0) {
+        ++pos;
+      } else if (bytes[pos] == '#') {
+        while (pos < bytes.size() && bytes[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+    int v = 0;
+    bool any = false;
+    while (pos < bytes.size() && std::isdigit(bytes[pos]) != 0) {
+      v = v * 10 + (bytes[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) throw std::runtime_error("malformed PNM header");
+    return v;
+  };
+
+  HeaderInfo info;
+  info.width = next_int();
+  info.height = next_int();
+  const int maxval = next_int();
+  if (maxval != 255) throw std::runtime_error("only maxval 255 supported");
+  if (info.width <= 0 || info.height <= 0) throw std::runtime_error("bad dimensions");
+  // Exactly one whitespace byte separates the header from pixel data.
+  if (pos >= bytes.size() || std::isspace(bytes[pos]) == 0) {
+    throw std::runtime_error("missing header terminator");
+  }
+  info.data_offset = pos + 1;
+  return info;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_ppm(const RgbImage& image) {
+  std::vector<std::uint8_t> out;
+  out.reserve(image.byte_count() + 32);
+  append_header(out, "P6", image.width(), image.height());
+  out.insert(out.end(), image.data().begin(), image.data().end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_pgm(const GrayImage& image) {
+  std::vector<std::uint8_t> out;
+  out.reserve(image.pixel_count() + 32);
+  append_header(out, "P5", image.width(), image.height());
+  out.insert(out.end(), image.data().begin(), image.data().end());
+  return out;
+}
+
+RgbImage decode_ppm(const std::vector<std::uint8_t>& bytes) {
+  const HeaderInfo info = parse_header(bytes, "P6");
+  RgbImage image(info.width, info.height);
+  if (bytes.size() - info.data_offset < image.byte_count()) {
+    throw std::runtime_error("truncated PPM pixel data");
+  }
+  std::memcpy(image.data().data(), bytes.data() + info.data_offset, image.byte_count());
+  return image;
+}
+
+GrayImage decode_pgm(const std::vector<std::uint8_t>& bytes) {
+  const HeaderInfo info = parse_header(bytes, "P5");
+  GrayImage image(info.width, info.height);
+  if (bytes.size() - info.data_offset < image.pixel_count()) {
+    throw std::runtime_error("truncated PGM pixel data");
+  }
+  std::memcpy(image.data().data(), bytes.data() + info.data_offset, image.pixel_count());
+  return image;
+}
+
+void write_ppm_file(const std::string& path, const RgbImage& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  const auto bytes = encode_ppm(image);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_pgm_file(const std::string& path, const GrayImage& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  const auto bytes = encode_pgm(image);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace aqm::img

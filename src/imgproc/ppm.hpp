@@ -1,0 +1,24 @@
+// PPM (P6) and PGM (P5) binary image serialization — the paper's sensor
+// images were "four images in PPM format, 400x250 pixels, 300,060 bytes,
+// RGB color" (exactly the 400*250*3 + 60-byte header of binary PPM).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "imgproc/image.hpp"
+
+namespace aqm::img {
+
+[[nodiscard]] std::vector<std::uint8_t> encode_ppm(const RgbImage& image);
+[[nodiscard]] std::vector<std::uint8_t> encode_pgm(const GrayImage& image);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] RgbImage decode_ppm(const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] GrayImage decode_pgm(const std::vector<std::uint8_t>& bytes);
+
+void write_ppm_file(const std::string& path, const RgbImage& image);
+void write_pgm_file(const std::string& path, const GrayImage& image);
+
+}  // namespace aqm::img

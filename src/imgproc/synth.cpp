@@ -1,0 +1,72 @@
+#include "imgproc/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace aqm::img {
+
+RgbImage make_scene(int width, int height, std::uint64_t seed) {
+  Rng rng(seed);
+  RgbImage image(width, height);
+
+  // Background: vertical sky-to-ground gradient.
+  for (int y = 0; y < height; ++y) {
+    const double t = static_cast<double>(y) / std::max(1, height - 1);
+    const auto sky = static_cast<std::uint8_t>(180 - 90 * t);
+    const auto ground = static_cast<std::uint8_t>(70 + 60 * t);
+    for (int x = 0; x < width; ++x) {
+      image.at(x, y, 0) = static_cast<std::uint8_t>(sky / 2 + ground / 2);
+      image.at(x, y, 1) = sky;
+      image.at(x, y, 2) = static_cast<std::uint8_t>(ground / 2 + 40);
+    }
+  }
+
+  // A few rectangular "vehicles".
+  const int rects = 3 + static_cast<int>(rng.uniform_int(0, 2));
+  for (int r = 0; r < rects; ++r) {
+    const int rw = static_cast<int>(rng.uniform_int(20, 60));
+    const int rh = static_cast<int>(rng.uniform_int(10, 30));
+    const int rx = static_cast<int>(rng.uniform_int(0, std::max(1, width - rw - 1)));
+    const int ry = static_cast<int>(rng.uniform_int(height / 2, std::max(height / 2 + 1, height - rh - 1)));
+    const auto shade = static_cast<std::uint8_t>(rng.uniform_int(10, 60));
+    for (int y = ry; y < ry + rh && y < height; ++y) {
+      for (int x = rx; x < rx + rw && x < width; ++x) {
+        image.at(x, y, 0) = shade;
+        image.at(x, y, 1) = shade;
+        image.at(x, y, 2) = shade;
+      }
+    }
+  }
+
+  // A circular "installation".
+  const int cx = static_cast<int>(rng.uniform_int(width / 4, 3 * width / 4));
+  const int cy = static_cast<int>(rng.uniform_int(height / 4, 3 * height / 4));
+  const int radius = static_cast<int>(rng.uniform_int(12, 30));
+  for (int y = std::max(0, cy - radius); y <= std::min(height - 1, cy + radius); ++y) {
+    for (int x = std::max(0, cx - radius); x <= std::min(width - 1, cx + radius); ++x) {
+      const int dx = x - cx;
+      const int dy = y - cy;
+      if (dx * dx + dy * dy <= radius * radius) {
+        image.at(x, y, 0) = 220;
+        image.at(x, y, 1) = 210;
+        image.at(x, y, 2) = 190;
+      }
+    }
+  }
+
+  // Mild sensor noise on every channel.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        const int noisy =
+            image.at(x, y, c) + static_cast<int>(rng.uniform_int(-6, 6));
+        image.at(x, y, c) = static_cast<std::uint8_t>(std::clamp(noisy, 0, 255));
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace aqm::img

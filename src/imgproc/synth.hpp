@@ -1,0 +1,20 @@
+// Synthetic sensor imagery: stands in for the paper's camera/file images
+// (400x250 RGB PPM). Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "imgproc/image.hpp"
+
+namespace aqm::img {
+
+/// A "reconnaissance" scene: sky/ground gradient, a few rectangular and
+/// circular "targets" with sharp edges, plus mild sensor noise.
+[[nodiscard]] RgbImage make_scene(int width, int height, std::uint64_t seed);
+
+/// The paper's sensor image shape: 400x250 RGB.
+[[nodiscard]] inline RgbImage make_paper_scene(std::uint64_t seed) {
+  return make_scene(400, 250, seed);
+}
+
+}  // namespace aqm::img

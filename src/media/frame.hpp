@@ -1,0 +1,30 @@
+// Video frame model. The experiments only need frame timing, types and
+// sizes (not pixels): an MPEG-1 stream is a sequence of I/P/B frames in a
+// fixed group-of-pictures pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace aqm::media {
+
+enum class FrameType : std::uint8_t { I, P, B };
+
+[[nodiscard]] constexpr char to_char(FrameType t) {
+  switch (t) {
+    case FrameType::I: return 'I';
+    case FrameType::P: return 'P';
+    case FrameType::B: return 'B';
+  }
+  return '?';
+}
+
+struct VideoFrame {
+  std::uint64_t index = 0;       // position in the stream (display order)
+  FrameType type = FrameType::I;
+  std::uint32_t size_bytes = 0;
+  TimePoint capture_time{};      // when the source emitted it
+};
+
+}  // namespace aqm::media

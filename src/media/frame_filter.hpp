@@ -1,0 +1,66 @@
+// QuO-controlled frame filtering: the paper's data-shaping adaptation.
+// "The frame filtering cases dynamically reacted to network load by
+// filtering frames down to 10 fps or 2 fps, whichever the network would
+// support." With the 15-frame GOP at 30 fps: dropping B frames leaves
+// I+P at 10 fps; dropping B and P leaves I-only at 2 fps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "media/frame.hpp"
+
+namespace aqm::media {
+
+enum class FilterLevel : std::uint8_t {
+  Full,    // pass everything (30 fps)
+  IpOnly,  // drop B frames (10 fps)
+  IOnly,   // I frames only (2 fps)
+};
+
+[[nodiscard]] constexpr const char* to_string(FilterLevel level) {
+  switch (level) {
+    case FilterLevel::Full: return "full-30fps";
+    case FilterLevel::IpOnly: return "ip-10fps";
+    case FilterLevel::IOnly: return "i-2fps";
+  }
+  return "?";
+}
+
+class FrameFilter {
+ public:
+  explicit FrameFilter(FilterLevel level = FilterLevel::Full) : level_(level) {}
+
+  void set_level(FilterLevel level) { level_ = level; }
+  [[nodiscard]] FilterLevel level() const { return level_; }
+
+  /// Whether a frame of this type passes the current level.
+  [[nodiscard]] bool passes(FrameType type) const {
+    switch (level_) {
+      case FilterLevel::Full: return true;
+      case FilterLevel::IpOnly: return type != FrameType::B;
+      case FilterLevel::IOnly: return type == FrameType::I;
+    }
+    return true;
+  }
+
+  /// Applies the filter and counts the outcome.
+  [[nodiscard]] bool filter(const VideoFrame& f) {
+    if (passes(f.type)) {
+      ++forwarded_;
+      return true;
+    }
+    ++dropped_;
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  FilterLevel level_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace aqm::media

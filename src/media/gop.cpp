@@ -1,0 +1,64 @@
+#include "media/gop.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aqm::media {
+
+GopStructure::GopStructure(std::string pattern, std::uint32_t i_bytes,
+                           std::uint32_t p_bytes, std::uint32_t b_bytes)
+    : pattern_(std::move(pattern)), i_bytes_(i_bytes), p_bytes_(p_bytes), b_bytes_(b_bytes) {
+  if (pattern_.empty() || pattern_.front() != 'I') {
+    throw std::invalid_argument("GOP pattern must start with an I frame");
+  }
+  for (const char c : pattern_) {
+    if (c != 'I' && c != 'P' && c != 'B') {
+      throw std::invalid_argument("GOP pattern may only contain I/P/B");
+    }
+  }
+  assert(i_bytes_ > 0 && p_bytes_ > 0 && b_bytes_ > 0);
+}
+
+FrameType GopStructure::type_at(std::uint64_t frame_index) const {
+  switch (pattern_[frame_index % pattern_.size()]) {
+    case 'I': return FrameType::I;
+    case 'P': return FrameType::P;
+    default: return FrameType::B;
+  }
+}
+
+std::uint32_t GopStructure::size_of(FrameType t) const {
+  switch (t) {
+    case FrameType::I: return i_bytes_;
+    case FrameType::P: return p_bytes_;
+    case FrameType::B: return b_bytes_;
+  }
+  return 0;
+}
+
+double GopStructure::rate_bps(double fps) const {
+  return rate_bps_filtered(fps, true, true, true);
+}
+
+double GopStructure::rate_bps_filtered(double fps, bool pass_i, bool pass_p,
+                                       bool pass_b) const {
+  std::uint64_t gop_bytes = 0;
+  for (const char c : pattern_) {
+    if (c == 'I' && pass_i) gop_bytes += i_bytes_;
+    if (c == 'P' && pass_p) gop_bytes += p_bytes_;
+    if (c == 'B' && pass_b) gop_bytes += b_bytes_;
+  }
+  const double gop_seconds = static_cast<double>(pattern_.size()) / fps;
+  return static_cast<double>(gop_bytes) * 8.0 / gop_seconds;
+}
+
+GopStructure GopStructure::mpeg1_paper_profile() {
+  // 15-frame GOP at 30 fps -> 2 I-frames per second (paper Section 4:
+  // "in the case of MPEG-1 where I-frames ... are two fps").
+  // Sizes chosen in the classic I:P:B = 4:2:1 ratio so the full stream is
+  // ~1.2 Mbps: per GOP 1*I + 4*P + 10*B = (4+8+10)*w = 22w bytes per 0.5 s.
+  // w = 3400 -> 74,800 B / 0.5 s = 1.197 Mbps.
+  return GopStructure{"IBBPBBPBBPBBPBB", 4 * 3400, 2 * 3400, 3400};
+}
+
+}  // namespace aqm::media

@@ -1,0 +1,42 @@
+// Group-of-pictures structure: the repeating I/P/B pattern of an MPEG
+// stream plus per-type frame sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "media/frame.hpp"
+
+namespace aqm::media {
+
+class GopStructure {
+ public:
+  /// `pattern` is a string over {I, P, B}, e.g. "IBBPBBPBBPBBPBB".
+  GopStructure(std::string pattern, std::uint32_t i_bytes, std::uint32_t p_bytes,
+               std::uint32_t b_bytes);
+
+  [[nodiscard]] FrameType type_at(std::uint64_t frame_index) const;
+  [[nodiscard]] std::uint32_t size_of(FrameType t) const;
+  [[nodiscard]] std::size_t gop_length() const { return pattern_.size(); }
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+  /// Average bit rate of the full stream at the given frame rate.
+  [[nodiscard]] double rate_bps(double fps) const;
+  /// Average bit rate when only the given frame types pass (e.g. I+P).
+  [[nodiscard]] double rate_bps_filtered(double fps, bool pass_i, bool pass_p,
+                                         bool pass_b) const;
+
+  /// The paper's MPEG-1 profile: 30 fps, I-frames at 2 per second
+  /// (GOP of 15, "IBBPBBPBBPBBPBB"), sized for ~1.2 Mbps aggregate.
+  /// I+P only (10 fps) is ~654 kbps — matching the partial 670 kbps
+  /// reservation; I-only (2 fps) is ~218 kbps.
+  [[nodiscard]] static GopStructure mpeg1_paper_profile();
+
+ private:
+  std::string pattern_;
+  std::uint32_t i_bytes_;
+  std::uint32_t p_bytes_;
+  std::uint32_t b_bytes_;
+};
+
+}  // namespace aqm::media

@@ -1,0 +1,97 @@
+#include "media/video_sink.hpp"
+
+namespace aqm::media {
+
+VideoSinkStats::VideoSinkStats(sim::Engine& engine, GopStructure gop)
+    : engine_(engine), gop_(std::move(gop)) {}
+
+void VideoSinkStats::on_source(const VideoFrame&) { ++source_; }
+
+void VideoSinkStats::on_transmitted(const VideoFrame& f) {
+  ++transmitted_;
+  ++transmitted_by_type_[f.type];
+  tx_marks_.add(f.capture_time, 1.0);
+}
+
+void VideoSinkStats::on_received(const VideoFrame& f) {
+  ++received_;
+  ++received_by_type_[f.type];
+  const Duration latency = engine_.now() - f.capture_time;
+  latency_ms_.add(engine_.now(), latency.millis());
+  rx_marks_.add(engine_.now(), 1.0);
+  rx_capture_marks_.add(f.capture_time, 1.0);
+  const std::uint64_t gop_index = f.index / gop_.gop_length();
+  const std::size_t position = static_cast<std::size_t>(f.index % gop_.gop_length());
+  gops_[gop_index].received_positions.insert(position);
+}
+
+std::uint64_t VideoSinkStats::received_of(FrameType t) const {
+  const auto it = received_by_type_.find(t);
+  return it == received_by_type_.end() ? 0 : it->second;
+}
+
+std::uint64_t VideoSinkStats::transmitted_of(FrameType t) const {
+  const auto it = transmitted_by_type_.find(t);
+  return it == transmitted_by_type_.end() ? 0 : it->second;
+}
+
+bool VideoSinkStats::anchor_received(std::uint64_t gop_index, std::size_t position) const {
+  const auto it = gops_.find(gop_index);
+  return it != gops_.end() && it->second.received_positions.count(position) > 0;
+}
+
+bool VideoSinkStats::frame_decodable(std::uint64_t gop_index, std::size_t position) const {
+  const std::string& pattern = gop_.pattern();
+  const char kind = pattern[position];
+  if (kind == 'I') return true;
+  if (kind == 'P') {
+    // Needs every earlier anchor (I or P) in the same GOP.
+    for (std::size_t i = 0; i < position; ++i) {
+      if (pattern[i] != 'B' && !anchor_received(gop_index, i)) return false;
+    }
+    return true;
+  }
+  // B frame: needs the previous anchor chain and the next anchor.
+  std::size_t prev_anchor = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < position; ++i) {
+    if (pattern[i] != 'B') {
+      prev_anchor = i;
+      have_prev = true;
+    }
+  }
+  if (!have_prev) return false;
+  // All anchors up to and including prev_anchor must be decodable chain.
+  for (std::size_t i = 0; i <= prev_anchor; ++i) {
+    if (pattern[i] != 'B' && !anchor_received(gop_index, i)) return false;
+  }
+  // Next anchor: first non-B after `position` in this GOP, else next GOP's I.
+  for (std::size_t i = position + 1; i < pattern.size(); ++i) {
+    if (pattern[i] != 'B') return anchor_received(gop_index, i);
+  }
+  return anchor_received(gop_index + 1, 0);
+}
+
+std::uint64_t VideoSinkStats::decodable_count() const {
+  std::uint64_t count = 0;
+  for (const auto& [gop_index, record] : gops_) {
+    for (const std::size_t position : record.received_positions) {
+      if (frame_decodable(gop_index, position)) ++count;
+    }
+  }
+  return count;
+}
+
+std::uint64_t VideoSinkStats::transmitted_between(TimePoint from, TimePoint to) const {
+  return tx_marks_.stats_between(from, to).count();
+}
+
+std::uint64_t VideoSinkStats::received_between(TimePoint from, TimePoint to) const {
+  return rx_marks_.stats_between(from, to).count();
+}
+
+std::uint64_t VideoSinkStats::received_captured_between(TimePoint from, TimePoint to) const {
+  return rx_capture_marks_.stats_between(from, to).count();
+}
+
+}  // namespace aqm::media

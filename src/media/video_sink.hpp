@@ -1,0 +1,85 @@
+// Receiver-side video statistics: delivery counts by frame type, latency
+// and jitter, per-second delivery series (the paper's Figure 7), and
+// MPEG-decodability accounting (a P frame is useless without the anchor
+// frames it references).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "media/gop.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::media {
+
+class VideoSinkStats {
+ public:
+  VideoSinkStats(sim::Engine& engine, GopStructure gop);
+
+  /// Every frame the source produced (pre-filter).
+  void on_source(const VideoFrame& f);
+  /// Every frame actually transmitted (post-filter).
+  void on_transmitted(const VideoFrame& f);
+  /// Every frame that arrived end-to-end.
+  void on_received(const VideoFrame& f);
+
+  [[nodiscard]] std::uint64_t source_count() const { return source_; }
+  [[nodiscard]] std::uint64_t transmitted_count() const { return transmitted_; }
+  [[nodiscard]] std::uint64_t received_count() const { return received_; }
+  [[nodiscard]] std::uint64_t received_of(FrameType t) const;
+  [[nodiscard]] std::uint64_t transmitted_of(FrameType t) const;
+
+  /// Frames received AND whose MPEG reference chain was also received:
+  /// I stands alone; P needs every earlier anchor (I/P) of its GOP;
+  /// B additionally needs the next anchor (the following GOP's I for the
+  /// trailing B frames of a GOP).
+  [[nodiscard]] std::uint64_t decodable_count() const;
+
+  /// One-way latency of delivered frames, in milliseconds, over time.
+  [[nodiscard]] const TimeSeries& latency_series() const { return latency_ms_; }
+  /// Per-second counts of transmitted frames.
+  [[nodiscard]] const TimeSeries& transmit_series() const { return tx_marks_; }
+  /// Per-second counts of received frames.
+  [[nodiscard]] const TimeSeries& receive_series() const { return rx_marks_; }
+
+  /// Latency stats over a time window (e.g. the paper's under-load window).
+  [[nodiscard]] RunningStats latency_between(TimePoint from, TimePoint to) const {
+    return latency_ms_.stats_between(from, to);
+  }
+
+  /// Frames transmitted with capture time inside a window.
+  [[nodiscard]] std::uint64_t transmitted_between(TimePoint from, TimePoint to) const;
+  /// Frames received with *arrival* time inside a window.
+  [[nodiscard]] std::uint64_t received_between(TimePoint from, TimePoint to) const;
+  /// Frames received whose *capture* time lies inside a window — pairs with
+  /// transmitted_between() for "% of frames sent under load that were
+  /// delivered" accounting (paper Table 1).
+  [[nodiscard]] std::uint64_t received_captured_between(TimePoint from, TimePoint to) const;
+
+ private:
+  struct GopRecord {
+    std::set<std::size_t> received_positions;
+  };
+
+  [[nodiscard]] bool frame_decodable(std::uint64_t gop_index, std::size_t position) const;
+  [[nodiscard]] bool anchor_received(std::uint64_t gop_index, std::size_t position) const;
+
+  sim::Engine& engine_;
+  GopStructure gop_;
+  std::uint64_t source_ = 0;
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t received_ = 0;
+  std::map<FrameType, std::uint64_t> received_by_type_;
+  std::map<FrameType, std::uint64_t> transmitted_by_type_;
+  std::map<std::uint64_t, GopRecord> gops_;
+  TimeSeries latency_ms_;
+  TimeSeries tx_marks_;          // value 1 per transmitted frame, at capture time
+  TimeSeries rx_marks_;          // value 1 per received frame, at arrival time
+  TimeSeries rx_capture_marks_;  // value 1 per received frame, at capture time
+};
+
+}  // namespace aqm::media

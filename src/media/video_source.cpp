@@ -1,0 +1,38 @@
+#include "media/video_source.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace aqm::media {
+
+VideoSource::VideoSource(sim::Engine& engine, GopStructure gop, double fps, FrameSink sink)
+    : engine_(engine),
+      gop_(std::move(gop)),
+      fps_(fps),
+      sink_(std::move(sink)),
+      timer_(engine, Duration{static_cast<std::int64_t>(std::llround(1e9 / fps))},
+             [this] { emit(); }) {
+  assert(fps > 0.0);
+  assert(sink_);
+}
+
+void VideoSource::start() { timer_.start_after(Duration::zero() + timer_.period()); }
+
+void VideoSource::stop() { timer_.stop(); }
+
+void VideoSource::run_between(TimePoint from, TimePoint until) {
+  assert(from < until);
+  engine_.at(from, [this] { start(); });
+  engine_.at(until, [this] { stop(); });
+}
+
+void VideoSource::emit() {
+  VideoFrame f;
+  f.index = next_index_++;
+  f.type = gop_.type_at(f.index);
+  f.size_bytes = gop_.size_of(f.type);
+  f.capture_time = engine_.now();
+  sink_(f);
+}
+
+}  // namespace aqm::media

@@ -1,0 +1,51 @@
+// DiffServ Codepoints (RFC 2474 / 2597 / 3246) and the per-hop-behavior
+// service classes our DiffServ queue implements.
+#pragma once
+
+#include <cstdint>
+
+namespace aqm::net {
+
+/// 6-bit DiffServ codepoint carried in each packet's IP header field.
+using Dscp = std::uint8_t;
+
+namespace dscp {
+inline constexpr Dscp kBestEffort = 0;
+// Assured Forwarding classes (low drop-precedence members).
+inline constexpr Dscp kAf11 = 10;
+inline constexpr Dscp kAf21 = 18;
+inline constexpr Dscp kAf31 = 26;
+inline constexpr Dscp kAf41 = 34;
+// Expedited Forwarding (RFC 3246): the highest data-plane class.
+inline constexpr Dscp kEf = 46;
+// Class Selector 6: network control (RSVP signaling and the like).
+inline constexpr Dscp kCs6 = 48;
+}  // namespace dscp
+
+/// Service class a DiffServ-enabled router maps a codepoint to.
+/// Lower numeric value = served first (strict priority).
+enum class PhbClass : std::uint8_t {
+  NetworkControl = 0,
+  Ef = 1,
+  Af4 = 2,
+  Af3 = 3,
+  Af2 = 4,
+  Af1 = 5,
+  BestEffort = 6,
+};
+
+inline constexpr std::uint8_t kPhbClassCount = 7;
+
+/// Default codepoint -> class mapping (CS6 -> control, EF -> EF, AFxy by
+/// class number, everything else best effort).
+[[nodiscard]] constexpr PhbClass classify(Dscp dscp) {
+  if (dscp >= dscp::kCs6) return PhbClass::NetworkControl;
+  if (dscp == dscp::kEf) return PhbClass::Ef;
+  if (dscp >= 34 && dscp <= 38) return PhbClass::Af4;
+  if (dscp >= 26 && dscp <= 30) return PhbClass::Af3;
+  if (dscp >= 18 && dscp <= 22) return PhbClass::Af2;
+  if (dscp >= 10 && dscp <= 14) return PhbClass::Af1;
+  return PhbClass::BestEffort;
+}
+
+}  // namespace aqm::net

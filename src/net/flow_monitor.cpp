@@ -1,0 +1,41 @@
+#include "net/flow_monitor.hpp"
+
+namespace aqm::net {
+
+FlowMonitor::FlowMonitor(Network& net, NodeId node) : net_(net) {
+  net_.set_receiver(node, [this](Packet&& p) {
+    auto& f = flows_[p.flow];
+    ++f.count;
+    f.bytes += p.size_bytes;
+    const Duration latency = net_.engine().now() - p.sent_at;
+    f.latency_ms.add(net_.engine().now(), latency.millis());
+    if (f.seen && p.seq > f.next_seq) f.gaps += p.seq - f.next_seq;
+    f.next_seq = p.seq + 1;
+    f.seen = true;
+    if (downstream_) downstream_(std::move(p));
+  });
+}
+
+const TimeSeries& FlowMonitor::latency_series(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? empty_series_ : it->second.latency_ms;
+}
+
+std::uint64_t FlowMonitor::received(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.count;
+}
+
+std::uint64_t FlowMonitor::received_bytes(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.bytes;
+}
+
+std::uint64_t FlowMonitor::sequence_gaps(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.gaps;
+}
+
+void FlowMonitor::clear() { flows_.clear(); }
+
+}  // namespace aqm::net

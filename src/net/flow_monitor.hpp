@@ -1,0 +1,44 @@
+// Receiver-side measurement: per-flow latency series and delivery counts.
+// Installs itself as the node's receiver; an optional downstream callback
+// lets application code still observe the packets.
+#pragma once
+
+#include <map>
+
+#include "common/stats.hpp"
+#include "net/network.hpp"
+
+namespace aqm::net {
+
+class FlowMonitor {
+ public:
+  FlowMonitor(Network& net, NodeId node);
+
+  /// Forwards every received packet to `fn` after recording stats.
+  void set_downstream(Network::ReceiverFn fn) { downstream_ = std::move(fn); }
+
+  [[nodiscard]] const TimeSeries& latency_series(FlowId flow) const;
+  [[nodiscard]] std::uint64_t received(FlowId flow) const;
+  [[nodiscard]] std::uint64_t received_bytes(FlowId flow) const;
+  /// Gaps observed in the flow's sequence numbers (arrival-order estimate).
+  [[nodiscard]] std::uint64_t sequence_gaps(FlowId flow) const;
+
+  void clear();
+
+ private:
+  struct PerFlow {
+    TimeSeries latency_ms;
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t gaps = 0;
+    std::uint64_t next_seq = 0;
+    bool seen = false;
+  };
+
+  Network& net_;
+  std::map<FlowId, PerFlow> flows_;
+  Network::ReceiverFn downstream_;
+  TimeSeries empty_series_;
+};
+
+}  // namespace aqm::net

@@ -1,0 +1,85 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace aqm::net {
+
+Link::Link(sim::Engine& engine, NodeId from, NodeId to, LinkConfig config,
+           std::unique_ptr<Queue> queue)
+    : engine_(engine),
+      from_(from),
+      to_(to),
+      config_(config),
+      queue_(std::move(queue)),
+      loss_rng_(config.loss_seed ^ (static_cast<std::uint64_t>(from) << 32) ^
+                static_cast<std::uint64_t>(to) ^ 0xA1B2C3D4E5F60718ULL) {
+  assert(config_.bandwidth_bps > 0.0);
+  assert(config_.loss_probability >= 0.0 && config_.loss_probability < 1.0);
+  assert(queue_ != nullptr);
+}
+
+Duration Link::transmission_time(std::uint32_t bytes) const {
+  const double s = static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return Duration{static_cast<std::int64_t>(std::ceil(s * 1e9))};
+}
+
+void Link::send(Packet p) {
+  if (auto rejected = queue_->enqueue(std::move(p), engine_.now())) {
+    if (on_drop_) on_drop_(*rejected);
+    return;
+  }
+  if (!busy_) try_transmit();
+}
+
+void Link::try_transmit() {
+  assert(!busy_);
+  if (retry_event_.valid()) {
+    engine_.cancel(retry_event_);
+    retry_event_ = sim::EventId{};
+  }
+  auto next = queue_->dequeue(engine_.now());
+  if (!next) {
+    // Nothing eligible. If something is queued but gated (token bucket),
+    // poll again when it could conform.
+    const auto delay = queue_->next_ready_delay(engine_.now());
+    if (delay && *delay < Duration::max()) {
+      retry_event_ = engine_.after(*delay, [this] {
+        retry_event_ = sim::EventId{};
+        if (!busy_) try_transmit();
+      });
+    }
+    return;
+  }
+
+  busy_ = true;
+  const Duration tx = transmission_time(next->size_bytes);
+  busy_ns_ += tx.ns();
+  ++tx_packets_;
+  tx_bytes_ += next->size_bytes;
+
+  // Store-and-forward: the head of the packet leaves now; the receiver has
+  // it fully after transmission + propagation.
+  engine_.after(tx, [this, p = std::move(*next)]() mutable {
+    busy_ = false;
+    // Channel corruption (noisy wireless links): the packet occupied the
+    // transmitter but never arrives intact.
+    if (config_.loss_probability > 0.0 && loss_rng_.bernoulli(config_.loss_probability)) {
+      ++corrupted_;
+      if (on_drop_) on_drop_(p);
+    } else {
+      engine_.after(config_.propagation, [this, p = std::move(p)]() mutable {
+        if (deliver_) deliver_(std::move(p));
+      });
+    }
+    try_transmit();
+  });
+}
+
+double Link::utilization() const {
+  const std::int64_t elapsed = engine_.now().ns();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_ns_) / static_cast<double>(elapsed);
+}
+
+}  // namespace aqm::net

@@ -1,0 +1,82 @@
+// A unidirectional link: an egress queue plus a serializing transmitter
+// with fixed bandwidth and propagation delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::net {
+
+struct LinkConfig {
+  double bandwidth_bps = 10e6;       // 10 Mbps, the paper's bottleneck segment
+  Duration propagation = microseconds(100);
+  /// Fraction of bandwidth RSVP admission control may hand out.
+  double reservable_fraction = 0.9;
+  /// Random per-packet corruption loss (noisy wireless channels). Applied
+  /// after transmission, before delivery; deterministic per (link, seed).
+  double loss_probability = 0.0;
+  std::uint64_t loss_seed = 0;
+};
+
+class Link {
+ public:
+  using DeliveryFn = std::function<void(Packet&&)>;
+  using DropFn = std::function<void(const Packet&)>;
+
+  Link(sim::Engine& engine, NodeId from, NodeId to, LinkConfig config,
+       std::unique_ptr<Queue> queue);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  [[nodiscard]] NodeId from() const { return from_; }
+  [[nodiscard]] NodeId to() const { return to_; }
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] Queue& queue() { return *queue_; }
+  [[nodiscard]] const Queue& queue() const { return *queue_; }
+
+  /// Wired by the Network: called when a packet finishes propagation.
+  void set_delivery(DeliveryFn fn) { deliver_ = std::move(fn); }
+  /// Wired by the Network: called when the egress queue drops a packet.
+  void set_drop_hook(DropFn fn) { on_drop_ = std::move(fn); }
+
+  /// Offers a packet to the egress queue and kicks the transmitter.
+  void send(Packet p);
+
+  /// Serialization time of a packet of the given size on this link.
+  [[nodiscard]] Duration transmission_time(std::uint32_t bytes) const;
+
+  [[nodiscard]] std::uint64_t packets_transmitted() const { return tx_packets_; }
+  [[nodiscard]] std::uint64_t bytes_transmitted() const { return tx_bytes_; }
+  /// Fraction of elapsed time the transmitter has been busy.
+  [[nodiscard]] double utilization() const;
+  /// Packets lost to random corruption (loss_probability).
+  [[nodiscard]] std::uint64_t packets_corrupted() const { return corrupted_; }
+
+ private:
+  void try_transmit();
+
+  sim::Engine& engine_;
+  NodeId from_;
+  NodeId to_;
+  LinkConfig config_;
+  std::unique_ptr<Queue> queue_;
+  DeliveryFn deliver_;
+  DropFn on_drop_;
+
+  bool busy_ = false;
+  sim::EventId retry_event_{};
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::int64_t busy_ns_ = 0;
+  Rng loss_rng_;
+};
+
+}  // namespace aqm::net

@@ -1,0 +1,113 @@
+// Topology container and forwarding plane.
+//
+// A Network is a set of nodes (hosts and routers are structurally identical;
+// hosts are simply nodes with a registered receiver callback) connected by
+// unidirectional Links. Forwarding uses static shortest-path (hop count)
+// routes recomputed lazily after topology changes.
+//
+// Control packets (RSVP signaling) are intercepted at every node that has a
+// registered control handler, mirroring RSVP's hop-by-hop router-alert
+// processing; data packets are forwarded transparently through routers and
+// delivered to the destination node's receiver.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::net {
+
+/// Per-flow delivery accounting, maintained by the Network.
+struct FlowCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+};
+
+class Network {
+ public:
+  using ReceiverFn = std::function<void(Packet&&)>;
+  /// Control handler: invoked with (node where the packet arrived, packet).
+  /// The handler owns forwarding of control packets.
+  using ControlFn = std::function<void(NodeId, Packet&&)>;
+
+  explicit Network(sim::Engine& engine);
+
+  // --- topology ---------------------------------------------------------------
+
+  NodeId add_node(std::string name);
+
+  /// Adds a unidirectional link. Queue defaults to a drop-tail FIFO of 1000.
+  Link& add_link(NodeId from, NodeId to, LinkConfig config,
+                 std::unique_ptr<Queue> queue = nullptr);
+
+  /// Adds both directions with identical configs and independent queues
+  /// created by the factory (drop-tail 1000 if none given).
+  void add_duplex_link(NodeId a, NodeId b, LinkConfig config,
+                       const std::function<std::unique_ptr<Queue>()>& make_queue = nullptr);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] Link* link_between(NodeId from, NodeId to);
+  [[nodiscard]] const Link* link_between(NodeId from, NodeId to) const;
+
+  // --- attachment --------------------------------------------------------------
+
+  void set_receiver(NodeId node, ReceiverFn fn);
+  void set_control_handler(NodeId node, ControlFn fn);
+
+  // --- forwarding ---------------------------------------------------------------
+
+  /// Injects a packet at `from`. Stamps src/sent_at, routes hop by hop.
+  void send(NodeId from, Packet p);
+
+  /// Next hop on the route from -> dst; kInvalidNode if unreachable.
+  [[nodiscard]] NodeId next_hop(NodeId from, NodeId dst) const;
+
+  /// Full node path from -> dst (inclusive); empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> path(NodeId from, NodeId dst) const;
+
+  // --- accounting ----------------------------------------------------------------
+
+  [[nodiscard]] const FlowCounters& flow(FlowId id) const;
+  [[nodiscard]] const FlowCounters& totals() const { return totals_; }
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+ private:
+  struct Node {
+    std::string name;
+    ReceiverFn receiver;
+    ControlFn control;
+  };
+
+  void deliver_local(NodeId node, Packet&& p);
+  void forward(NodeId from, Packet&& p);
+  void ensure_routes() const;
+  void on_drop(const Packet& p);
+
+  sim::Engine& engine_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+
+  // next_hop_[from * n + dst]; kInvalidNode when unreachable. Rebuilt lazily.
+  mutable std::vector<NodeId> next_hop_table_;
+  mutable bool routes_dirty_ = true;
+
+  mutable std::map<FlowId, FlowCounters> flows_;
+  FlowCounters totals_;
+  FlowCounters no_counters_{};
+};
+
+}  // namespace aqm::net

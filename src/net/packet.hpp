@@ -1,0 +1,52 @@
+// The unit of transfer in the simulated network.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "net/dscp.hpp"
+
+namespace aqm::net {
+
+/// Identifies a node (host or router) in a Network.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Identifies an end-to-end traffic flow (for reservations and statistics).
+using FlowId = std::uint64_t;
+inline constexpr FlowId kNoFlow = 0;
+
+/// Conventional Ethernet MTU; senders must fragment above this.
+inline constexpr std::uint32_t kDefaultMtu = 1500;
+
+enum class PacketKind : std::uint8_t {
+  Data = 0,
+  RsvpPath,
+  RsvpResv,
+  RsvpResvErr,
+  RsvpTear,
+};
+
+/// The two ECN bits that share the DiffServ byte ("six bits of DiffServ
+/// Codepoint ... and two bits of Explicit Congestion Notification").
+enum class Ecn : std::uint8_t {
+  NotCapable = 0,
+  Capable = 1,
+  CongestionExperienced = 3,
+};
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t size_bytes = 0;
+  Dscp dscp = dscp::kBestEffort;
+  Ecn ecn = Ecn::NotCapable;
+  FlowId flow = kNoFlow;
+  std::uint64_t seq = 0;       // per-flow sequence number, set by the sender
+  TimePoint sent_at{};         // stamped by Network::send
+  PacketKind kind = PacketKind::Data;
+  std::any payload;            // opaque application payload (e.g. GIOP fragment)
+};
+
+}  // namespace aqm::net

@@ -1,0 +1,238 @@
+#include "net/queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqm::net {
+
+// --- DropTailQueue -----------------------------------------------------------
+
+DropTailQueue::DropTailQueue(std::size_t capacity_packets) : capacity_(capacity_packets) {
+  assert(capacity_ > 0);
+}
+
+std::optional<Packet> DropTailQueue::enqueue(Packet p, TimePoint /*now*/) {
+  if (q_.size() >= capacity_) {
+    count_drop(p);
+    return p;
+  }
+  count_enqueue(p);
+  bytes_ += p.size_bytes;
+  q_.push_back(std::move(p));
+  return std::nullopt;
+}
+
+std::optional<Packet> DropTailQueue::dequeue(TimePoint /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p.size_bytes;
+  count_dequeue();
+  return p;
+}
+
+std::optional<Duration> DropTailQueue::next_ready_delay(TimePoint /*now*/) const {
+  return std::nullopt;  // FIFO: packets are always eligible, so never "not ready"
+}
+
+// --- DiffServQueue -----------------------------------------------------------
+
+DiffServQueue::DiffServQueue(std::size_t class_capacity) {
+  capacities_.fill(class_capacity);
+  assert(class_capacity > 0);
+}
+
+DiffServQueue::DiffServQueue(const std::array<std::size_t, kPhbClassCount>& capacities)
+    : capacities_(capacities) {}
+
+std::optional<Packet> DiffServQueue::enqueue(Packet p, TimePoint /*now*/) {
+  const auto cls = static_cast<std::size_t>(classify(p.dscp));
+  if (classes_[cls].size() >= capacities_[cls]) {
+    count_drop(p);
+    return p;
+  }
+  count_enqueue(p);
+  bytes_ += p.size_bytes;
+  classes_[cls].push_back(std::move(p));
+  return std::nullopt;
+}
+
+std::optional<Packet> DiffServQueue::dequeue(TimePoint /*now*/) {
+  for (auto& cls : classes_) {
+    if (cls.empty()) continue;
+    Packet p = std::move(cls.front());
+    cls.pop_front();
+    bytes_ -= p.size_bytes;
+    count_dequeue();
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<Duration> DiffServQueue::next_ready_delay(TimePoint /*now*/) const {
+  return std::nullopt;  // strict priority: a queued packet is always eligible
+}
+
+std::size_t DiffServQueue::packets() const {
+  std::size_t n = 0;
+  for (const auto& cls : classes_) n += cls.size();
+  return n;
+}
+
+// --- IntServQueue ------------------------------------------------------------
+
+IntServQueue::IntServQueue(Config config) : config_(config) {
+  assert(config_.best_effort_capacity > 0);
+  assert(config_.flow_capacity > 0);
+  assert(config_.control_capacity > 0);
+}
+
+void IntServQueue::install_reservation(FlowId flow, double rate_bps,
+                                       std::uint32_t bucket_bytes, TimePoint now) {
+  assert(flow != kNoFlow);
+  // Replace any existing reservation for the flow (RSVP refresh/modify);
+  // queued packets of the old state are preserved.
+  const auto it = flows_.find(flow);
+  if (it != flows_.end()) {
+    std::deque<Packet> pending = std::move(it->second.q);
+    for (const auto& p : pending) bytes_ -= p.size_bytes;  // re-added below
+    flows_.erase(it);
+    auto [nit, inserted] =
+        flows_.emplace(flow, FlowState{TokenBucket{rate_bps, bucket_bytes, now}, {}});
+    assert(inserted);
+    for (auto& p : pending) {
+      bytes_ += p.size_bytes;
+      nit->second.q.push_back(std::move(p));
+    }
+    return;
+  }
+  flows_.emplace(flow, FlowState{TokenBucket{rate_bps, bucket_bytes, now}, {}});
+}
+
+void IntServQueue::remove_reservation(FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  // Queued packets of the torn-down flow demote to best effort (clamped by
+  // the best-effort capacity).
+  for (auto& p : it->second.q) {
+    if (best_effort_.size() >= config_.best_effort_capacity) {
+      bytes_ -= p.size_bytes;
+      count_drop(p);
+      continue;
+    }
+    best_effort_.push_back(std::move(p));
+  }
+  flows_.erase(it);
+}
+
+double IntServQueue::flow_rate_bps(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0.0 : it->second.bucket.rate_bps();
+}
+
+double IntServQueue::reserved_rate_bps() const {
+  double sum = 0.0;
+  for (const auto& [id, f] : flows_) sum += f.bucket.rate_bps();
+  return sum;
+}
+
+std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
+  if (classify(p.dscp) == PhbClass::NetworkControl) {
+    if (control_.size() >= config_.control_capacity) {
+      count_drop(p);
+      return p;
+    }
+    count_enqueue(p);
+    bytes_ += p.size_bytes;
+    control_.push_back(std::move(p));
+    return std::nullopt;
+  }
+  const auto it = p.flow != kNoFlow ? flows_.find(p.flow) : flows_.end();
+  if (it != flows_.end()) {
+    if (config_.excess_to_best_effort) {
+      // Policing: pay for the packet now; conforming packets get the
+      // guaranteed queue, excess falls through to best effort below.
+      // (Capacity is checked first so a full queue does not burn tokens.)
+      if (it->second.q.size() < config_.flow_capacity &&
+          it->second.bucket.consume(p.size_bytes, now)) {
+        count_enqueue(p);
+        bytes_ += p.size_bytes;
+        it->second.q.push_back(std::move(p));
+        return std::nullopt;
+      }
+    } else {
+      // Shaping: a packet larger than the bucket depth could never conform
+      // and would wedge the flow queue; treat it as non-conformable.
+      if (p.size_bytes > it->second.bucket.depth_bytes() ||
+          it->second.q.size() >= config_.flow_capacity) {
+        count_drop(p);
+        return p;
+      }
+      count_enqueue(p);
+      bytes_ += p.size_bytes;
+      it->second.q.push_back(std::move(p));
+      return std::nullopt;
+    }
+  }
+  if (best_effort_.size() >= config_.best_effort_capacity) {
+    count_drop(p);
+    return p;
+  }
+  count_enqueue(p);
+  bytes_ += p.size_bytes;
+  best_effort_.push_back(std::move(p));
+  return std::nullopt;
+}
+
+std::optional<Packet> IntServQueue::dequeue(TimePoint now) {
+  // 1. Control plane first.
+  if (!control_.empty()) {
+    Packet p = std::move(control_.front());
+    control_.pop_front();
+    bytes_ -= p.size_bytes;
+    count_dequeue();
+    return p;
+  }
+  // 2. Conforming reserved-flow packets (deterministic flow order). In
+  // demote mode packets already paid their tokens at enqueue.
+  for (auto& [id, f] : flows_) {
+    if (f.q.empty()) continue;
+    if (config_.excess_to_best_effort ||
+        f.bucket.consume(f.q.front().size_bytes, now)) {
+      Packet p = std::move(f.q.front());
+      f.q.pop_front();
+      bytes_ -= p.size_bytes;
+      count_dequeue();
+      return p;
+    }
+  }
+  // 3. Best effort.
+  if (!best_effort_.empty()) {
+    Packet p = std::move(best_effort_.front());
+    best_effort_.pop_front();
+    bytes_ -= p.size_bytes;
+    count_dequeue();
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<Duration> IntServQueue::next_ready_delay(TimePoint now) const {
+  if (!control_.empty() || !best_effort_.empty()) return Duration::zero();
+  Duration best = Duration::max();
+  for (const auto& [id, f] : flows_) {
+    if (f.q.empty()) continue;
+    if (config_.excess_to_best_effort) return Duration::zero();  // pre-paid
+    best = std::min(best, f.bucket.time_until_conforms(f.q.front().size_bytes, now));
+  }
+  if (best == Duration::max()) return std::nullopt;  // nothing queued anywhere
+  return best;
+}
+
+std::size_t IntServQueue::packets() const {
+  std::size_t n = control_.size() + best_effort_.size();
+  for (const auto& [id, f] : flows_) n += f.q.size();
+  return n;
+}
+
+}  // namespace aqm::net

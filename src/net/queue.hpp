@@ -1,0 +1,172 @@
+// Egress queue disciplines for router/host ports.
+//
+// Three disciplines cover the paper's network mechanisms:
+//  * DropTailQueue   — plain best-effort FIFO (the "before" picture).
+//  * DiffServQueue   — strict-priority per-hop behaviour over PHB classes
+//                      derived from each packet's DSCP (Section 3.2).
+//  * IntServQueue    — RSVP-installed per-flow token-bucket guaranteed
+//                      service ahead of best-effort traffic (Section 3.4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/time.hpp"
+#include "net/dscp.hpp"
+#include "net/packet.hpp"
+#include "net/token_bucket.hpp"
+
+namespace aqm::net {
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t enqueued_bytes = 0;
+};
+
+/// Interface all disciplines implement. Time is passed explicitly so the
+/// discipline has no dependency on the simulation engine.
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Accepts or drops the packet. Returns the packet back when it was
+  /// dropped (so the caller can report it); nullopt when accepted.
+  virtual std::optional<Packet> enqueue(Packet p, TimePoint now) = 0;
+
+  /// Next packet eligible for transmission, if any.
+  virtual std::optional<Packet> dequeue(TimePoint now) = 0;
+
+  /// When packets are queued but none is currently eligible (e.g. a reserved
+  /// flow waiting for tokens), returns the delay after which dequeue() should
+  /// be retried. nullopt = nothing queued at all.
+  [[nodiscard]] virtual std::optional<Duration> next_ready_delay(TimePoint now) const = 0;
+
+  [[nodiscard]] virtual std::size_t packets() const = 0;
+  [[nodiscard]] virtual std::size_t bytes() const = 0;
+  [[nodiscard]] bool empty() const { return packets() == 0; }
+
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
+
+ protected:
+  void count_enqueue(const Packet& p) {
+    ++stats_.enqueued;
+    stats_.enqueued_bytes += p.size_bytes;
+  }
+  void count_drop(const Packet& p) {
+    ++stats_.dropped;
+    stats_.dropped_bytes += p.size_bytes;
+  }
+  void count_dequeue() { ++stats_.dequeued; }
+
+ private:
+  QueueStats stats_;
+};
+
+/// Plain FIFO with a packet-count capacity.
+class DropTailQueue final : public Queue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets);
+
+  std::optional<Packet> enqueue(Packet p, TimePoint now) override;
+  std::optional<Packet> dequeue(TimePoint now) override;
+  [[nodiscard]] std::optional<Duration> next_ready_delay(TimePoint now) const override;
+  [[nodiscard]] std::size_t packets() const override { return q_.size(); }
+  [[nodiscard]] std::size_t bytes() const override { return bytes_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> q_;
+  std::size_t bytes_ = 0;
+};
+
+/// Strict-priority DiffServ PHB: one drop-tail sub-queue per PHB class,
+/// always serving the highest non-empty class.
+class DiffServQueue final : public Queue {
+ public:
+  /// `class_capacity` is the per-class packet capacity.
+  explicit DiffServQueue(std::size_t class_capacity);
+
+  /// Per-class capacities, indexed by PhbClass.
+  explicit DiffServQueue(const std::array<std::size_t, kPhbClassCount>& capacities);
+
+  std::optional<Packet> enqueue(Packet p, TimePoint now) override;
+  std::optional<Packet> dequeue(TimePoint now) override;
+  [[nodiscard]] std::optional<Duration> next_ready_delay(TimePoint now) const override;
+  [[nodiscard]] std::size_t packets() const override;
+  [[nodiscard]] std::size_t bytes() const override { return bytes_; }
+
+  [[nodiscard]] std::size_t class_packets(PhbClass c) const {
+    return classes_[static_cast<std::size_t>(c)].size();
+  }
+
+ private:
+  std::array<std::deque<Packet>, kPhbClassCount> classes_;
+  std::array<std::size_t, kPhbClassCount> capacities_;
+  std::size_t bytes_ = 0;
+};
+
+/// IntServ guaranteed service. Flows with an installed reservation get a
+/// per-flow FIFO policed by a token bucket; conforming reserved packets are
+/// served strictly ahead of best effort. Two policing disciplines for a
+/// reserved flow's excess traffic:
+///  * demote (default): non-conforming packets drop into the best-effort
+///    queue, so an over-rate flow still uses spare capacity (RFC 2211
+///    controlled-load style policing);
+///  * shape: non-conforming packets wait in the flow queue for tokens and
+///    are tail-dropped when it fills.
+/// Control-plane (CS6) packets bypass into a dedicated high-priority
+/// sub-queue so signaling survives congestion.
+class IntServQueue final : public Queue {
+ public:
+  struct Config {
+    std::size_t best_effort_capacity = 1000;  // packets
+    std::size_t flow_capacity = 100;          // packets per reserved flow
+    std::size_t control_capacity = 100;       // packets (CS6 signaling)
+    /// true: police excess into best effort; false: shape in the flow queue.
+    bool excess_to_best_effort = true;
+  };
+
+  explicit IntServQueue(Config config);
+
+  // --- reservation plane (driven by the RSVP agent) -------------------------
+  void install_reservation(FlowId flow, double rate_bps, std::uint32_t bucket_bytes,
+                           TimePoint now);
+  void remove_reservation(FlowId flow);
+  [[nodiscard]] bool has_reservation(FlowId flow) const { return flows_.count(flow) > 0; }
+  [[nodiscard]] double reserved_rate_bps() const;
+  /// Reserved rate of one flow; 0 when it holds no reservation.
+  [[nodiscard]] double flow_rate_bps(FlowId flow) const;
+
+  // --- Queue interface -------------------------------------------------------
+  std::optional<Packet> enqueue(Packet p, TimePoint now) override;
+  std::optional<Packet> dequeue(TimePoint now) override;
+  [[nodiscard]] std::optional<Duration> next_ready_delay(TimePoint now) const override;
+  [[nodiscard]] std::size_t packets() const override;
+  [[nodiscard]] std::size_t bytes() const override { return bytes_; }
+
+ private:
+  struct FlowState {
+    TokenBucket bucket;
+    std::deque<Packet> q;
+  };
+
+  Config config_;
+  std::map<FlowId, FlowState> flows_;  // ordered: deterministic service order
+  std::deque<Packet> best_effort_;
+  std::deque<Packet> control_;
+  std::size_t bytes_ = 0;
+};
+
+/// Factory signature used by topology builders: makes the egress queue for
+/// one direction of one link.
+using QueueFactory = std::unique_ptr<Queue> (*)();
+
+}  // namespace aqm::net

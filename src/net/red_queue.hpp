@@ -1,0 +1,60 @@
+// Random Early Detection queue with ECN support (RFC 2309 / RFC 3168).
+//
+// Classic RED: maintain an EWMA of the queue length; between the min and
+// max thresholds, mark/drop arriving packets with probability rising
+// linearly to max_probability (spread uniformly using the count-since-
+// last-mark refinement); above max, mark/drop everything. ECN-capable
+// packets are marked CongestionExperienced instead of dropped, giving
+// end-to-end adaptation (QuO contracts) an early congestion signal before
+// any loss occurs — the counterpart to the ECN bits the paper points out
+// in the DiffServ byte.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/queue.hpp"
+
+namespace aqm::net {
+
+struct RedConfig {
+  std::size_t capacity_packets = 1000;
+  double min_threshold = 50.0;    // avg queue length (packets)
+  double max_threshold = 250.0;
+  double max_probability = 0.1;   // mark/drop probability at max_threshold
+  double weight = 0.002;          // EWMA weight per arrival
+  bool ecn = true;                // mark ECN-capable packets instead of dropping
+  std::uint64_t seed = 99;
+};
+
+class RedQueue final : public Queue {
+ public:
+  explicit RedQueue(RedConfig config);
+
+  std::optional<Packet> enqueue(Packet p, TimePoint now) override;
+  std::optional<Packet> dequeue(TimePoint now) override;
+  [[nodiscard]] std::optional<Duration> next_ready_delay(TimePoint now) const override;
+  [[nodiscard]] std::size_t packets() const override { return q_.size(); }
+  [[nodiscard]] std::size_t bytes() const override { return bytes_; }
+
+  [[nodiscard]] double average_queue() const { return avg_; }
+  [[nodiscard]] std::uint64_t ecn_marked() const { return marked_; }
+  [[nodiscard]] std::uint64_t early_dropped() const { return early_dropped_; }
+
+ private:
+  /// True if RED decides this arrival should be marked/dropped.
+  bool congestion_signal();
+
+  RedConfig config_;
+  Rng rng_;
+  std::deque<Packet> q_;
+  std::size_t bytes_ = 0;
+  double avg_ = 0.0;
+  int count_since_mark_ = -1;  // RED's "count" variable
+  std::uint64_t marked_ = 0;
+  std::uint64_t early_dropped_ = 0;
+};
+
+}  // namespace aqm::net

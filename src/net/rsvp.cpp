@@ -1,0 +1,231 @@
+#include "net/rsvp.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aqm::net {
+
+RsvpAgent::RsvpAgent(Network& net, NodeId node, Config config)
+    : net_(net), node_(node), config_(config) {
+  net_.set_control_handler(node_, [this](NodeId at, Packet&& p) { handle(at, std::move(p)); });
+}
+
+template <typename Msg>
+void RsvpAgent::emit(NodeId dst, PacketKind kind, Msg msg) {
+  Packet p;
+  p.dst = dst;
+  p.size_bytes = config_.message_bytes;
+  p.dscp = dscp::kCs6;
+  p.kind = kind;
+  p.payload = std::move(msg);
+  net_.send(node_, std::move(p));
+}
+
+void RsvpAgent::reserve(FlowId flow, NodeId receiver, FlowSpec spec, ReserveCallback cb) {
+  assert(flow != kNoFlow);
+  assert(receiver != node_ && "cannot reserve to self");
+  assert(spec.rate_bps > 0.0);
+  // Supersede any in-flight request for the same flow.
+  if (auto it = pending_.find(flow); it != pending_.end()) {
+    net_.engine().cancel(it->second.timeout);
+    if (it->second.cb) it->second.cb(Status<std::string>::err("superseded by a new request"));
+    pending_.erase(it);
+  }
+  pending_.emplace(flow, PendingReserve{std::move(cb), spec, receiver, sim::EventId{}, 0});
+  send_path(flow);
+}
+
+void RsvpAgent::send_path(FlowId flow) {
+  auto& pending = pending_.at(flow);
+  ++pending.attempts;
+  PathMsg msg;
+  msg.flow = flow;
+  msg.sender = node_;
+  msg.receiver = pending.receiver;
+  msg.spec = pending.spec;
+  msg.phop = node_;
+  // Local path state lets the sender process the returning RESV.
+  path_state_[flow] = PathState{kInvalidNode, node_, pending.receiver, pending.spec};
+  emit(pending.receiver, PacketKind::RsvpPath, msg);
+  arm_timeout(flow);
+}
+
+void RsvpAgent::arm_timeout(FlowId flow) {
+  auto& pending = pending_.at(flow);
+  pending.timeout = net_.engine().after(config_.retry_timeout, [this, flow] {
+    const auto it = pending_.find(flow);
+    if (it == pending_.end()) return;
+    if (it->second.attempts >= config_.max_retries) {
+      finish_pending(flow, Status<std::string>::err("reservation timed out"));
+      return;
+    }
+    AQM_DEBUG() << "rsvp: node " << node_ << " retrying PATH for flow " << flow;
+    send_path(flow);
+  });
+}
+
+void RsvpAgent::finish_pending(FlowId flow, Status<std::string> status) {
+  const auto it = pending_.find(flow);
+  if (it == pending_.end()) return;
+  net_.engine().cancel(it->second.timeout);
+  auto cb = std::move(it->second.cb);
+  pending_.erase(it);
+  if (cb) cb(std::move(status));
+}
+
+void RsvpAgent::release(FlowId flow) {
+  TearMsg msg;
+  msg.flow = flow;
+  msg.sender = node_;
+  const auto it = confirmed_.find(flow);
+  const auto ps = path_state_.find(flow);
+  NodeId receiver = kInvalidNode;
+  if (it != confirmed_.end()) {
+    receiver = it->second;
+  } else if (ps != path_state_.end()) {
+    receiver = ps->second.receiver;
+  }
+  finish_pending(flow, Status<std::string>::err("released"));
+  confirmed_.erase(flow);
+  path_state_.erase(flow);
+  if (receiver == kInvalidNode) return;
+  msg.receiver = receiver;
+  // Remove our own egress reservation, then tell the rest of the path.
+  remove_on_link(net_.next_hop(node_, receiver), flow);
+  emit(receiver, PacketKind::RsvpTear, msg);
+}
+
+Status<std::string> RsvpAgent::install_on_link(NodeId neighbor, FlowId flow,
+                                               const FlowSpec& spec) {
+  if (neighbor == kInvalidNode) return Status<std::string>::err("no route for reservation");
+  Link* link = net_.link_between(node_, neighbor);
+  if (link == nullptr) return Status<std::string>::err("no link toward downstream hop");
+  auto* q = dynamic_cast<IntServQueue*>(&link->queue());
+  if (q == nullptr) {
+    // Non-IntServ hop (e.g. an over-provisioned host uplink): nothing to
+    // install, treat as admitted. Real deployments mix IntServ segments
+    // with plain ones the same way.
+    return {};
+  }
+  const double budget = link->config().bandwidth_bps * link->config().reservable_fraction;
+  // On a modify, the flow's old rate is replaced rather than added.
+  const double already = q->reserved_rate_bps() - q->flow_rate_bps(flow);
+  if (already + spec.rate_bps > budget) {
+    return Status<std::string>::err("admission denied on link " +
+                                    net_.node_name(node_) + "->" +
+                                    net_.node_name(neighbor));
+  }
+  q->install_reservation(flow, spec.rate_bps, spec.bucket_bytes, net_.engine().now());
+  return {};
+}
+
+void RsvpAgent::remove_on_link(NodeId neighbor, FlowId flow) {
+  if (neighbor == kInvalidNode) return;
+  Link* link = net_.link_between(node_, neighbor);
+  if (link == nullptr) return;
+  if (auto* q = dynamic_cast<IntServQueue*>(&link->queue())) q->remove_reservation(flow);
+}
+
+void RsvpAgent::handle(NodeId node, Packet&& p) {
+  assert(node == node_);
+  switch (p.kind) {
+    case PacketKind::RsvpPath:
+      on_path(std::any_cast<PathMsg>(std::move(p.payload)));
+      return;
+    case PacketKind::RsvpResv:
+      on_resv(std::any_cast<ResvMsg>(std::move(p.payload)));
+      return;
+    case PacketKind::RsvpResvErr:
+      on_resv_err(std::any_cast<ResvErrMsg>(std::move(p.payload)));
+      return;
+    case PacketKind::RsvpTear:
+      on_tear(std::any_cast<TearMsg>(std::move(p.payload)));
+      return;
+    case PacketKind::Data:
+      assert(false && "data packet routed to control handler");
+      return;
+  }
+}
+
+void RsvpAgent::on_path(PathMsg msg) {
+  if (node_ != msg.sender) {
+    path_state_[msg.flow] = PathState{msg.phop, msg.sender, msg.receiver, msg.spec};
+  }
+  if (node_ == msg.receiver) {
+    // Receiver: answer with RESV retracing the path.
+    ResvMsg resv;
+    resv.flow = msg.flow;
+    resv.sender = msg.sender;
+    resv.receiver = msg.receiver;
+    resv.spec = msg.spec;
+    resv.nhop = node_;
+    emit(msg.phop, PacketKind::RsvpResv, resv);
+    return;
+  }
+  // Transit (or sender) node: forward toward the receiver.
+  PathMsg fwd = msg;
+  fwd.phop = node_;
+  emit(msg.receiver, PacketKind::RsvpPath, fwd);
+}
+
+void RsvpAgent::on_resv(ResvMsg msg) {
+  const auto ps = path_state_.find(msg.flow);
+  if (ps == path_state_.end()) {
+    AQM_DEBUG() << "rsvp: node " << node_ << " got RESV without path state, flow "
+                << msg.flow;
+    return;
+  }
+  // Reserve on our egress toward the downstream node the RESV came from:
+  // that link carries the flow's data.
+  const auto admitted = install_on_link(msg.nhop, msg.flow, msg.spec);
+  if (!admitted) {
+    AQM_DEBUG() << "rsvp: flow " << msg.flow << " rejected at node " << node_ << ": "
+                << admitted.error();
+    // Tell the sender it failed...
+    ResvErrMsg err;
+    err.flow = msg.flow;
+    err.sender = msg.sender;
+    err.reason = admitted.error();
+    if (node_ == msg.sender) {
+      on_resv_err(std::move(err));
+    } else {
+      emit(msg.sender, PacketKind::RsvpResvErr, err);
+    }
+    // ...and tear down what the downstream nodes already installed.
+    TearMsg tear;
+    tear.flow = msg.flow;
+    tear.sender = msg.sender;
+    tear.receiver = msg.receiver;
+    emit(msg.receiver, PacketKind::RsvpTear, tear);
+    return;
+  }
+  if (node_ == msg.sender) {
+    confirmed_[msg.flow] = msg.receiver;
+    finish_pending(msg.flow, {});
+    return;
+  }
+  // Continue upstream along the recorded path.
+  ResvMsg fwd = msg;
+  fwd.nhop = node_;
+  emit(ps->second.phop, PacketKind::RsvpResv, fwd);
+}
+
+void RsvpAgent::on_resv_err(ResvErrMsg msg) {
+  if (node_ != msg.sender) {
+    emit(msg.sender, PacketKind::RsvpResvErr, msg);
+    return;
+  }
+  confirmed_.erase(msg.flow);
+  finish_pending(msg.flow, Status<std::string>::err(msg.reason));
+}
+
+void RsvpAgent::on_tear(TearMsg msg) {
+  path_state_.erase(msg.flow);
+  if (node_ != msg.receiver) {
+    remove_on_link(net_.next_hop(node_, msg.receiver), msg.flow);
+    emit(msg.receiver, PacketKind::RsvpTear, msg);
+  }
+}
+
+}  // namespace aqm::net

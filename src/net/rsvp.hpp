@@ -1,0 +1,139 @@
+// RSVP/IntServ signaling (RFC 2205, simplified).
+//
+// Protocol shape mirrors real RSVP:
+//  * The sender emits a PATH message toward the receiver. Every RSVP-capable
+//    node on the way records path state (previous hop) and forwards it.
+//  * The receiver answers with a RESV message that retraces the recorded
+//    path hop by hop. Each node admits the flow on its egress link toward
+//    the downstream node (sum of reserved rates <= reservable fraction of
+//    link bandwidth) and installs a token-bucket reservation in that link's
+//    IntServ queue.
+//  * Admission failure generates a ResvErr to the sender and a Tear toward
+//    the receiver that removes any partially installed state.
+//  * PATH is retransmitted a few times if no confirmation arrives
+//    (signaling packets are CS6 but can still be lost on non-IntServ hops).
+//
+// One RsvpAgent is attached per node; the sender-side agent exposes the
+// reserve/release API used by the A/V streaming service and the core
+// network QoS manager.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "net/network.hpp"
+#include "net/packet.hpp"
+
+namespace aqm::net {
+
+/// IntServ TSpec (simplified): token rate and bucket depth.
+struct FlowSpec {
+  double rate_bps = 0.0;
+  std::uint32_t bucket_bytes = 16'000;
+};
+
+struct PathMsg {
+  FlowId flow = kNoFlow;
+  NodeId sender = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+  FlowSpec spec;
+  NodeId phop = kInvalidNode;  // previous RSVP hop, updated in flight
+};
+
+struct ResvMsg {
+  FlowId flow = kNoFlow;
+  NodeId sender = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+  FlowSpec spec;
+  NodeId nhop = kInvalidNode;  // the downstream node that sent this RESV
+};
+
+struct ResvErrMsg {
+  FlowId flow = kNoFlow;
+  NodeId sender = kInvalidNode;
+  std::string reason;
+};
+
+struct TearMsg {
+  FlowId flow = kNoFlow;
+  NodeId sender = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+};
+
+struct RsvpConfig {
+  Duration retry_timeout = milliseconds(250);
+  int max_retries = 3;
+  std::uint32_t message_bytes = 128;
+};
+
+class RsvpAgent {
+ public:
+  using ReserveCallback = std::function<void(Status<std::string>)>;
+  using Config = RsvpConfig;
+
+  RsvpAgent(Network& net, NodeId node, Config config = {});
+  RsvpAgent(const RsvpAgent&) = delete;
+  RsvpAgent& operator=(const RsvpAgent&) = delete;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+
+  /// Requests an end-to-end reservation for `flow` from this node to
+  /// `receiver`. The callback fires exactly once with the outcome.
+  /// Re-reserving an existing flow re-signals with the new spec (modify).
+  void reserve(FlowId flow, NodeId receiver, FlowSpec spec, ReserveCallback cb);
+
+  /// Tears down a reservation established from this node.
+  void release(FlowId flow);
+
+  /// True once this (sender-side) agent has received the RESV confirmation.
+  [[nodiscard]] bool confirmed(FlowId flow) const { return confirmed_.count(flow) > 0; }
+
+  /// True if this node holds PATH state for the flow (any hop).
+  [[nodiscard]] bool has_path_state(FlowId flow) const { return path_state_.count(flow) > 0; }
+
+ private:
+  struct PathState {
+    NodeId phop;
+    NodeId sender;
+    NodeId receiver;
+    FlowSpec spec;
+  };
+  struct PendingReserve {
+    ReserveCallback cb;
+    FlowSpec spec;
+    NodeId receiver;
+    sim::EventId timeout{};
+    int attempts = 0;
+  };
+
+  void handle(NodeId node, Packet&& p);
+  void on_path(PathMsg msg);
+  void on_resv(ResvMsg msg);
+  void on_resv_err(ResvErrMsg msg);
+  void on_tear(TearMsg msg);
+
+  void send_path(FlowId flow);
+  void arm_timeout(FlowId flow);
+  void finish_pending(FlowId flow, Status<std::string> status);
+
+  // Installs/removes a reservation on the egress link node_ -> neighbor.
+  // Returns error string on admission failure.
+  Status<std::string> install_on_link(NodeId neighbor, FlowId flow, const FlowSpec& spec);
+  void remove_on_link(NodeId neighbor, FlowId flow);
+
+  template <typename Msg>
+  void emit(NodeId dst, PacketKind kind, Msg msg);
+
+  Network& net_;
+  NodeId node_;
+  Config config_;
+  std::map<FlowId, PathState> path_state_;
+  std::map<FlowId, PendingReserve> pending_;
+  std::map<FlowId, NodeId> confirmed_;  // flow -> receiver (sender side)
+};
+
+}  // namespace aqm::net

@@ -1,0 +1,50 @@
+#include "net/token_bucket.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aqm::net {
+
+TokenBucket::TokenBucket(double rate_bps, std::uint32_t depth_bytes, TimePoint start)
+    : rate_bps_(rate_bps),
+      depth_bytes_(depth_bytes),
+      tokens_(static_cast<double>(depth_bytes)),
+      last_refill_(start) {
+  assert(rate_bps > 0.0);
+  assert(depth_bytes > 0);
+}
+
+void TokenBucket::refill(TimePoint now) {
+  if (now <= last_refill_) return;
+  const double elapsed_s = (now - last_refill_).seconds();
+  tokens_ = std::min(static_cast<double>(depth_bytes_), tokens_ + rate_bps_ / 8.0 * elapsed_s);
+  last_refill_ = now;
+}
+
+double TokenBucket::available(TimePoint now) const {
+  const double elapsed_s = now > last_refill_ ? (now - last_refill_).seconds() : 0.0;
+  return std::min(static_cast<double>(depth_bytes_), tokens_ + rate_bps_ / 8.0 * elapsed_s);
+}
+
+bool TokenBucket::conforms(std::uint32_t bytes, TimePoint now) const {
+  return available(now) >= static_cast<double>(bytes);
+}
+
+bool TokenBucket::consume(std::uint32_t bytes, TimePoint now) {
+  refill(now);
+  if (tokens_ < static_cast<double>(bytes)) return false;
+  tokens_ -= static_cast<double>(bytes);
+  return true;
+}
+
+Duration TokenBucket::time_until_conforms(std::uint32_t bytes, TimePoint now) const {
+  if (bytes > depth_bytes_) return Duration::max();
+  const double have = available(now);
+  const double need = static_cast<double>(bytes) - have;
+  if (need <= 0.0) return Duration::zero();
+  const double wait_s = need * 8.0 / rate_bps_;
+  return Duration{static_cast<std::int64_t>(std::ceil(wait_s * 1e9))};
+}
+
+}  // namespace aqm::net

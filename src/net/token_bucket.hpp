@@ -1,0 +1,42 @@
+// Token bucket used for IntServ guaranteed-service flows: a flow reserved
+// at `rate_bps` with burst `depth_bytes` may transmit a packet whenever the
+// bucket holds at least the packet's size in tokens.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace aqm::net {
+
+class TokenBucket {
+ public:
+  TokenBucket(double rate_bps, std::uint32_t depth_bytes, TimePoint start = TimePoint::zero());
+
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+  [[nodiscard]] std::uint32_t depth_bytes() const { return depth_bytes_; }
+
+  /// Tokens (bytes) available at `now`.
+  [[nodiscard]] double available(TimePoint now) const;
+
+  /// True if a packet of `bytes` conforms at `now`.
+  [[nodiscard]] bool conforms(std::uint32_t bytes, TimePoint now) const;
+
+  /// Consumes tokens for a packet; returns false (and consumes nothing) if
+  /// the packet does not conform.
+  bool consume(std::uint32_t bytes, TimePoint now);
+
+  /// Time until a packet of `bytes` would conform (zero if it already does;
+  /// Duration::max() if bytes > depth so it can never conform).
+  [[nodiscard]] Duration time_until_conforms(std::uint32_t bytes, TimePoint now) const;
+
+ private:
+  void refill(TimePoint now);
+
+  double rate_bps_;
+  std::uint32_t depth_bytes_;
+  double tokens_;       // bytes
+  TimePoint last_refill_;
+};
+
+}  // namespace aqm::net

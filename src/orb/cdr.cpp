@@ -1,0 +1,174 @@
+#include "orb/cdr.hpp"
+
+#include <bit>
+
+namespace aqm::orb {
+namespace {
+
+constexpr bool kHostLittle = std::endian::native == std::endian::little;
+
+template <typename T>
+T byteswap(T v) {
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  for (std::size_t i = 0; i < sizeof(T) / 2; ++i) std::swap(bytes[i], bytes[sizeof(T) - 1 - i]);
+  T out;
+  std::memcpy(&out, bytes, sizeof(T));
+  return out;
+}
+
+}  // namespace
+
+// --- CdrWriter ---------------------------------------------------------------
+
+void CdrWriter::align(std::size_t n) {
+  while (buf_.size() % n != 0) buf_.push_back(0);
+}
+
+void CdrWriter::write_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void CdrWriter::write_u16(std::uint16_t v) {
+  align(2);
+  if constexpr (!kHostLittle) v = byteswap(v);
+  const auto off = buf_.size();
+  buf_.resize(off + 2);
+  std::memcpy(buf_.data() + off, &v, 2);
+}
+
+void CdrWriter::write_u32(std::uint32_t v) {
+  align(4);
+  if constexpr (!kHostLittle) v = byteswap(v);
+  const auto off = buf_.size();
+  buf_.resize(off + 4);
+  std::memcpy(buf_.data() + off, &v, 4);
+}
+
+void CdrWriter::write_u64(std::uint64_t v) {
+  align(8);
+  if constexpr (!kHostLittle) v = byteswap(v);
+  const auto off = buf_.size();
+  buf_.resize(off + 8);
+  std::memcpy(buf_.data() + off, &v, 8);
+}
+
+void CdrWriter::write_f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  write_u32(bits);
+}
+
+void CdrWriter::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  write_u64(bits);
+}
+
+void CdrWriter::write_string(std::string_view s) {
+  write_u32(static_cast<std::uint32_t>(s.size() + 1));
+  const auto off = buf_.size();
+  buf_.resize(off + s.size() + 1);
+  std::memcpy(buf_.data() + off, s.data(), s.size());
+  buf_[off + s.size()] = 0;
+}
+
+void CdrWriter::write_octets(std::span<const std::uint8_t> bytes) {
+  write_u32(static_cast<std::uint32_t>(bytes.size()));
+  write_raw(bytes);
+}
+
+void CdrWriter::write_raw(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void CdrWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buf_.size()) throw MarshalError("patch_u32 out of range");
+  if constexpr (!kHostLittle) v = byteswap(v);
+  std::memcpy(buf_.data() + offset, &v, 4);
+}
+
+// --- CdrReader ---------------------------------------------------------------
+
+CdrReader::CdrReader(std::span<const std::uint8_t> data, bool big_endian)
+    // Swap when producer endianness differs from host endianness.
+    : data_(data), swap_(big_endian == kHostLittle) {}
+
+void CdrReader::require(std::size_t n) const {
+  if (pos_ + n > data_.size()) throw MarshalError("CDR buffer underrun");
+}
+
+void CdrReader::align(std::size_t n) {
+  const std::size_t rem = pos_ % n;
+  if (rem != 0) skip(n - rem);
+}
+
+void CdrReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+std::uint8_t CdrReader::read_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t CdrReader::read_u16() {
+  align(2);
+  require(2);
+  std::uint16_t v;
+  std::memcpy(&v, data_.data() + pos_, 2);
+  pos_ += 2;
+  return swap_ ? byteswap(v) : v;
+}
+
+std::uint32_t CdrReader::read_u32() {
+  align(4);
+  require(4);
+  std::uint32_t v;
+  std::memcpy(&v, data_.data() + pos_, 4);
+  pos_ += 4;
+  return swap_ ? byteswap(v) : v;
+}
+
+std::uint64_t CdrReader::read_u64() {
+  align(8);
+  require(8);
+  std::uint64_t v;
+  std::memcpy(&v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return swap_ ? byteswap(v) : v;
+}
+
+float CdrReader::read_f32() {
+  const std::uint32_t bits = read_u32();
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+double CdrReader::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::string CdrReader::read_string() {
+  const std::uint32_t len = read_u32();
+  if (len == 0) throw MarshalError("CDR string with zero length");
+  require(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len - 1);
+  if (data_[pos_ + len - 1] != 0) throw MarshalError("CDR string missing terminator");
+  pos_ += len;
+  return s;
+}
+
+std::vector<std::uint8_t> CdrReader::read_octets() {
+  const std::uint32_t len = read_u32();
+  require(len);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+}  // namespace aqm::orb

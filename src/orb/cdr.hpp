@@ -1,0 +1,93 @@
+// Common Data Representation (CDR) marshaling.
+//
+// Real byte-level encoding with CORBA CDR alignment rules: every primitive
+// is aligned to its own size relative to the start of the buffer. Writers
+// always emit the host-independent little-endian form and set the GIOP
+// byte-order flag; readers byte-swap when the flag disagrees, so the
+// encoder/decoder pair round-trips across simulated "architectures".
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "orb/exceptions.hpp"
+
+namespace aqm::orb {
+
+class CdrWriter {
+ public:
+  CdrWriter() = default;
+
+  void write_u8(std::uint8_t v);
+  void write_i8(std::int8_t v) { write_u8(static_cast<std::uint8_t>(v)); }
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  void write_u16(std::uint16_t v);
+  void write_i16(std::int16_t v) { write_u16(static_cast<std::uint16_t>(v)); }
+  void write_u32(std::uint32_t v);
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_f32(float v);
+  void write_f64(double v);
+
+  /// CORBA string: u32 length including NUL, bytes, NUL.
+  void write_string(std::string_view s);
+  /// sequence<octet>: u32 length + raw bytes.
+  void write_octets(std::span<const std::uint8_t> bytes);
+  /// Raw bytes with no length prefix (for nested pre-encoded data).
+  void write_raw(std::span<const std::uint8_t> bytes);
+
+  /// Pads with zeros so the next write lands on an n-byte boundary.
+  void align(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  /// Patches a previously written u32 (used for GIOP message-size fixup).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class CdrReader {
+ public:
+  /// `big_endian` is the GIOP byte-order flag of the producer.
+  explicit CdrReader(std::span<const std::uint8_t> data, bool big_endian = false);
+
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::int8_t read_i8() { return static_cast<std::int8_t>(read_u8()); }
+  [[nodiscard]] bool read_bool() { return read_u8() != 0; }
+  [[nodiscard]] std::uint16_t read_u16();
+  [[nodiscard]] std::int16_t read_i16() { return static_cast<std::int16_t>(read_u16()); }
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::int32_t read_i32() { return static_cast<std::int32_t>(read_u32()); }
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+  [[nodiscard]] float read_f32();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<std::uint8_t> read_octets();
+
+  void align(std::size_t n);
+  void skip(std::size_t n);
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::span<const std::uint8_t> remaining_bytes() const {
+    return data_.subspan(pos_);
+  }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool swap_;
+};
+
+}  // namespace aqm::orb

@@ -1,0 +1,62 @@
+// CORBA-style system exceptions raised by the ORB runtime.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aqm::orb {
+
+/// Root of the CORBA system-exception hierarchy we model.
+class SystemException : public std::runtime_error {
+ public:
+  explicit SystemException(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or truncated CDR/GIOP data.
+class MarshalError : public SystemException {
+ public:
+  explicit MarshalError(const std::string& what) : SystemException("MARSHAL: " + what) {}
+};
+
+/// Request target not found (unknown object key / POA).
+class ObjectNotExist : public SystemException {
+ public:
+  explicit ObjectNotExist(const std::string& what)
+      : SystemException("OBJECT_NOT_EXIST: " + what) {}
+};
+
+/// Transient resource exhaustion (e.g. thread-pool queue full).
+class Transient : public SystemException {
+ public:
+  explicit Transient(const std::string& what) : SystemException("TRANSIENT: " + what) {}
+};
+
+/// Bad policy or argument combination.
+class BadParam : public SystemException {
+ public:
+  explicit BadParam(const std::string& what) : SystemException("BAD_PARAM: " + what) {}
+};
+
+/// Reply codes carried back to asynchronous callers (exceptions cannot
+/// propagate across simulated hosts, so twoway completion reports one of
+/// these instead).
+enum class CompletionStatus {
+  Ok,
+  Timeout,          // no reply within the caller's deadline
+  ObjectNotExist,   // server could not find the target
+  Transient,        // server-side overload (queue full)
+  SystemError,      // any other server-side failure
+};
+
+[[nodiscard]] constexpr const char* to_string(CompletionStatus s) {
+  switch (s) {
+    case CompletionStatus::Ok: return "OK";
+    case CompletionStatus::Timeout: return "TIMEOUT";
+    case CompletionStatus::ObjectNotExist: return "OBJECT_NOT_EXIST";
+    case CompletionStatus::Transient: return "TRANSIENT";
+    case CompletionStatus::SystemError: return "SYSTEM_ERROR";
+  }
+  return "?";
+}
+
+}  // namespace aqm::orb

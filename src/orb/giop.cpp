@@ -1,0 +1,147 @@
+#include "orb/giop.hpp"
+
+#include <cstring>
+
+namespace aqm::orb {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
+constexpr std::uint8_t kVersionMajor = 1;
+constexpr std::uint8_t kVersionMinor = 2;
+constexpr std::uint8_t kFlagLittleEndian = 0x01;
+constexpr std::size_t kHeaderSize = 12;
+
+void write_contexts(CdrWriter& w, const std::vector<ServiceContext>& contexts) {
+  w.write_u32(static_cast<std::uint32_t>(contexts.size()));
+  for (const auto& c : contexts) {
+    w.write_u32(c.id);
+    w.write_octets(c.data);
+  }
+}
+
+std::vector<ServiceContext> read_contexts(CdrReader& r) {
+  const std::uint32_t n = r.read_u32();
+  if (n > 1024) throw MarshalError("unreasonable service-context count");
+  std::vector<ServiceContext> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ServiceContext c;
+    c.id = r.read_u32();
+    c.data = r.read_octets();
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> finish(CdrWriter w) {
+  // Patch msg_size = bytes after the 12-byte header.
+  w.patch_u32(8, static_cast<std::uint32_t>(w.size() - kHeaderSize));
+  return w.take();
+}
+
+void write_header(CdrWriter& w, GiopMsgType type) {
+  for (const auto b : kMagic) w.write_u8(b);
+  w.write_u8(kVersionMajor);
+  w.write_u8(kVersionMinor);
+  w.write_u8(kFlagLittleEndian);
+  w.write_u8(static_cast<std::uint8_t>(type));
+  w.write_u32(0);  // msg_size, patched by finish()
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const RequestHeader& header,
+                                         std::span<const std::uint8_t> body) {
+  CdrWriter w;
+  write_header(w, GiopMsgType::Request);
+  w.write_u32(header.request_id);
+  w.write_u8(header.response_expected ? 1 : 0);
+  w.write_string(header.object_key);
+  w.write_string(header.operation);
+  write_contexts(w, header.contexts);
+  w.align(8);  // GIOP 1.2 aligns the body to 8
+  w.write_raw(body);
+  return finish(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_reply(const ReplyHeader& header,
+                                       std::span<const std::uint8_t> body) {
+  CdrWriter w;
+  write_header(w, GiopMsgType::Reply);
+  w.write_u32(header.request_id);
+  w.write_u32(static_cast<std::uint32_t>(header.status));
+  write_contexts(w, header.contexts);
+  w.align(8);
+  w.write_raw(body);
+  return finish(std::move(w));
+}
+
+GiopMessage decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) throw MarshalError("GIOP message shorter than header");
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) throw MarshalError("bad GIOP magic");
+  const std::uint8_t flags = bytes[6];
+  const bool big_endian = (flags & kFlagLittleEndian) == 0;
+  const auto type_byte = bytes[7];
+  if (type_byte > static_cast<std::uint8_t>(GiopMsgType::Reply)) {
+    throw MarshalError("unknown GIOP message type");
+  }
+
+  CdrReader r(bytes, big_endian);
+  r.skip(8);
+  const std::uint32_t msg_size = r.read_u32();
+  if (msg_size + kHeaderSize != bytes.size()) {
+    throw MarshalError("GIOP message size mismatch");
+  }
+
+  GiopMessage msg;
+  msg.type = static_cast<GiopMsgType>(type_byte);
+  if (msg.type == GiopMsgType::Request) {
+    msg.request.request_id = r.read_u32();
+    msg.request.response_expected = r.read_u8() != 0;
+    msg.request.object_key = r.read_string();
+    msg.request.operation = r.read_string();
+    msg.request.contexts = read_contexts(r);
+  } else {
+    msg.reply.request_id = r.read_u32();
+    const std::uint32_t status = r.read_u32();
+    if (status != 0 && status != 2) throw MarshalError("unknown reply status");
+    msg.reply.status = static_cast<ReplyStatus>(status);
+    msg.reply.contexts = read_contexts(r);
+  }
+  r.align(8);
+  const auto rest = r.remaining_bytes();
+  msg.body.assign(rest.begin(), rest.end());
+  return msg;
+}
+
+ServiceContext make_priority_context(CorbaPriority priority) {
+  CdrWriter w;
+  w.write_i32(priority);
+  return ServiceContext{kRtCorbaPriorityContextId, w.take()};
+}
+
+std::optional<CorbaPriority> find_priority(const std::vector<ServiceContext>& contexts) {
+  for (const auto& c : contexts) {
+    if (c.id != kRtCorbaPriorityContextId) continue;
+    CdrReader r(c.data);
+    return r.read_i32();
+  }
+  return std::nullopt;
+}
+
+ServiceContext make_timestamp_context(TimePoint t) {
+  CdrWriter w;
+  w.write_i64(t.ns());
+  return ServiceContext{kTimestampContextId, w.take()};
+}
+
+std::optional<TimePoint> find_timestamp(const std::vector<ServiceContext>& contexts) {
+  for (const auto& c : contexts) {
+    if (c.id != kTimestampContextId) continue;
+    CdrReader r(c.data);
+    return TimePoint{r.read_i64()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace aqm::orb

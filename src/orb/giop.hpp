@@ -1,0 +1,85 @@
+// GIOP 1.2-style message encoding over CDR.
+//
+// Layout (all CDR-encoded, little-endian with the byte-order flag set):
+//   header : 'G' 'I' 'O' 'P'  ver_major  ver_minor  flags  msg_type  msg_size
+//   Request: request_id(u32) response_flags(u8) object_key(string)
+//            operation(string) service_contexts(seq) body(raw octets)
+//   Reply  : request_id(u32) reply_status(u32) service_contexts(seq) body
+//
+// Service contexts are (id, octet-sequence) pairs. The RTCorbaPriority
+// context propagates the client's RT-CORBA priority end-to-end (Figure 2 in
+// the paper); a vendor context carries the send timestamp used by the
+// experiments to measure one-way latency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.hpp"
+#include "orb/cdr.hpp"
+#include "orb/types.hpp"
+
+namespace aqm::orb {
+
+enum class GiopMsgType : std::uint8_t { Request = 0, Reply = 1 };
+
+/// Reply status values (subset of GIOP's ReplyStatusType).
+enum class ReplyStatus : std::uint32_t {
+  NoException = 0,
+  SystemException = 2,
+};
+
+struct ServiceContext {
+  std::uint32_t id = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// RTCorbaPriority service context (RT-CORBA 1.0 §4, IOP service id).
+inline constexpr std::uint32_t kRtCorbaPriorityContextId = 21;
+/// Vendor context: simulation send timestamp for latency measurement.
+inline constexpr std::uint32_t kTimestampContextId = 0x41514D01;
+
+struct RequestHeader {
+  std::uint32_t request_id = 0;
+  bool response_expected = true;
+  std::string object_key;
+  std::string operation;
+  std::vector<ServiceContext> contexts;
+};
+
+struct ReplyHeader {
+  std::uint32_t request_id = 0;
+  ReplyStatus status = ReplyStatus::NoException;
+  std::vector<ServiceContext> contexts;
+};
+
+struct GiopMessage {
+  GiopMsgType type = GiopMsgType::Request;
+  RequestHeader request;  // valid when type == Request
+  ReplyHeader reply;      // valid when type == Reply
+  std::vector<std::uint8_t> body;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const RequestHeader& header,
+                                                       std::span<const std::uint8_t> body);
+[[nodiscard]] std::vector<std::uint8_t> encode_reply(const ReplyHeader& header,
+                                                     std::span<const std::uint8_t> body);
+
+/// Parses a full GIOP message; throws MarshalError on malformed input.
+[[nodiscard]] GiopMessage decode(std::span<const std::uint8_t> bytes);
+
+// --- service-context helpers ---------------------------------------------------
+
+[[nodiscard]] ServiceContext make_priority_context(CorbaPriority priority);
+[[nodiscard]] std::optional<CorbaPriority> find_priority(
+    const std::vector<ServiceContext>& contexts);
+
+[[nodiscard]] ServiceContext make_timestamp_context(TimePoint t);
+[[nodiscard]] std::optional<TimePoint> find_timestamp(
+    const std::vector<ServiceContext>& contexts);
+
+}  // namespace aqm::orb

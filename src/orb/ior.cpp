@@ -1,0 +1,82 @@
+#include "orb/ior.hpp"
+
+#include <array>
+
+#include "orb/cdr.hpp"
+
+namespace aqm::orb {
+namespace {
+
+constexpr char kPrefix[] = "IOR:";
+constexpr std::uint32_t kProfileMagic = 0x41514D52;  // "AQMR"
+constexpr std::uint8_t kVersion = 1;
+
+constexpr std::array<char, 16> kHex = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                       '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string object_to_string(const ObjectRef& ref) {
+  if (!ref.valid()) throw BadParam("cannot stringify an invalid object reference");
+  CdrWriter w;
+  w.write_u32(kProfileMagic);
+  w.write_u8(kVersion);
+  w.write_i32(ref.node);
+  w.write_string(ref.object_key);
+  w.write_u8(static_cast<std::uint8_t>(ref.priority_model));
+  w.write_i32(ref.server_priority);
+  w.write_bool(ref.protocol.dscp.has_value());
+  w.write_u8(ref.protocol.dscp.value_or(0));
+
+  std::string out(kPrefix);
+  out.reserve(out.size() + w.size() * 2);
+  for (const std::uint8_t b : w.buffer()) {
+    out.push_back(kHex[static_cast<std::size_t>(b >> 4)]);
+    out.push_back(kHex[static_cast<std::size_t>(b & 0x0F)]);
+  }
+  return out;
+}
+
+ObjectRef string_to_object(const std::string& ior) {
+  const std::string_view prefix(kPrefix);
+  if (ior.size() < prefix.size() || ior.compare(0, prefix.size(), prefix) != 0) {
+    throw MarshalError("not an IOR string");
+  }
+  const std::string_view hex(ior.data() + prefix.size(), ior.size() - prefix.size());
+  if (hex.size() % 2 != 0) throw MarshalError("odd IOR hex length");
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw MarshalError("bad IOR hex digit");
+    bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+
+  CdrReader r(bytes);
+  if (r.read_u32() != kProfileMagic) throw MarshalError("bad IOR profile magic");
+  if (r.read_u8() != kVersion) throw MarshalError("unsupported IOR profile version");
+  ObjectRef ref;
+  ref.node = r.read_i32();
+  ref.object_key = r.read_string();
+  const std::uint8_t model = r.read_u8();
+  if (model > static_cast<std::uint8_t>(PriorityModel::ServerDeclared)) {
+    throw MarshalError("bad priority model in IOR");
+  }
+  ref.priority_model = static_cast<PriorityModel>(model);
+  ref.server_priority = r.read_i32();
+  const bool has_dscp = r.read_bool();
+  const std::uint8_t dscp = r.read_u8();
+  if (has_dscp) ref.protocol.dscp = dscp;
+  if (!ref.valid()) throw MarshalError("IOR decodes to an invalid reference");
+  return ref;
+}
+
+}  // namespace aqm::orb

@@ -1,0 +1,23 @@
+// Stringified interoperable object references.
+//
+// Real CORBA exports object references as "IOR:<hex>" strings produced by
+// CDR-encoding the reference's profiles; that is how references cross
+// process boundaries out of band (files, naming services, command lines).
+// We do the same for ObjectRef, including its RT-CORBA tagged components
+// (priority model, server priority, protocol properties).
+#pragma once
+
+#include <string>
+
+#include "orb/types.hpp"
+
+namespace aqm::orb {
+
+/// "IOR:" + hex(CDR profile). Deterministic for a given reference.
+[[nodiscard]] std::string object_to_string(const ObjectRef& ref);
+
+/// Parses object_to_string() output; throws MarshalError on malformed or
+/// non-IOR input.
+[[nodiscard]] ObjectRef string_to_object(const std::string& ior);
+
+}  // namespace aqm::orb

@@ -1,0 +1,296 @@
+#include "orb/orb.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace aqm::orb {
+namespace {
+
+/// Encodes a CompletionStatus code as an exception reply body.
+std::vector<std::uint8_t> encode_error_body(CompletionStatus status) {
+  CdrWriter w;
+  w.write_u32(static_cast<std::uint32_t>(status));
+  return w.take();
+}
+
+CompletionStatus decode_error_body(const std::vector<std::uint8_t>& body) {
+  try {
+    CdrReader r(body);
+    const auto code = r.read_u32();
+    if (code > static_cast<std::uint32_t>(CompletionStatus::SystemError)) {
+      return CompletionStatus::SystemError;
+    }
+    return static_cast<CompletionStatus>(code);
+  } catch (const MarshalError&) {
+    return CompletionStatus::SystemError;
+  }
+}
+
+}  // namespace
+
+OrbEndpoint::OrbEndpoint(net::Network& net, net::NodeId node, os::Cpu& cpu, OrbConfig config)
+    : net_(net), cpu_(cpu), config_(config), transport_(net, node, config.transport) {
+  transport_.set_message_handler(
+      [this](net::NodeId src, MessageBuffer msg) { on_message(src, std::move(msg)); });
+}
+
+Poa& OrbEndpoint::create_poa(const std::string& name, PoaPolicies policies) {
+  assert(poas_.count(name) == 0 && "POA already exists");
+  auto poa = std::make_unique<Poa>(*this, name, std::move(policies));
+  Poa& ref = *poa;
+  poas_[name] = std::move(poa);
+  return ref;
+}
+
+Poa* OrbEndpoint::find_poa(const std::string& name) {
+  const auto it = poas_.find(name);
+  return it == poas_.end() ? nullptr : it->second.get();
+}
+
+Duration OrbEndpoint::marshal_cost(std::size_t bytes) const {
+  return config_.marshal_base +
+         config_.marshal_per_kb * static_cast<std::int64_t>(bytes / 1024);
+}
+
+Duration OrbEndpoint::demarshal_cost(std::size_t bytes) const {
+  return config_.demux_base +
+         config_.demarshal_per_kb * static_cast<std::int64_t>(bytes / 1024);
+}
+
+net::Dscp OrbEndpoint::dscp_for(const ObjectRef& ref, CorbaPriority priority) const {
+  if (ref.protocol.dscp) return *ref.protocol.dscp;
+  return dscp_mappings_.to_dscp(priority);
+}
+
+void OrbEndpoint::invoke(const ObjectRef& ref, const std::string& operation,
+                         std::vector<std::uint8_t> body, InvokeOptions options,
+                         ResponseCallback cb) {
+  if (!ref.valid()) throw BadParam("invoke on invalid object reference");
+  if (!options.oneway && !cb) throw BadParam("twoway invoke requires a callback");
+
+  const CorbaPriority priority =
+      options.priority.value_or(ref.priority_model == PriorityModel::ServerDeclared
+                                    ? ref.server_priority
+                                    : client_priority_);
+  const std::uint32_t request_id = next_request_id_++;
+  const os::Priority native = priority_mappings_.to_native(priority);
+  const Duration cost = marshal_cost(body.size() + operation.size() + 64);
+
+  // Marshal on the client CPU at the request's native priority, then ship.
+  cpu_.submit_for(
+      cost, native,
+      [this, ref, operation, body = std::move(body), options, cb = std::move(cb),
+       priority, request_id]() mutable {
+        RequestHeader header;
+        header.request_id = request_id;
+        header.response_expected = !options.oneway;
+        header.object_key = ref.object_key;
+        header.operation = operation;
+        header.contexts.push_back(make_priority_context(priority));
+        header.contexts.push_back(make_timestamp_context(engine().now()));
+
+        auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+            encode_request(header, body));
+        ++stats_.requests_sent;
+        const bool collocated = ref.node == node();
+        if (collocated) ++stats_.collocated_calls;
+
+        if (!options.oneway) {
+          PendingRequest pending;
+          pending.cb = std::move(cb);
+          pending.priority = priority;
+          pending.timeout = engine().after(options.timeout, [this, request_id] {
+            const auto it = pending_.find(request_id);
+            if (it == pending_.end()) return;
+            auto callback = std::move(it->second.cb);
+            pending_.erase(it);
+            ++stats_.timeouts;
+            callback(CompletionStatus::Timeout, {});
+          });
+          pending_.emplace(request_id, std::move(pending));
+        }
+
+        if (collocated) {
+          // Collocation optimization (TAO-style): the target lives in this
+          // ORB, so the request short-circuits the transport entirely —
+          // same marshaling and dispatch semantics, zero wire time.
+          on_message(node(), std::move(bytes));
+        } else {
+          transport_.send_message(ref.node, std::move(bytes), dscp_for(ref, priority),
+                                  options.flow);
+        }
+      });
+}
+
+void OrbEndpoint::on_message(net::NodeId src, MessageBuffer msg) {
+  GiopMessage decoded;
+  try {
+    decoded = decode(*msg);
+  } catch (const MarshalError& e) {
+    AQM_WARN() << "orb@" << net_.node_name(node()) << ": dropping malformed GIOP ("
+               << e.what() << ")";
+    return;
+  }
+  if (decoded.type == GiopMsgType::Request) {
+    handle_request(src, std::move(decoded), msg->size());
+  } else {
+    handle_reply(std::move(decoded), msg->size());
+  }
+}
+
+void OrbEndpoint::handle_request(net::NodeId src, GiopMessage msg, std::size_t wire_size) {
+  RequestHeader& header = msg.request;
+
+  // object_key = "<poa>/<object-id>"
+  const auto slash = header.object_key.find('/');
+  Poa* poa = nullptr;
+  std::shared_ptr<Servant> servant;
+  if (slash != std::string::npos) {
+    poa = find_poa(header.object_key.substr(0, slash));
+    if (poa != nullptr) servant = poa->find(header.object_key.substr(slash + 1));
+  }
+  if (servant == nullptr) {
+    AQM_DEBUG() << "orb@" << net_.node_name(node()) << ": no servant for key "
+                << header.object_key;
+    if (header.response_expected) {
+      send_reply(src, header.request_id, ReplyStatus::SystemException,
+                 encode_error_body(CompletionStatus::ObjectNotExist),
+                 config_.default_priority);
+    }
+    return;
+  }
+
+  const CorbaPriority priority =
+      poa->policies().priority_model == PriorityModel::ServerDeclared
+          ? poa->policies().server_priority
+          : find_priority(header.contexts).value_or(config_.default_priority);
+
+  auto req = std::make_shared<ServerRequest>();
+  req->operation = std::move(header.operation);
+  req->body = std::move(msg.body);
+  req->client = src;
+  req->priority = priority;
+  req->client_send_time = find_timestamp(header.contexts);
+
+  const Duration cost = demarshal_cost(wire_size) + servant->cpu_cost(*req);
+  const bool response_expected = header.response_expected;
+  const std::uint32_t request_id = header.request_id;
+
+  // Reply channel, usable synchronously (after handle() returns) or
+  // asynchronously via ServerRequest::defer(). Answers at most once, even
+  // if a deferred replier races an exception reply.
+  auto replied = std::make_shared<bool>(false);
+  if (response_expected) {
+    req->replier = [this, src, request_id, priority,
+                    replied](std::vector<std::uint8_t> reply_body) {
+      if (*replied) return;
+      *replied = true;
+      send_reply(src, request_id, ReplyStatus::NoException, std::move(reply_body),
+                 priority);
+    };
+  }
+
+  const bool accepted = poa->thread_pool().dispatch(
+      priority, cost,
+      [this, servant, req, response_expected, request_id, src, replied] {
+        ++stats_.requests_dispatched;
+        req->handled_at = engine().now();
+        ReplyStatus status = ReplyStatus::NoException;
+        std::vector<std::uint8_t> reply_body;
+        try {
+          servant->handle(*req);
+          reply_body = std::move(req->reply_body);
+        } catch (const ObjectNotExist&) {
+          status = ReplyStatus::SystemException;
+          reply_body = encode_error_body(CompletionStatus::ObjectNotExist);
+        } catch (const Transient&) {
+          status = ReplyStatus::SystemException;
+          reply_body = encode_error_body(CompletionStatus::Transient);
+        } catch (const SystemException&) {
+          status = ReplyStatus::SystemException;
+          reply_body = encode_error_body(CompletionStatus::SystemError);
+        }
+        if (!response_expected) return;
+        if (status == ReplyStatus::NoException) {
+          if (!req->deferred()) req->replier(std::move(reply_body));
+          // deferred: the servant's replier fires later.
+        } else if (!*replied) {
+          // Exceptions answer immediately, deferred or not.
+          *replied = true;
+          send_reply(src, request_id, status, std::move(reply_body), req->priority);
+        }
+      });
+
+  if (!accepted) {
+    ++stats_.dispatch_rejected;
+    if (response_expected) {
+      send_reply(src, request_id, ReplyStatus::SystemException,
+                 encode_error_body(CompletionStatus::Transient), priority);
+    }
+  }
+}
+
+void OrbEndpoint::send_reply(net::NodeId client, std::uint32_t request_id,
+                             ReplyStatus status, std::vector<std::uint8_t> body,
+                             CorbaPriority priority) {
+  const os::Priority native = priority_mappings_.to_native(priority);
+  const Duration cost = marshal_cost(body.size() + 32);
+  cpu_.submit_for(cost, native,
+                  [this, client, request_id, status, body = std::move(body), priority] {
+                    ReplyHeader header;
+                    header.request_id = request_id;
+                    header.status = status;
+                    header.contexts.push_back(make_priority_context(priority));
+                    header.contexts.push_back(make_timestamp_context(engine().now()));
+                    auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+                        encode_reply(header, body));
+                    // Replies inherit the priority-derived DSCP.
+                    transport_.send_message(client, std::move(bytes),
+                                            dscp_mappings_.to_dscp(priority));
+                  });
+}
+
+void OrbEndpoint::handle_reply(GiopMessage msg, std::size_t wire_size) {
+  const auto it = pending_.find(msg.reply.request_id);
+  if (it == pending_.end()) return;  // late reply after timeout: drop
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+  engine().cancel(pending.timeout);
+
+  const os::Priority native = priority_mappings_.to_native(pending.priority);
+  const Duration cost = demarshal_cost(wire_size);
+  const ReplyStatus status = msg.reply.status;
+  cpu_.submit_for(cost, native,
+                  [this, cb = std::move(pending.cb), status,
+                   body = std::move(msg.body)]() mutable {
+                    if (status == ReplyStatus::NoException) {
+                      ++stats_.replies_ok;
+                      cb(CompletionStatus::Ok, std::move(body));
+                    } else {
+                      ++stats_.replies_error;
+                      cb(decode_error_body(body), {});
+                    }
+                  });
+}
+
+void ObjectStub::oneway(const std::string& operation, std::vector<std::uint8_t> body) {
+  InvokeOptions options;
+  options.oneway = true;
+  options.flow = flow_;
+  options.priority = priority_;
+  orb_->invoke(ref_, operation, std::move(body), options);
+}
+
+void ObjectStub::twoway(const std::string& operation, std::vector<std::uint8_t> body,
+                        OrbEndpoint::ResponseCallback cb, Duration timeout) {
+  InvokeOptions options;
+  options.oneway = false;
+  options.timeout = timeout;
+  options.flow = flow_;
+  options.priority = priority_;
+  orb_->invoke(ref_, operation, std::move(body), options, std::move(cb));
+}
+
+}  // namespace aqm::orb

@@ -1,0 +1,171 @@
+// The ORB endpoint: one per simulated host.
+//
+// Client side: invoke() marshals a GIOP request (costed on the host CPU at
+// the request's mapped native priority), stamps the RTCorbaPriority and
+// timestamp service contexts, maps the priority to a DSCP, and hands the
+// bytes to the transport. Twoway replies are matched by request id with a
+// timeout.
+//
+// Server side: complete messages are demultiplexed to a POA/servant, then
+// dispatched into the POA's RT thread pool at the priority chosen by the
+// POA's priority model (CLIENT_PROPAGATED reads the service context,
+// SERVER_DECLARED uses the POA's declared priority). The request's CPU cost
+// (demux + demarshal + servant work) executes on the host CPU; the servant
+// handler runs at completion and, for twoways, the reply travels back with
+// the same priority/DSCP treatment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/network.hpp"
+#include "orb/exceptions.hpp"
+#include "orb/giop.hpp"
+#include "orb/poa.hpp"
+#include "orb/rt/dscp_mapping.hpp"
+#include "orb/rt/priority_mapping.hpp"
+#include "orb/servant.hpp"
+#include "orb/transport.hpp"
+#include "orb/types.hpp"
+#include "os/cpu.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::orb {
+
+struct OrbConfig {
+  /// Client-side request marshaling cost: base + per-KB of message.
+  Duration marshal_base = microseconds(20);
+  Duration marshal_per_kb = microseconds(4);
+  /// Server-side header parse + POA demux cost, and demarshal per KB.
+  Duration demux_base = microseconds(25);
+  Duration demarshal_per_kb = microseconds(4);
+  /// Priority used when a CLIENT_PROPAGATED request carries no context.
+  CorbaPriority default_priority = 0;
+  TransportConfig transport{};
+};
+
+struct InvokeOptions {
+  bool oneway = false;
+  Duration timeout = seconds(2);
+  /// Overrides the ambient client priority / server-declared priority.
+  std::optional<CorbaPriority> priority;
+  /// Network flow id (for reservations and per-flow statistics).
+  net::FlowId flow = net::kNoFlow;
+};
+
+struct OrbStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t requests_dispatched = 0;
+  std::uint64_t replies_ok = 0;
+  std::uint64_t replies_error = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dispatch_rejected = 0;  // thread-pool queue overflows
+  std::uint64_t collocated_calls = 0;   // requests that skipped the transport
+};
+
+class OrbEndpoint {
+ public:
+  using ResponseCallback =
+      std::function<void(CompletionStatus, std::vector<std::uint8_t> body)>;
+
+  OrbEndpoint(net::Network& net, net::NodeId node, os::Cpu& cpu, OrbConfig config = {});
+  OrbEndpoint(const OrbEndpoint&) = delete;
+  OrbEndpoint& operator=(const OrbEndpoint&) = delete;
+
+  // --- RT-CORBA managers ------------------------------------------------------
+
+  [[nodiscard]] rt::PriorityMappingManager& priority_mappings() { return priority_mappings_; }
+  [[nodiscard]] const rt::PriorityMappingManager& priority_mappings() const {
+    return priority_mappings_;
+  }
+  [[nodiscard]] rt::DscpMappingManager& dscp_mappings() { return dscp_mappings_; }
+
+  /// RTCurrent: ambient CORBA priority of this endpoint's client calls.
+  void set_client_priority(CorbaPriority p) { client_priority_ = p; }
+  [[nodiscard]] CorbaPriority client_priority() const { return client_priority_; }
+
+  // --- server side -------------------------------------------------------------
+
+  Poa& create_poa(const std::string& name, PoaPolicies policies = {});
+  [[nodiscard]] Poa* find_poa(const std::string& name);
+
+  // --- client side -------------------------------------------------------------
+
+  /// Fire an invocation. For oneways `cb` may be null; for twoways it is
+  /// called exactly once with the outcome.
+  void invoke(const ObjectRef& ref, const std::string& operation,
+              std::vector<std::uint8_t> body, InvokeOptions options,
+              ResponseCallback cb = nullptr);
+
+  // --- plumbing -----------------------------------------------------------------
+
+  [[nodiscard]] net::NodeId node() const { return transport_.node(); }
+  [[nodiscard]] os::Cpu& cpu() { return cpu_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] sim::Engine& engine() { return net_.engine(); }
+  [[nodiscard]] GiopTransport& transport() { return transport_; }
+  [[nodiscard]] const OrbStats& stats() const { return stats_; }
+  [[nodiscard]] const OrbConfig& config() const { return config_; }
+
+ private:
+  struct PendingRequest {
+    ResponseCallback cb;
+    CorbaPriority priority;
+    sim::EventId timeout{};
+  };
+
+  void on_message(net::NodeId src, MessageBuffer msg);
+  void handle_request(net::NodeId src, GiopMessage msg, std::size_t wire_size);
+  void handle_reply(GiopMessage msg, std::size_t wire_size);
+  void send_reply(net::NodeId client, std::uint32_t request_id, ReplyStatus status,
+                  std::vector<std::uint8_t> body, CorbaPriority priority);
+  [[nodiscard]] net::Dscp dscp_for(const ObjectRef& ref, CorbaPriority priority) const;
+  [[nodiscard]] Duration marshal_cost(std::size_t bytes) const;
+  [[nodiscard]] Duration demarshal_cost(std::size_t bytes) const;
+
+  net::Network& net_;
+  os::Cpu& cpu_;
+  OrbConfig config_;
+  GiopTransport transport_;
+  rt::PriorityMappingManager priority_mappings_;
+  rt::DscpMappingManager dscp_mappings_;
+  CorbaPriority client_priority_ = 0;
+  std::map<std::string, std::unique_ptr<Poa>> poas_;
+  std::map<std::uint32_t, PendingRequest> pending_;
+  std::uint32_t next_request_id_ = 1;
+  OrbStats stats_;
+};
+
+/// Client-side proxy bound to one object reference. Carries per-binding
+/// QoS (flow id for reservations, priority override) — the moral
+/// equivalent of RT-CORBA explicit binding.
+class ObjectStub {
+ public:
+  ObjectStub(OrbEndpoint& orb, ObjectRef ref) : orb_(&orb), ref_(std::move(ref)) {}
+
+  [[nodiscard]] const ObjectRef& ref() const { return ref_; }
+  [[nodiscard]] ObjectRef& ref() { return ref_; }
+
+  void set_flow(net::FlowId flow) { flow_ = flow; }
+  [[nodiscard]] net::FlowId flow() const { return flow_; }
+  void set_priority(CorbaPriority p) { priority_ = p; }
+  void clear_priority() { priority_.reset(); }
+
+  void oneway(const std::string& operation, std::vector<std::uint8_t> body);
+  void twoway(const std::string& operation, std::vector<std::uint8_t> body,
+              OrbEndpoint::ResponseCallback cb, Duration timeout = seconds(2));
+
+ private:
+  OrbEndpoint* orb_;
+  ObjectRef ref_;
+  net::FlowId flow_ = net::kNoFlow;
+  std::optional<CorbaPriority> priority_;
+};
+
+}  // namespace aqm::orb

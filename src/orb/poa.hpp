@@ -1,0 +1,61 @@
+// Portable Object Adapter with RT-CORBA policies.
+//
+// Demultiplexing uses a flat hash map over object ids — the moral
+// equivalent of TAO's perfect-hashing / active-demultiplexing object
+// adapter: constant-time lookup independent of the number of servants.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "orb/rt/threadpool.hpp"
+#include "orb/servant.hpp"
+#include "orb/types.hpp"
+
+namespace aqm::orb {
+
+class OrbEndpoint;
+
+struct PoaPolicies {
+  PriorityModel priority_model = PriorityModel::ClientPropagated;
+  /// Used when priority_model == ServerDeclared (and advertised in IORs).
+  CorbaPriority server_priority = 0;
+  /// Thread-pool lanes; a single default lane is created when empty.
+  std::vector<rt::ThreadpoolLane> lanes;
+};
+
+class Poa {
+ public:
+  Poa(OrbEndpoint& orb, std::string name, PoaPolicies policies);
+  Poa(const Poa&) = delete;
+  Poa& operator=(const Poa&) = delete;
+
+  /// Registers a servant and returns the object reference a client needs.
+  /// The reference embeds the POA's QoS policies, mirroring RT-CORBA's
+  /// tagged components ("server-side policies that affect client-side
+  /// requests are embedded within a tagged component in the object
+  /// reference").
+  ObjectRef activate_object(const std::string& object_id, std::shared_ptr<Servant> servant);
+
+  void deactivate_object(const std::string& object_id);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const PoaPolicies& policies() const { return policies_; }
+  [[nodiscard]] std::size_t servant_count() const { return servants_.size(); }
+
+  /// Constant-time servant lookup (active demultiplexing).
+  [[nodiscard]] std::shared_ptr<Servant> find(const std::string& object_id) const;
+
+  [[nodiscard]] rt::ThreadPool& thread_pool() { return *pool_; }
+
+ private:
+  OrbEndpoint& orb_;
+  std::string name_;
+  PoaPolicies policies_;
+  std::unordered_map<std::string, std::shared_ptr<Servant>> servants_;
+  std::unique_ptr<rt::ThreadPool> pool_;
+};
+
+}  // namespace aqm::orb

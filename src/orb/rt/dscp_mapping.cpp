@@ -1,0 +1,32 @@
+#include "orb/rt/dscp_mapping.hpp"
+
+#include <cassert>
+
+namespace aqm::orb::rt {
+
+BandedDscpMapping::BandedDscpMapping()
+    : bands_{{0, net::dscp::kBestEffort},
+             {8'000, net::dscp::kAf11},
+             {16'000, net::dscp::kAf21},
+             {24'000, net::dscp::kAf41},
+             {28'000, net::dscp::kEf}} {}
+
+BandedDscpMapping::BandedDscpMapping(std::map<CorbaPriority, net::Dscp> bands)
+    : bands_(std::move(bands)) {
+  assert(!bands_.empty());
+}
+
+net::Dscp BandedDscpMapping::to_dscp(CorbaPriority corba) const {
+  auto it = bands_.upper_bound(corba);
+  if (it == bands_.begin()) return net::dscp::kBestEffort;
+  --it;
+  return it->second;
+}
+
+DscpMappingManager::DscpMappingManager() : active_(std::make_unique<BestEffortDscpMapping>()) {}
+
+void DscpMappingManager::install(std::unique_ptr<DscpMapping> mapping) {
+  active_ = mapping ? std::move(mapping) : std::make_unique<BestEffortDscpMapping>();
+}
+
+}  // namespace aqm::orb::rt

@@ -1,0 +1,62 @@
+// RT-CORBA priority -> DiffServ codepoint mapping.
+//
+// This is the paper's second TAO enhancement (Section 3.2): "a mechanism to
+// map RT-CORBA priorities to DiffServ network priorities. The TAO ORB
+// provides a priority-mapping manager that supports installation of a
+// custom mapping to override the default mapping."
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/dscp.hpp"
+#include "orb/types.hpp"
+
+namespace aqm::orb::rt {
+
+class DscpMapping {
+ public:
+  virtual ~DscpMapping() = default;
+  [[nodiscard]] virtual net::Dscp to_dscp(CorbaPriority corba) const = 0;
+};
+
+/// Default mapping: all traffic best effort (network prioritization is
+/// opt-in, as in the paper's control runs).
+class BestEffortDscpMapping final : public DscpMapping {
+ public:
+  [[nodiscard]] net::Dscp to_dscp(CorbaPriority) const override {
+    return net::dscp::kBestEffort;
+  }
+};
+
+/// Banded mapping: thresholds on the CORBA priority select codepoints of
+/// increasing service class.
+class BandedDscpMapping final : public DscpMapping {
+ public:
+  /// Default bands: [0,8k) BE, [8k,16k) AF11, [16k,24k) AF21,
+  /// [24k,28k) AF41, [28k,32k] EF.
+  BandedDscpMapping();
+
+  /// Custom bands: map from lowest CORBA priority of the band to its DSCP.
+  explicit BandedDscpMapping(std::map<CorbaPriority, net::Dscp> bands);
+
+  [[nodiscard]] net::Dscp to_dscp(CorbaPriority corba) const override;
+
+ private:
+  std::map<CorbaPriority, net::Dscp> bands_;  // band lower bound -> dscp
+};
+
+class DscpMappingManager {
+ public:
+  DscpMappingManager();
+
+  /// Replaces the active mapping. Passing nullptr restores the default.
+  void install(std::unique_ptr<DscpMapping> mapping);
+
+  [[nodiscard]] net::Dscp to_dscp(CorbaPriority corba) const { return active_->to_dscp(corba); }
+
+ private:
+  std::unique_ptr<DscpMapping> active_;
+};
+
+}  // namespace aqm::orb::rt

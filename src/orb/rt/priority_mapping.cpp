@@ -1,0 +1,47 @@
+#include "orb/rt/priority_mapping.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqm::orb::rt {
+
+LinearPriorityMapping::LinearPriorityMapping(os::Priority native_min, os::Priority native_max)
+    : min_(native_min), max_(native_max) {
+  assert(native_min < native_max);
+}
+
+os::Priority LinearPriorityMapping::to_native(CorbaPriority corba) const {
+  corba = std::clamp(corba, kMinCorbaPriority, kMaxCorbaPriority);
+  const auto span = static_cast<std::int64_t>(max_ - min_);
+  return min_ + static_cast<os::Priority>(static_cast<std::int64_t>(corba) * span /
+                                          kMaxCorbaPriority);
+}
+
+CorbaPriority LinearPriorityMapping::to_corba(os::Priority native) const {
+  native = std::clamp(native, min_, max_);
+  const auto span = static_cast<std::int64_t>(max_ - min_);
+  if (span == 0) return kMinCorbaPriority;
+  return static_cast<CorbaPriority>(static_cast<std::int64_t>(native - min_) *
+                                    kMaxCorbaPriority / span);
+}
+
+std::unique_ptr<PriorityMapping> make_qnx_mapping() {
+  return std::make_unique<LinearPriorityMapping>(1, 31);
+}
+
+std::unique_ptr<PriorityMapping> make_lynxos_mapping() {
+  return std::make_unique<LinearPriorityMapping>(0, 255);
+}
+
+std::unique_ptr<PriorityMapping> make_solaris_rt_mapping() {
+  return std::make_unique<LinearPriorityMapping>(100, 159);
+}
+
+PriorityMappingManager::PriorityMappingManager()
+    : active_(std::make_unique<LinearPriorityMapping>()) {}
+
+void PriorityMappingManager::install(std::unique_ptr<PriorityMapping> mapping) {
+  active_ = mapping ? std::move(mapping) : std::make_unique<LinearPriorityMapping>();
+}
+
+}  // namespace aqm::orb::rt

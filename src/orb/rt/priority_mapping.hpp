@@ -1,0 +1,72 @@
+// RT-CORBA priority mappings: translate platform-independent CORBA
+// priorities [0, 32767] to native OS priorities and back. A
+// PriorityMappingManager allows installation of a custom mapping, exactly
+// like the TAO extension the paper describes for its DiffServ work.
+#pragma once
+
+#include <memory>
+
+#include "os/priority.hpp"
+#include "orb/types.hpp"
+
+namespace aqm::orb::rt {
+
+class PriorityMapping {
+ public:
+  virtual ~PriorityMapping() = default;
+  [[nodiscard]] virtual os::Priority to_native(CorbaPriority corba) const = 0;
+  [[nodiscard]] virtual CorbaPriority to_corba(os::Priority native) const = 0;
+};
+
+/// Default: linear scaling of [0, 32767] onto [kMinPriority, kMaxPriority].
+class LinearPriorityMapping final : public PriorityMapping {
+ public:
+  LinearPriorityMapping(os::Priority native_min = os::kMinPriority,
+                        os::Priority native_max = os::kMaxPriority);
+
+  [[nodiscard]] os::Priority to_native(CorbaPriority corba) const override;
+  [[nodiscard]] CorbaPriority to_corba(os::Priority native) const override;
+
+ private:
+  os::Priority min_;
+  os::Priority max_;
+};
+
+// --- per-OS mappings (paper Figure 2) -------------------------------------------
+//
+// Each RTOS exposes a different native priority range, so the same CORBA
+// priority lands on a different native value per host while the
+// RTCorbaPriority service context carries the platform-independent value
+// end to end (the paper's example: CORBA 100 -> QNX 16 / LynxOS 128 /
+// Solaris 136). These factories produce mappings confined to each OS's
+// real-time band.
+
+/// QNX Neutrino: priorities 1..31.
+[[nodiscard]] std::unique_ptr<PriorityMapping> make_qnx_mapping();
+/// LynxOS: priorities 0..255.
+[[nodiscard]] std::unique_ptr<PriorityMapping> make_lynxos_mapping();
+/// Solaris RT scheduling class: global priorities 100..159.
+[[nodiscard]] std::unique_ptr<PriorityMapping> make_solaris_rt_mapping();
+
+/// Holds the active mapping; supports installing a custom one at run time
+/// (TAO's priority-mapping manager).
+class PriorityMappingManager {
+ public:
+  PriorityMappingManager();
+
+  /// Replaces the active mapping. Passing nullptr restores the default.
+  void install(std::unique_ptr<PriorityMapping> mapping);
+
+  [[nodiscard]] const PriorityMapping& mapping() const { return *active_; }
+  [[nodiscard]] os::Priority to_native(CorbaPriority corba) const {
+    return active_->to_native(corba);
+  }
+  [[nodiscard]] CorbaPriority to_corba(os::Priority native) const {
+    return active_->to_corba(native);
+  }
+
+ private:
+  std::unique_ptr<PriorityMapping> active_;
+};
+
+}  // namespace aqm::orb::rt

@@ -1,0 +1,71 @@
+#include "orb/rt/threadpool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqm::orb::rt {
+
+ThreadPool::ThreadPool(os::Cpu& cpu, const PriorityMappingManager& mapping,
+                       std::vector<ThreadpoolLane> lanes)
+    : cpu_(cpu), mapping_(mapping) {
+  assert(!lanes.empty());
+  std::sort(lanes.begin(), lanes.end(),
+            [](const ThreadpoolLane& a, const ThreadpoolLane& b) {
+              return a.lane_priority < b.lane_priority;
+            });
+  lanes_.reserve(lanes.size());
+  for (auto& l : lanes) {
+    assert(l.static_threads > 0);
+    lanes_.push_back(Lane{l, 0, {}});
+  }
+}
+
+std::size_t ThreadPool::lane_for(CorbaPriority priority) const {
+  // Highest lane priority <= request priority; lowest lane as fallback.
+  std::size_t chosen = 0;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].spec.lane_priority <= priority) chosen = i;
+  }
+  return chosen;
+}
+
+bool ThreadPool::dispatch(CorbaPriority priority, Duration cpu_cost,
+                          std::function<void()> on_complete) {
+  const std::size_t idx = lane_for(priority);
+  Lane& lane = lanes_[idx];
+  Pending work{priority, cpu_cost, std::move(on_complete)};
+  if (lane.busy < lane.spec.static_threads) {
+    run(idx, std::move(work));
+    return true;
+  }
+  if (lane.queue.size() >= lane.spec.max_queue) {
+    ++rejected_;
+    return false;
+  }
+  lane.queue.push_back(std::move(work));
+  return true;
+}
+
+void ThreadPool::run(std::size_t lane_idx, Pending work) {
+  Lane& lane = lanes_[lane_idx];
+  ++lane.busy;
+  const os::Priority native = mapping_.to_native(work.priority);
+  cpu_.submit_for(work.cpu_cost, native,
+                  [this, lane_idx, fn = std::move(work.on_complete)] {
+                    ++completed_;
+                    if (fn) fn();
+                    on_thread_free(lane_idx);
+                  });
+}
+
+void ThreadPool::on_thread_free(std::size_t lane_idx) {
+  Lane& lane = lanes_[lane_idx];
+  assert(lane.busy > 0);
+  --lane.busy;
+  if (lane.queue.empty()) return;
+  Pending next = std::move(lane.queue.front());
+  lane.queue.pop_front();
+  run(lane_idx, std::move(next));
+}
+
+}  // namespace aqm::orb::rt

@@ -1,0 +1,74 @@
+// RT-CORBA thread pools with lanes.
+//
+// A lane owns a fixed number of "threads" at a lane priority and a bounded
+// request queue (RT-CORBA's bounded buffering of requests). A request is
+// dispatched into the lane with the highest lane priority <= the request's
+// CORBA priority (or the lowest lane if none qualifies). While a lane has a
+// free thread the request's CPU work is submitted immediately; otherwise it
+// waits in the lane queue, and is rejected (TRANSIENT) when the queue is
+// full. CLIENT_PROPAGATED requests execute at the *request's* mapped native
+// priority; SERVER_DECLARED ones arrive already carrying the declared
+// priority, so the same rule applies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "os/cpu.hpp"
+#include "orb/rt/priority_mapping.hpp"
+#include "orb/types.hpp"
+
+namespace aqm::orb::rt {
+
+struct ThreadpoolLane {
+  CorbaPriority lane_priority = 0;
+  unsigned static_threads = 1;
+  std::size_t max_queue = 64;  // pending requests beyond the busy threads
+};
+
+class ThreadPool {
+ public:
+  /// `lanes` must be non-empty; they are sorted by lane priority internally.
+  ThreadPool(os::Cpu& cpu, const PriorityMappingManager& mapping,
+             std::vector<ThreadpoolLane> lanes);
+
+  /// Submits request work costing `cpu_cost` at `priority`. `on_complete`
+  /// runs when the work finishes. Returns false when the chosen lane's
+  /// queue is full (the caller should answer TRANSIENT).
+  bool dispatch(CorbaPriority priority, Duration cpu_cost, std::function<void()> on_complete);
+
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+  [[nodiscard]] std::size_t queued(std::size_t lane) const { return lanes_.at(lane).queue.size(); }
+  [[nodiscard]] unsigned busy(std::size_t lane) const { return lanes_.at(lane).busy; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+
+  /// Index of the lane a request of this priority lands in.
+  [[nodiscard]] std::size_t lane_for(CorbaPriority priority) const;
+
+ private:
+  struct Pending {
+    CorbaPriority priority;
+    Duration cpu_cost;
+    std::function<void()> on_complete;
+  };
+  struct Lane {
+    ThreadpoolLane spec;
+    unsigned busy = 0;
+    std::deque<Pending> queue;
+  };
+
+  void run(std::size_t lane_idx, Pending work);
+  void on_thread_free(std::size_t lane_idx);
+
+  os::Cpu& cpu_;
+  const PriorityMappingManager& mapping_;
+  std::vector<Lane> lanes_;  // sorted ascending by lane_priority
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace aqm::orb::rt

@@ -1,0 +1,39 @@
+#include "orb/servant.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "orb/exceptions.hpp"
+
+namespace aqm::orb {
+
+ServerRequest::Replier ServerRequest::defer() {
+  if (!replier) {
+    throw BadParam("defer() on a oneway request (no reply channel)");
+  }
+  deferred_ = true;
+  return replier;
+}
+
+Duration Servant::cpu_cost(const ServerRequest& req) const {
+  // Default: a small fixed cost plus a per-KB touch of the payload.
+  return microseconds(50) + microseconds(2) * static_cast<std::int64_t>(req.body.size() / 1024);
+}
+
+FunctionServant::FunctionServant(Duration fixed_cost, Handler handler)
+    : cost_([fixed_cost](const ServerRequest&) { return fixed_cost; }),
+      handler_(std::move(handler)) {
+  assert(handler_);
+}
+
+FunctionServant::FunctionServant(CostFn cost, Handler handler)
+    : cost_(std::move(cost)), handler_(std::move(handler)) {
+  assert(cost_);
+  assert(handler_);
+}
+
+Duration FunctionServant::cpu_cost(const ServerRequest& req) const { return cost_(req); }
+
+void FunctionServant::handle(ServerRequest& req) { handler_(req); }
+
+}  // namespace aqm::orb

@@ -1,0 +1,87 @@
+#include "orb/transport.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqm::orb {
+
+GiopTransport::GiopTransport(net::Network& net, net::NodeId node, TransportConfig config)
+    : net_(net), node_(node), config_(config) {
+  assert(config_.mtu > config_.packet_overhead);
+  net_.set_receiver(node_, [this](net::Packet&& p) { on_packet(std::move(p)); });
+}
+
+void GiopTransport::send_message(net::NodeId dst, MessageBuffer msg, net::Dscp dscp,
+                                 net::FlowId flow) {
+  assert(msg != nullptr && !msg->empty());
+  const std::uint32_t payload_mtu = config_.mtu - config_.packet_overhead;
+  const auto total = static_cast<std::uint32_t>(msg->size());
+  const std::uint32_t count = (total + payload_mtu - 1) / payload_mtu;
+  const std::uint64_t message_id = next_message_id_++;
+  ++sent_;
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t offset = i * payload_mtu;
+    const std::uint32_t length = std::min(payload_mtu, total - offset);
+    net::Packet p;
+    p.dst = dst;
+    p.size_bytes = length + config_.packet_overhead;
+    p.dscp = dscp;
+    p.ecn = config_.ecn_capable ? net::Ecn::Capable : net::Ecn::NotCapable;
+    p.flow = flow;
+    p.seq = flow_seq_[flow]++;
+    p.payload = GiopFragment{message_id, i, count, offset, length, msg};
+    net_.send(node_, std::move(p));
+  }
+}
+
+std::uint64_t GiopTransport::ce_marks(net::FlowId flow) const {
+  const auto it = ce_marks_.find(flow);
+  return it == ce_marks_.end() ? 0 : it->second;
+}
+
+void GiopTransport::on_packet(net::Packet&& p) {
+  if (!p.payload.has_value()) return;  // not a GIOP fragment (ignore)
+  const auto* frag = std::any_cast<GiopFragment>(&p.payload);
+  if (frag == nullptr) return;
+  if (p.ecn == net::Ecn::CongestionExperienced) ++ce_marks_[p.flow];
+
+  if (frag->count == 1) {
+    ++delivered_;
+    if (handler_) handler_(p.src, frag->data);
+    return;
+  }
+
+  const auto key = std::make_pair(p.src, frag->message_id);
+  auto it = reassembly_.find(key);
+  if (it == reassembly_.end()) {
+    Reassembly r;
+    r.expected = frag->count;
+    r.seen.assign(frag->count, false);
+    r.data = frag->data;
+    r.expiry = net_.engine().after(
+        config_.reassembly_timeout,
+        [this, src = p.src, id = frag->message_id] { expire(src, id); });
+    it = reassembly_.emplace(key, std::move(r)).first;
+  }
+  Reassembly& r = it->second;
+  if (frag->index >= r.expected || r.seen[frag->index]) return;  // dup/garbage
+  r.seen[frag->index] = true;
+  ++r.arrived;
+  if (r.arrived < r.expected) return;
+
+  net_.engine().cancel(r.expiry);
+  MessageBuffer msg = std::move(r.data);
+  reassembly_.erase(it);
+  ++delivered_;
+  if (handler_) handler_(p.src, std::move(msg));
+}
+
+void GiopTransport::expire(net::NodeId src, std::uint64_t message_id) {
+  const auto it = reassembly_.find({src, message_id});
+  if (it == reassembly_.end()) return;
+  reassembly_.erase(it);
+  ++expired_;
+}
+
+}  // namespace aqm::orb

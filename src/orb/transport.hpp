@@ -1,0 +1,93 @@
+// GIOP transport adapter: moves whole GIOP messages between nodes over the
+// packet network, fragmenting to the MTU on send and reassembling on
+// receive. Packet loss under congestion means messages can arrive
+// incomplete; reassembly state expires after a timeout and the message
+// counts as lost (video semantics: no retransmission, matching the paper's
+// streaming experiments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::orb {
+
+/// Bytes of a whole GIOP message, shared between its fragments.
+using MessageBuffer = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// What each network packet carries.
+struct GiopFragment {
+  std::uint64_t message_id = 0;
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+  MessageBuffer data;  // the full message; [offset, offset+length) is this fragment
+};
+
+struct TransportConfig {
+  std::uint32_t mtu = net::kDefaultMtu;
+  std::uint32_t packet_overhead = 40;  // IP + TCP-ish framing per fragment
+  Duration reassembly_timeout = seconds(5);
+  /// Send fragments ECN-capable: RED routers then mark instead of drop
+  /// under incipient congestion, and ce_marks() exposes the feedback.
+  bool ecn_capable = false;
+};
+
+class GiopTransport {
+ public:
+  /// (source node, complete message bytes, network-level receive time info)
+  using MessageHandler = std::function<void(net::NodeId src, MessageBuffer msg)>;
+
+  GiopTransport(net::Network& net, net::NodeId node, TransportConfig config = {});
+  GiopTransport(const GiopTransport&) = delete;
+  GiopTransport& operator=(const GiopTransport&) = delete;
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+
+  void set_message_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  /// Sends a message to `dst`, stamped with the given DSCP and flow id.
+  void send_message(net::NodeId dst, MessageBuffer msg, net::Dscp dscp,
+                    net::FlowId flow = net::kNoFlow);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  /// Messages whose reassembly expired with fragments missing.
+  [[nodiscard]] std::uint64_t messages_expired() const { return expired_; }
+  /// Congestion-experienced marks seen on received packets of a flow
+  /// (cumulative). The feedback signal for ECN-aware QuO adaptation.
+  [[nodiscard]] std::uint64_t ce_marks(net::FlowId flow) const;
+
+ private:
+  struct Reassembly {
+    std::uint32_t expected = 0;
+    std::uint32_t arrived = 0;
+    std::vector<bool> seen;
+    MessageBuffer data;
+    sim::EventId expiry{};
+  };
+
+  void on_packet(net::Packet&& p);
+  void expire(net::NodeId src, std::uint64_t message_id);
+
+  net::Network& net_;
+  net::NodeId node_;
+  TransportConfig config_;
+  MessageHandler handler_;
+  std::uint64_t next_message_id_ = 1;
+  std::map<net::FlowId, std::uint64_t> flow_seq_;
+  std::map<net::FlowId, std::uint64_t> ce_marks_;
+  std::map<std::pair<net::NodeId, std::uint64_t>, Reassembly> reassembly_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t expired_ = 0;
+};
+
+}  // namespace aqm::orb

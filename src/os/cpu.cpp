@@ -1,0 +1,341 @@
+#include "os/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aqm::os {
+namespace {
+
+// Effective-priority band for reserve-boosted jobs: above every base
+// priority, ordered among themselves by base priority.
+constexpr Priority kBoostBand = 10'000;
+
+std::uint64_t mul_div(std::uint64_t a, std::uint64_t num, std::uint64_t den) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * num / den);
+}
+
+std::uint64_t mul_div_ceil(std::uint64_t a, std::uint64_t num, std::uint64_t den) {
+  const auto wide = static_cast<unsigned __int128>(a) * num;
+  return static_cast<std::uint64_t>((wide + den - 1) / den);
+}
+
+}  // namespace
+
+Cpu::Cpu(sim::Engine& engine, std::string name, Config config)
+    : engine_(engine), name_(std::move(name)), config_(config) {
+  assert(config_.hz > 0);
+  assert(config_.quantum > Duration::zero());
+  assert(config_.reserve_utilization_cap > 0.0);
+}
+
+Duration Cpu::duration_of(std::uint64_t cycles) const {
+  return Duration{static_cast<std::int64_t>(mul_div_ceil(cycles, 1'000'000'000ULL, config_.hz))};
+}
+
+std::uint64_t Cpu::cycles_for(Duration cpu_time) const {
+  assert(cpu_time >= Duration::zero());
+  return mul_div_ceil(static_cast<std::uint64_t>(cpu_time.ns()), config_.hz, 1'000'000'000ULL);
+}
+
+JobId Cpu::submit(std::uint64_t cycles, Priority priority, std::function<void()> on_complete,
+                  ReserveId reserve) {
+  const JobId id = next_job_id_++;
+  Job job;
+  job.id = id;
+  job.cycles_remaining = cycles;
+  job.base_priority = priority;
+  job.reserve = reserve;
+  job.on_complete = std::move(on_complete);
+  job.queue_rank = next_rank_++;
+  jobs_.emplace(id, std::move(job));
+  reschedule();
+  return id;
+}
+
+JobId Cpu::submit_for(Duration cpu_time, Priority priority, std::function<void()> on_complete,
+                      ReserveId reserve) {
+  return submit(cycles_for(cpu_time), priority, std::move(on_complete), reserve);
+}
+
+bool Cpu::cancel(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  if (running_ && *running_ == id) {
+    charge_running();
+    clear_pending_events();
+    running_.reset();
+  }
+  jobs_.erase(it);
+  reschedule();
+  return true;
+}
+
+bool Cpu::set_base_priority(JobId id, Priority priority) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  if (it->second.base_priority == priority) return true;
+  it->second.base_priority = priority;
+  reschedule();
+  return true;
+}
+
+std::optional<Priority> Cpu::base_priority(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.base_priority;
+}
+
+Result<ReserveId> Cpu::create_reserve(const ReserveSpec& spec) {
+  if (spec.compute <= Duration::zero() || spec.period <= Duration::zero() ||
+      spec.compute > spec.period) {
+    return Result<ReserveId>::err("invalid reserve spec: need 0 < compute <= period");
+  }
+  if (reserved_utilization() + spec.utilization() > config_.reserve_utilization_cap) {
+    return Result<ReserveId>::err("reserve admission denied: utilization cap exceeded");
+  }
+  const ReserveId id = next_reserve_id_++;
+  Reserve r;
+  r.id = id;
+  r.spec = spec;
+  r.budget = spec.compute;  // starts with a full budget
+  r.period_start = engine_.now();
+  reserves_.emplace(id, std::move(r));
+  AQM_DEBUG() << "cpu " << name_ << ": reserve " << id << " admitted ("
+              << spec.compute.millis() << "ms/" << spec.period.millis() << "ms)";
+  reschedule();
+  return id;
+}
+
+void Cpu::destroy_reserve(ReserveId id) {
+  const auto it = reserves_.find(id);
+  if (it == reserves_.end()) return;
+  reserves_.erase(it);
+  // Jobs that referenced the reserve fall back to base priority via
+  // effective_priority()'s lookup failure.
+  reschedule();
+}
+
+Duration Cpu::reserve_budget(ReserveId id) const {
+  const auto it = reserves_.find(id);
+  if (it == reserves_.end()) return Duration::zero();
+  const Reserve& r = it->second;
+  const TimePoint now = engine_.now();
+  Duration budget = r.budget;
+  TimePoint period_start = r.period_start;
+  // Lazy replenishment view: crossing a boundary refills the budget.
+  if (now >= period_start + r.spec.period) {
+    const std::int64_t k = (now - period_start).ns() / r.spec.period.ns();
+    period_start = period_start + r.spec.period * k;
+    budget = r.spec.compute;
+  }
+  // Account for depletion by the currently running boosted job. The wake
+  // event interrupts at boundaries, so the running slice never straddles
+  // one by more than scheduling latency.
+  if (running_ && running_boosted_) {
+    const auto jit = jobs_.find(*running_);
+    if (jit != jobs_.end() && jit->second.reserve == id) {
+      const TimePoint from = std::max(run_start_, period_start);
+      budget = std::max(Duration::zero(), budget - (now - from));
+    }
+  }
+  return budget;
+}
+
+double Cpu::reserved_utilization() const {
+  double u = 0.0;
+  for (const auto& [id, r] : reserves_) u += r.spec.utilization();
+  return u;
+}
+
+Duration Cpu::busy_time() const {
+  std::int64_t ns = busy_ns_;
+  if (running_) ns += (engine_.now() - run_start_).ns();
+  return Duration{ns};
+}
+
+double Cpu::utilization() const {
+  const std::int64_t elapsed = engine_.now().ns();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_time().ns()) / static_cast<double>(elapsed);
+}
+
+std::optional<Priority> Cpu::running_priority() const {
+  if (!running_) return std::nullopt;
+  const auto it = jobs_.find(*running_);
+  if (it == jobs_.end()) return std::nullopt;
+  return effective_priority(it->second);
+}
+
+std::optional<Priority> Cpu::effective_priority(const Job& job) const {
+  if (job.reserve != kNoReserve) {
+    const auto it = reserves_.find(job.reserve);
+    if (it != reserves_.end()) {
+      if (it->second.budget > Duration::zero()) return kBoostBand + job.base_priority;
+      if (it->second.spec.hard) return std::nullopt;  // suspended until replenish
+    }
+  }
+  return job.base_priority;
+}
+
+bool Cpu::is_boosted(const Job& job) const {
+  if (job.reserve == kNoReserve) return false;
+  const auto it = reserves_.find(job.reserve);
+  return it != reserves_.end() && it->second.budget > Duration::zero();
+}
+
+void Cpu::charge_running() {
+  if (!running_) return;
+  const auto it = jobs_.find(*running_);
+  assert(it != jobs_.end());
+  Job& job = it->second;
+  const Duration elapsed = engine_.now() - run_start_;
+  assert(elapsed >= Duration::zero());
+  if (elapsed == Duration::zero()) return;
+
+  const std::uint64_t used = std::min(
+      job.cycles_remaining,
+      mul_div(static_cast<std::uint64_t>(elapsed.ns()), config_.hz, 1'000'000'000ULL));
+  job.cycles_remaining -= used;
+  busy_ns_ += elapsed.ns();
+
+  if (running_boosted_) {
+    const auto rit = reserves_.find(job.reserve);
+    if (rit != reserves_.end()) {
+      rit->second.budget = std::max(Duration::zero(), rit->second.budget - elapsed);
+    }
+  }
+  if (trace_enabled_) {
+    trace_.push_back(RunSlice{job.id,
+                              effective_priority(job).value_or(job.base_priority),
+                              running_boosted_ ? job.reserve : kNoReserve,
+                              running_boosted_, run_start_, engine_.now()});
+  }
+  run_start_ = engine_.now();
+}
+
+void Cpu::clear_pending_events() {
+  if (completion_event_.valid()) engine_.cancel(completion_event_);
+  if (limit_event_.valid()) engine_.cancel(limit_event_);
+  if (reserve_wake_event_.valid()) engine_.cancel(reserve_wake_event_);
+  completion_event_ = sim::EventId{};
+  limit_event_ = sim::EventId{};
+  reserve_wake_event_ = sim::EventId{};
+}
+
+void Cpu::roll_periods() {
+  const TimePoint now = engine_.now();
+  for (auto& [id, r] : reserves_) {
+    if (now < r.period_start + r.spec.period) continue;
+    const std::int64_t k = (now - r.period_start).ns() / r.spec.period.ns();
+    r.period_start = r.period_start + r.spec.period * k;
+    r.budget = r.spec.compute;  // unused budget does not accumulate
+  }
+}
+
+void Cpu::arm_reserve_wake() {
+  // Wake the scheduler at the next period boundary of any reserve that has
+  // jobs attached, so suspended jobs resume and budgets refresh on time.
+  // Idle reserves arm nothing, which keeps the event queue drainable.
+  TimePoint next = TimePoint::max();
+  for (const auto& [jid, job] : jobs_) {
+    if (job.reserve == kNoReserve) continue;
+    const auto rit = reserves_.find(job.reserve);
+    if (rit == reserves_.end()) continue;
+    next = std::min(next, rit->second.period_start + rit->second.spec.period);
+  }
+  if (next == TimePoint::max()) return;
+  reserve_wake_event_ = engine_.at(next, [this] {
+    reserve_wake_event_ = sim::EventId{};
+    reschedule();
+  });
+}
+
+void Cpu::reschedule() {
+  charge_running();
+  clear_pending_events();
+  running_.reset();
+  running_boosted_ = false;
+  roll_periods();
+  arm_reserve_wake();
+
+  // Pick the runnable job with the highest effective priority; FIFO within
+  // a level (smallest queue_rank first). jobs_ is an ordered map, so the
+  // scan is deterministic.
+  const Job* best = nullptr;
+  Priority best_prio = 0;
+  for (const auto& [id, job] : jobs_) {
+    const auto ep = effective_priority(job);
+    if (!ep) continue;
+    if (best == nullptr || *ep > best_prio ||
+        (*ep == best_prio && job.queue_rank < best->queue_rank)) {
+      best = &job;
+      best_prio = *ep;
+    }
+  }
+  if (best == nullptr) return;  // idle
+
+  running_ = best->id;
+  running_boosted_ = is_boosted(*best);
+  run_start_ = engine_.now();
+
+  const Duration to_completion = duration_of(best->cycles_remaining);
+
+  // The running job may be stopped early by reserve-budget exhaustion or by
+  // quantum expiry (round-robin with an equal-priority peer).
+  Duration limit = Duration::max();
+  if (running_boosted_) {
+    limit = reserves_.at(best->reserve).budget;
+  }
+  if (config_.quantum < Duration::max()) {
+    for (const auto& [id, job] : jobs_) {
+      if (id == best->id) continue;
+      const auto ep = effective_priority(job);
+      if (ep && *ep == best_prio) {
+        limit = std::min(limit, config_.quantum);
+        break;
+      }
+    }
+  }
+
+  if (to_completion <= limit) {
+    completion_event_ =
+        engine_.after(to_completion, [this, id = best->id] { complete(id); });
+  } else {
+    limit_event_ = engine_.after(limit, [this] {
+      limit_event_ = sim::EventId{};
+      // Rotate the interrupted job behind its equal-priority peers, then
+      // re-evaluate. Budget exhaustion is picked up by effective_priority()
+      // after charge_running() updates the reserve.
+      if (running_) {
+        const auto it = jobs_.find(*running_);
+        if (it != jobs_.end()) it->second.queue_rank = next_rank_++;
+      }
+      reschedule();
+    });
+  }
+}
+
+void Cpu::complete(JobId id) {
+  completion_event_ = sim::EventId{};
+  assert(running_ && *running_ == id);
+  charge_running();
+  clear_pending_events();
+  running_.reset();
+  running_boosted_ = false;
+
+  const auto it = jobs_.find(id);
+  assert(it != jobs_.end());
+  // Completion was scheduled for the exact finish instant; rounding in
+  // charge_running() can leave a sub-nanosecond residue of cycles.
+  it->second.cycles_remaining = 0;
+  auto on_complete = std::move(it->second.on_complete);
+  jobs_.erase(it);
+
+  reschedule();
+  if (on_complete) on_complete();
+}
+
+}  // namespace aqm::os

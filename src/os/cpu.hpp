@@ -1,0 +1,194 @@
+// Simulated single-core CPU with a preemptive fixed-priority scheduler and
+// TimeSys-style resource-kernel CPU reserves.
+//
+// Scheduling model
+// ----------------
+//  * Work arrives as jobs with a cycle cost, a base priority and an optional
+//    attached reserve. The highest effective-priority runnable job runs.
+//  * Within one priority level jobs share the CPU round-robin with a
+//    configurable quantum (vanilla-Linux-like timesharing). Preemption by a
+//    higher priority job is immediate. Setting the quantum to Duration::max()
+//    yields SCHED_FIFO run-to-completion semantics.
+//  * A reserve guarantees `compute` CPU time every `period` (the TimeSys
+//    resource-kernel model [TimeSys:01]). While a reserve has budget, jobs
+//    attached to it run in a boosted band above all non-reserved work and
+//    deplete the budget 1:1 with CPU time. On exhaustion a *hard* reserve
+//    suspends its jobs until the next replenishment; a *soft* reserve lets
+//    them continue at their base priority. Budgets replenish to `compute`
+//    every `period`.
+//  * Reserve admission control enforces sum(C_i/T_i) <= utilization cap.
+//
+// The scheduler records an optional run trace (contiguous slices of which
+// job ran at what effective priority) that property tests use to check the
+// "no lower-priority job runs while a higher-priority job is runnable"
+// invariant and reserve guarantees.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "os/priority.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::os {
+
+using JobId = std::uint64_t;
+using ReserveId = std::uint64_t;
+inline constexpr ReserveId kNoReserve = 0;
+
+/// Parameters of a CPU reserve: `compute` time guaranteed every `period`.
+struct ReserveSpec {
+  Duration compute;
+  Duration period;
+  bool hard = true;
+
+  [[nodiscard]] double utilization() const {
+    return static_cast<double>(compute.ns()) / static_cast<double>(period.ns());
+  }
+};
+
+struct CpuConfig {
+  std::uint64_t hz = 1'000'000'000;       // 1 GHz, like the paper's testbed
+  Duration quantum = milliseconds(10);    // round-robin slice within a priority
+  double reserve_utilization_cap = 0.9;   // admission bound for sum(C/T)
+};
+
+class Cpu {
+ public:
+  using Config = CpuConfig;
+
+  Cpu(sim::Engine& engine, std::string name, Config config = {});
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // --- job submission -----------------------------------------------------
+
+  /// Submits a job costing `cycles` CPU cycles at `priority`. The completion
+  /// callback runs (in simulation time) the instant the job finishes.
+  JobId submit(std::uint64_t cycles, Priority priority, std::function<void()> on_complete,
+               ReserveId reserve = kNoReserve);
+
+  /// Convenience: submits a job sized so it takes `cpu_time` of pure
+  /// execution on this CPU.
+  JobId submit_for(Duration cpu_time, Priority priority, std::function<void()> on_complete,
+                   ReserveId reserve = kNoReserve);
+
+  /// Cancels a pending or running job (its completion callback never runs).
+  /// Returns false if the job already completed or does not exist.
+  bool cancel(JobId id);
+
+  /// Changes a job's base priority in place (the primitive priority-
+  /// inheritance protocols need). Returns false for unknown jobs.
+  bool set_base_priority(JobId id, Priority priority);
+
+  /// Current base priority of a job, if it exists.
+  [[nodiscard]] std::optional<Priority> base_priority(JobId id) const;
+
+  // --- reserves -------------------------------------------------------------
+
+  /// Creates a reserve if admission control admits it.
+  Result<ReserveId> create_reserve(const ReserveSpec& spec);
+
+  /// Destroys a reserve. Jobs attached to it continue at base priority.
+  void destroy_reserve(ReserveId id);
+
+  [[nodiscard]] bool has_reserve(ReserveId id) const { return reserves_.count(id) > 0; }
+
+  /// Remaining budget in the current period (zero for unknown reserves).
+  [[nodiscard]] Duration reserve_budget(ReserveId id) const;
+
+  /// Sum of C/T over all live reserves.
+  [[nodiscard]] double reserved_utilization() const;
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t hz() const { return config_.hz; }
+  [[nodiscard]] bool idle() const { return !running_.has_value(); }
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  /// Total CPU time spent executing jobs so far.
+  [[nodiscard]] Duration busy_time() const;
+  /// busy_time / elapsed simulated time (0 if no time has elapsed).
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] Duration duration_of(std::uint64_t cycles) const;
+  [[nodiscard]] std::uint64_t cycles_for(Duration cpu_time) const;
+
+  /// Effective priority currently executing, if any.
+  [[nodiscard]] std::optional<Priority> running_priority() const;
+
+  // --- run trace (for tests) ------------------------------------------------
+
+  struct RunSlice {
+    JobId job;
+    Priority effective_priority;
+    ReserveId reserve;  // kNoReserve if the slice ran unboosted
+    bool boosted;
+    TimePoint start;
+    TimePoint end;
+  };
+  void enable_trace(bool on) { trace_enabled_ = on; }
+  [[nodiscard]] const std::vector<RunSlice>& trace() const { return trace_; }
+
+ private:
+  struct Job {
+    JobId id = 0;
+    std::uint64_t cycles_remaining = 0;
+    Priority base_priority = kDefaultPriority;
+    ReserveId reserve = kNoReserve;
+    std::function<void()> on_complete;
+    std::uint64_t queue_rank = 0;  // FIFO order within a priority level
+  };
+
+  struct Reserve {
+    ReserveId id = 0;
+    ReserveSpec spec;
+    Duration budget = Duration::zero();
+    /// Start of the current replenishment period. Budgets refresh lazily:
+    /// roll_periods() advances this and resets the budget whenever the
+    /// clock has crossed one or more period boundaries. A scheduler wake
+    /// event is armed at the next boundary only while jobs are attached,
+    /// so an idle reserve generates no simulation events.
+    TimePoint period_start{};
+  };
+
+  // Effective priority of a job right now; nullopt when not runnable
+  // (hard reserve with exhausted budget).
+  [[nodiscard]] std::optional<Priority> effective_priority(const Job& job) const;
+  [[nodiscard]] bool is_boosted(const Job& job) const;
+
+  void charge_running();            // account CPU time of running job up to now()
+  void reschedule();                // pick next job, arm completion/limit events
+  void complete(JobId id);          // finish a job, fire callback
+  void roll_periods();              // lazy budget replenishment
+  void arm_reserve_wake();          // wake at the next relevant period boundary
+  void clear_pending_events();
+
+  sim::Engine& engine_;
+  std::string name_;
+  Config config_;
+
+  std::map<JobId, Job> jobs_;       // ordered map: deterministic iteration
+  std::map<ReserveId, Reserve> reserves_;
+  JobId next_job_id_ = 1;
+  ReserveId next_reserve_id_ = 1;
+  std::uint64_t next_rank_ = 1;
+
+  std::optional<JobId> running_;
+  bool running_boosted_ = false;
+  TimePoint run_start_{};
+  sim::EventId completion_event_{};
+  sim::EventId limit_event_{};      // budget exhaustion or quantum expiry
+  sim::EventId reserve_wake_event_{};
+
+  std::int64_t busy_ns_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<RunSlice> trace_;
+};
+
+}  // namespace aqm::os

@@ -1,0 +1,127 @@
+#include "os/mutex.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqm::os {
+
+struct PiMutex::State {
+  Cpu* cpu = nullptr;
+  bool priority_inheritance = true;
+
+  bool locked = false;
+  std::uint64_t holder_epoch = 0;     // invalidates stale guards
+  JobId holder_job = 0;               // 0 = not yet associated
+  Priority holder_base = kMinPriority;  // holder's un-boosted priority
+  bool holder_boosted = false;
+  std::uint64_t boosts = 0;
+
+  struct Waiter {
+    Priority priority;
+    std::uint64_t seq;
+    GrantedFn granted;
+  };
+  std::deque<Waiter> waiters;
+  std::uint64_t next_seq = 0;
+
+  void maybe_boost_holder() {
+    if (!priority_inheritance || !locked || holder_job == 0 || waiters.empty()) return;
+    Priority top = kMinPriority;
+    for (const auto& w : waiters) top = std::max(top, w.priority);
+    if (top <= holder_base) return;
+    const auto current = cpu->base_priority(holder_job);
+    if (!current) return;  // holder job already completed
+    if (*current < top) {
+      cpu->set_base_priority(holder_job, top);
+      holder_boosted = true;
+      ++boosts;
+    }
+  }
+
+  void restore_holder() {
+    if (holder_boosted && holder_job != 0) {
+      cpu->set_base_priority(holder_job, holder_base);  // no-op if gone
+    }
+    holder_boosted = false;
+    holder_job = 0;
+  }
+};
+
+struct PiMutex::Guard::Token {
+  std::shared_ptr<State> mutex_state;
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] bool current() const {
+    return mutex_state && mutex_state->locked && mutex_state->holder_epoch == epoch;
+  }
+};
+
+PiMutex::PiMutex(Cpu& cpu, bool priority_inheritance) : state_(std::make_shared<State>()) {
+  state_->cpu = &cpu;
+  state_->priority_inheritance = priority_inheritance;
+}
+
+void PiMutex::acquire(Priority priority, GrantedFn on_granted) {
+  assert(on_granted);
+  State& s = *state_;
+  if (!s.locked) {
+    s.locked = true;
+    ++s.holder_epoch;
+    s.holder_base = priority;
+    s.holder_job = 0;
+    s.holder_boosted = false;
+    auto token = std::make_shared<Guard::Token>();
+    token->mutex_state = state_;
+    token->epoch = s.holder_epoch;
+    on_granted(Guard{std::move(token)});
+    return;
+  }
+  s.waiters.push_back(State::Waiter{priority, s.next_seq++, std::move(on_granted)});
+  s.maybe_boost_holder();
+}
+
+bool PiMutex::locked() const { return state_->locked; }
+
+std::size_t PiMutex::waiter_count() const { return state_->waiters.size(); }
+
+std::uint64_t PiMutex::inheritance_boosts() const { return state_->boosts; }
+
+void PiMutex::Guard::set_holder_job(JobId job) {
+  if (!state_ || !state_->current()) return;
+  State& s = *state_->mutex_state;
+  s.holder_job = job;
+  s.maybe_boost_holder();
+}
+
+void PiMutex::Guard::release() {
+  if (!state_ || !state_->current()) return;  // stale or double release
+  State& s = *state_->mutex_state;
+  s.restore_holder();
+  s.locked = false;
+
+  if (s.waiters.empty()) return;
+  // Grant the highest-priority waiter (FIFO within a priority).
+  auto best = s.waiters.begin();
+  for (auto it = s.waiters.begin(); it != s.waiters.end(); ++it) {
+    if (it->priority > best->priority ||
+        (it->priority == best->priority && it->seq < best->seq)) {
+      best = it;
+    }
+  }
+  State::Waiter next = std::move(*best);
+  s.waiters.erase(best);
+
+  s.locked = true;
+  ++s.holder_epoch;
+  s.holder_base = next.priority;
+  s.holder_job = 0;
+  s.holder_boosted = false;
+  auto token = std::make_shared<Token>();
+  token->mutex_state = state_->mutex_state;
+  token->epoch = s.holder_epoch;
+  next.granted(Guard{std::move(token)});
+  // New waiters may already outrank the new holder.
+  s.maybe_boost_holder();
+}
+
+}  // namespace aqm::os

@@ -1,0 +1,72 @@
+// Priority-inheritance mutex.
+//
+// RT-CORBA standardizes "intra-process mutexes" precisely because plain
+// mutexes invert priorities: a low-priority holder preempted by
+// medium-priority work blocks a high-priority waiter indefinitely (the
+// Mars Pathfinder failure mode). With basic priority inheritance the
+// holder's job is boosted to the highest waiting priority until release.
+//
+// Usage follows the simulator's callback style:
+//
+//   mutex.acquire(priority, [&](PiMutex::Guard guard) {
+//     const os::JobId job = cpu.submit_for(cs_cost, priority,
+//                                          [guard]() mutable { guard.release(); });
+//     guard.set_holder_job(job);  // boost target while others wait
+//   });
+//
+// Waiters are granted in priority order (FIFO within a priority).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "os/cpu.hpp"
+
+namespace aqm::os {
+
+class PiMutex {
+ public:
+  class Guard;
+  using GrantedFn = std::function<void(Guard)>;
+
+  /// `priority_inheritance` = false gives a plain priority-queued mutex
+  /// (for demonstrating the inversion the protocol prevents).
+  explicit PiMutex(Cpu& cpu, bool priority_inheritance = true);
+
+  /// Requests the lock on behalf of a task running at `priority`.
+  /// `on_granted` runs (possibly immediately) when the lock is obtained.
+  void acquire(Priority priority, GrantedFn on_granted);
+
+  [[nodiscard]] bool locked() const;
+  [[nodiscard]] std::size_t waiter_count() const;
+  /// Number of times a holder was boosted by a waiter.
+  [[nodiscard]] std::uint64_t inheritance_boosts() const;
+
+  /// Handle the current holder uses to manage the critical section.
+  class Guard {
+   public:
+    Guard() = default;
+
+    /// Associates the holder's CPU job so inheritance can boost it.
+    void set_holder_job(JobId job);
+
+    /// Releases the lock (idempotent); the next waiter is granted.
+    void release();
+
+    [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class PiMutex;
+    struct Token;
+    explicit Guard(std::shared_ptr<Token> state) : state_(std::move(state)) {}
+    std::shared_ptr<Token> state_;
+  };
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace aqm::os

@@ -1,0 +1,19 @@
+// Native OS priority model used by the simulated hosts.
+//
+// Higher value = more important (the RT-CORBA priority-mapping managers in
+// orb/rt translate 0..32767 CORBA priorities into this range, mimicking the
+// per-OS mappings the paper shows in Figure 2 for QNX/LynxOS/Solaris).
+#pragma once
+
+namespace aqm::os {
+
+using Priority = int;
+
+/// Lowest schedulable priority (idle/background work).
+inline constexpr Priority kMinPriority = 0;
+/// Highest application priority.
+inline constexpr Priority kMaxPriority = 255;
+/// Default priority for work submitted without an explicit priority.
+inline constexpr Priority kDefaultPriority = 100;
+
+}  // namespace aqm::os

@@ -1,0 +1,69 @@
+#include "quo/contract.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aqm::quo {
+
+Contract::Contract(sim::Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+Contract& Contract::add_region(std::string region, Predicate predicate) {
+  assert(!region.empty());
+  regions_.push_back(Region{std::move(region), std::move(predicate)});
+  return *this;
+}
+
+Contract& Contract::on_enter(const std::string& region, TransitionCallback cb) {
+  enter_callbacks_.emplace(region, std::move(cb));
+  return *this;
+}
+
+Contract& Contract::on_transition(const std::string& from, const std::string& to,
+                                  TransitionCallback cb) {
+  transition_callbacks_.emplace(std::make_pair(from, to), std::move(cb));
+  return *this;
+}
+
+Contract& Contract::observe(SysCond& cond) {
+  cond.subscribe([this] { eval(); });
+  return *this;
+}
+
+const std::string& Contract::eval() {
+  assert(!regions_.empty() && "contract has no regions");
+  // Transition callbacks may set conditions that re-trigger eval();
+  // suppress re-entrancy so one outermost eval settles the region.
+  if (evaluating_) return current_;
+  evaluating_ = true;
+
+  const std::string* selected = nullptr;
+  for (const auto& r : regions_) {
+    if (!r.predicate || r.predicate()) {
+      selected = &r.name;
+      break;
+    }
+  }
+  // No region matched: stay where we are.
+  if (selected == nullptr) {
+    evaluating_ = false;
+    return current_;
+  }
+
+  if (*selected != current_) {
+    const std::string from = current_;
+    current_ = *selected;
+    history_.emplace_back(engine_.now(), current_);
+    AQM_DEBUG() << "contract " << name_ << ": region '" << from << "' -> '" << current_
+                << "' at " << engine_.now().seconds() << "s";
+    const auto [tb, te] = transition_callbacks_.equal_range({from, current_});
+    for (auto it = tb; it != te; ++it) it->second();
+    const auto [eb, ee] = enter_callbacks_.equal_range(current_);
+    for (auto it = eb; it != ee; ++it) it->second();
+  }
+  evaluating_ = false;
+  return current_;
+}
+
+}  // namespace aqm::quo

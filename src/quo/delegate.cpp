@@ -1,0 +1,30 @@
+#include "quo/delegate.hpp"
+
+namespace aqm::quo {
+
+void Delegate::oneway(const std::string& operation, std::vector<std::uint8_t> body) {
+  if (pre_ && pre_(operation, body) == CallAction::Drop) {
+    ++dropped_;
+    return;
+  }
+  ++forwarded_;
+  stub_.oneway(operation, std::move(body));
+}
+
+void Delegate::twoway(const std::string& operation, std::vector<std::uint8_t> body,
+                      orb::OrbEndpoint::ResponseCallback cb, Duration timeout) {
+  if (pre_ && pre_(operation, body) == CallAction::Drop) {
+    ++dropped_;
+    return;
+  }
+  ++forwarded_;
+  stub_.twoway(operation, std::move(body),
+               [this, operation, cb = std::move(cb)](orb::CompletionStatus status,
+                                                     std::vector<std::uint8_t> reply) {
+                 if (post_) post_(operation, status);
+                 if (cb) cb(status, std::move(reply));
+               },
+               timeout);
+}
+
+}  // namespace aqm::quo

@@ -1,0 +1,60 @@
+// QuO delegates.
+//
+// "Delegates are proxies that can be inserted into the path of object
+// interactions transparently, but with woven in QoS aware and adaptive
+// code. When a method call or return is made, the delegate checks the
+// system state, as recorded by a set of contracts, and selects a behavior
+// based upon it."
+//
+// A Delegate wraps an ObjectStub and runs pluggable in-band behaviors
+// before the call goes out (drop / rewrite / annotate) and after a reply
+// returns. Frame filtering in the video pipeline is a pre-invoke behavior.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "orb/orb.hpp"
+
+namespace aqm::quo {
+
+/// Decision made by a pre-invoke behavior.
+enum class CallAction : std::uint8_t {
+  Proceed,  // forward the (possibly rewritten) call
+  Drop,     // suppress the call entirely
+};
+
+class Delegate {
+ public:
+  /// May inspect/rewrite the operation's body; returns whether to forward.
+  using PreInvoke = std::function<CallAction(const std::string& op,
+                                             std::vector<std::uint8_t>& body)>;
+  /// Observes replies (after the ORB's completion callback fires).
+  using PostInvoke =
+      std::function<void(const std::string& op, orb::CompletionStatus status)>;
+
+  explicit Delegate(orb::ObjectStub stub) : stub_(std::move(stub)) {}
+
+  [[nodiscard]] orb::ObjectStub& stub() { return stub_; }
+
+  void set_pre_invoke(PreInvoke hook) { pre_ = std::move(hook); }
+  void set_post_invoke(PostInvoke hook) { post_ = std::move(hook); }
+
+  void oneway(const std::string& operation, std::vector<std::uint8_t> body);
+  void twoway(const std::string& operation, std::vector<std::uint8_t> body,
+              orb::OrbEndpoint::ResponseCallback cb, Duration timeout = seconds(2));
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  orb::ObjectStub stub_;
+  PreInvoke pre_;
+  PostInvoke post_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace aqm::quo

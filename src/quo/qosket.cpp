@@ -1,0 +1,25 @@
+#include "quo/qosket.hpp"
+
+#include <cassert>
+
+namespace aqm::quo {
+
+Contract& Qosket::make_contract(sim::Engine& engine, const std::string& contract_name) {
+  assert(contracts_.count(contract_name) == 0);
+  auto c = std::make_unique<Contract>(engine, contract_name);
+  Contract& ref = *c;
+  contracts_[contract_name] = std::move(c);
+  return ref;
+}
+
+Contract* Qosket::contract(const std::string& contract_name) {
+  const auto it = contracts_.find(contract_name);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+SysCond* Qosket::syscond(const std::string& cond_name) {
+  const auto it = sysconds_.find(cond_name);
+  return it == sysconds_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace aqm::quo

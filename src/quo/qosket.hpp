@@ -1,0 +1,51 @@
+// Qoskets: reusable bundles of QoS behavior [Qosket:02].
+//
+// "QuO ... supports dynamic QoS provisioning via its Qosket mechanisms" —
+// a qosket packages contracts, system condition objects and delegate
+// behaviors under one name so the same adaptive behavior can be attached
+// to different applications.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "quo/contract.hpp"
+#include "quo/delegate.hpp"
+#include "quo/syscond.hpp"
+
+namespace aqm::quo {
+
+class Qosket {
+ public:
+  explicit Qosket(std::string name) : name_(std::move(name)) {}
+  Qosket(const Qosket&) = delete;
+  Qosket& operator=(const Qosket&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Creates and owns a contract.
+  Contract& make_contract(sim::Engine& engine, const std::string& contract_name);
+
+  /// Adds an owned system condition object; returns a typed reference.
+  template <typename T, typename... Args>
+  T& make_syscond(Args&&... args) {
+    auto cond = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *cond;
+    sysconds_[ref.name()] = std::move(cond);
+    return ref;
+  }
+
+  [[nodiscard]] Contract* contract(const std::string& contract_name);
+  [[nodiscard]] SysCond* syscond(const std::string& cond_name);
+
+  [[nodiscard]] std::size_t contract_count() const { return contracts_.size(); }
+  [[nodiscard]] std::size_t syscond_count() const { return sysconds_.size(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Contract>> contracts_;
+  std::map<std::string, std::unique_ptr<SysCond>> sysconds_;
+};
+
+}  // namespace aqm::quo

@@ -1,0 +1,101 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace aqm::sim {
+
+EventId Engine::at(TimePoint t, Handler fn) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  assert(fn && "event handler must be callable");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push_back(Event{t, seq, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  return EventId{seq};
+}
+
+bool Engine::cancel(EventId id) {
+  if (!id.valid()) return false;
+  if (id.seq >= next_seq_) return false;
+  // Lazy cancellation: remember the sequence number and skip it on pop.
+  return cancelled_.insert(id.seq).second;
+}
+
+bool Engine::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    if (cancelled_.erase(ev.seq) > 0) continue;
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+bool Engine::peek_next_time(TimePoint& t) {
+  while (!queue_.empty() && cancelled_.count(queue_.front().seq) > 0) {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    cancelled_.erase(queue_.back().seq);
+    queue_.pop_back();
+  }
+  if (queue_.empty()) return false;
+  t = queue_.front().time;
+  return true;
+}
+
+bool Engine::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(TimePoint t) {
+  TimePoint next;
+  while (peek_next_time(next) && next <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+PeriodicTimer::PeriodicTimer(Engine& engine, Duration period, std::function<void()> on_tick)
+    : engine_(engine), period_(period), on_tick_(std::move(on_tick)) {
+  assert(period_ > Duration::zero());
+  assert(on_tick_);
+}
+
+void PeriodicTimer::start() { start_after(period_); }
+
+void PeriodicTimer::start_after(Duration initial_delay) {
+  stop();
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTimer::stop() {
+  if (pending_.valid()) engine_.cancel(pending_);
+  pending_ = EventId{};
+  running_ = false;
+}
+
+void PeriodicTimer::arm(Duration delay) {
+  pending_ = engine_.after(delay, [this] {
+    pending_ = EventId{};
+    if (!running_) return;
+    on_tick_();
+    // on_tick_ may have stopped the timer (or restarted it).
+    if (running_ && !pending_.valid()) arm(period_);
+  });
+}
+
+}  // namespace aqm::sim

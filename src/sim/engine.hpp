@@ -1,0 +1,112 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-sequence)
+// order, so two events scheduled for the same instant run in the order they
+// were scheduled. All simulated subsystems (CPU schedulers, links, queues,
+// RSVP agents, ORB transports, QuO contracts) are driven by this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aqm::sim {
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const { return seq != 0; }
+};
+
+class Engine {
+ public:
+  using Handler = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules a handler at an absolute time (must be >= now()).
+  EventId at(TimePoint t, Handler fn);
+
+  /// Schedules a handler after a relative delay (must be >= 0).
+  EventId after(Duration d, Handler fn) { return at(now_ + d, std::move(fn)); }
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
+  /// no-op. Returns true if the event was pending and is now cancelled.
+  bool cancel(EventId id);
+
+  /// Runs the earliest pending event. Returns false if none remain.
+  bool step();
+
+  /// Runs until no events remain.
+  void run();
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void run_until(TimePoint t);
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events executed so far (for tests / sanity reporting).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next non-cancelled event into `out`; false if none.
+  bool pop_next(Event& out);
+  // Time of the next non-cancelled event (discarding cancelled heads).
+  bool peek_next_time(TimePoint& t);
+
+  TimePoint now_ = TimePoint::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::vector<Event> queue_;  // binary heap via std::push_heap/pop_heap
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Repeatedly invokes a callback with a fixed period until stopped.
+/// The first tick fires one period after start() (or at a given phase).
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Engine& engine, Duration period, std::function<void()> on_tick);
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  /// Starts with the first tick at now() + initial_delay.
+  void start_after(Duration initial_delay);
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] Duration period() const { return period_; }
+  void set_period(Duration period) { period_ = period; }
+
+ private:
+  void arm(Duration delay);
+
+  Engine& engine_;
+  Duration period_;
+  std::function<void()> on_tick_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace aqm::sim

@@ -1,0 +1,164 @@
+// Asynchronous method handling: deferred (AMI-style) servant replies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+#include "os/cpu.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::orb {
+namespace {
+
+struct AmiFixture : public ::testing::Test {
+  AmiFixture()
+      : net(engine),
+        client_node(net.add_node("client")),
+        server_node(net.add_node("server")),
+        client_cpu(engine, "client-cpu"),
+        server_cpu(engine, "server-cpu"),
+        client(net, client_node, client_cpu),
+        server(net, server_node, server_cpu) {
+    net.add_duplex_link(client_node, server_node, net::LinkConfig{});
+  }
+
+  sim::Engine engine;
+  net::Network net;
+  net::NodeId client_node;
+  net::NodeId server_node;
+  os::Cpu client_cpu;
+  os::Cpu server_cpu;
+  OrbEndpoint client;
+  OrbEndpoint server;
+};
+
+TEST_F(AmiFixture, DeferredReplyArrivesWhenCompleted) {
+  Poa& poa = server.create_poa("app");
+  auto servant = std::make_shared<FunctionServant>(
+      microseconds(50), [&](ServerRequest& req) {
+        auto reply = req.defer();
+        // Finish after more simulated work (e.g. a pipeline of CPU jobs).
+        server_cpu.submit_for(milliseconds(20), 100, [reply]() mutable {
+          reply({'d', 'o', 'n', 'e'});
+        });
+      });
+  const ObjectRef ref = poa.activate_object("worker", std::move(servant));
+
+  std::optional<CompletionStatus> status;
+  std::optional<TimePoint> when;
+  std::vector<std::uint8_t> body;
+  client.invoke(ref, "work", {}, InvokeOptions{},
+                [&](CompletionStatus s, std::vector<std::uint8_t> b) {
+                  status = s;
+                  when = engine.now();
+                  body = std::move(b);
+                });
+  engine.run();
+  ASSERT_TRUE(status);
+  EXPECT_EQ(*status, CompletionStatus::Ok);
+  EXPECT_EQ(body, (std::vector<std::uint8_t>{'d', 'o', 'n', 'e'}));
+  // The reply waited for the 20 ms pipeline.
+  EXPECT_GT(when->ns(), milliseconds(20).ns());
+}
+
+TEST_F(AmiFixture, DoubleCompletionIsIgnored) {
+  Poa& poa = server.create_poa("app");
+  auto servant = std::make_shared<FunctionServant>(
+      microseconds(50), [&](ServerRequest& req) {
+        auto reply = req.defer();
+        server_cpu.submit_for(milliseconds(1), 100, [reply]() mutable {
+          reply({1});
+          reply({2});  // no-op
+        });
+      });
+  const ObjectRef ref = poa.activate_object("worker", std::move(servant));
+
+  int replies = 0;
+  std::vector<std::uint8_t> body;
+  client.invoke(ref, "work", {}, InvokeOptions{},
+                [&](CompletionStatus, std::vector<std::uint8_t> b) {
+                  ++replies;
+                  body = std::move(b);
+                });
+  engine.run();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(body, (std::vector<std::uint8_t>{1}));
+}
+
+TEST_F(AmiFixture, NeverCompletedDeferredHitsClientTimeout) {
+  Poa& poa = server.create_poa("app");
+  auto servant = std::make_shared<FunctionServant>(
+      microseconds(50), [](ServerRequest& req) {
+        (void)req.defer();  // dropped on the floor
+      });
+  const ObjectRef ref = poa.activate_object("worker", std::move(servant));
+
+  std::optional<CompletionStatus> status;
+  InvokeOptions opts;
+  opts.timeout = milliseconds(200);
+  client.invoke(ref, "work", {}, opts,
+                [&](CompletionStatus s, std::vector<std::uint8_t>) { status = s; });
+  engine.run();
+  EXPECT_EQ(status, CompletionStatus::Timeout);
+}
+
+TEST_F(AmiFixture, DeferOnOnewayThrows) {
+  Poa& poa = server.create_poa("app");
+  bool threw = false;
+  auto servant = std::make_shared<FunctionServant>(
+      microseconds(50), [&](ServerRequest& req) {
+        try {
+          (void)req.defer();
+        } catch (const BadParam&) {
+          threw = true;
+        }
+      });
+  const ObjectRef ref = poa.activate_object("worker", std::move(servant));
+  InvokeOptions opts;
+  opts.oneway = true;
+  client.invoke(ref, "work", {}, opts);
+  engine.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(AmiFixture, ExceptionAfterDeferAnswersOnce) {
+  Poa& poa = server.create_poa("app");
+  ServerRequest::Replier stolen;
+  auto servant = std::make_shared<FunctionServant>(
+      microseconds(50), [&](ServerRequest& req) {
+        stolen = req.defer();
+        throw Transient("changed my mind");
+      });
+  const ObjectRef ref = poa.activate_object("worker", std::move(servant));
+
+  int replies = 0;
+  std::optional<CompletionStatus> status;
+  client.invoke(ref, "work", {}, InvokeOptions{},
+                [&](CompletionStatus s, std::vector<std::uint8_t>) {
+                  ++replies;
+                  status = s;
+                });
+  engine.run();
+  // The exception reply went out; the stolen replier must now be inert.
+  stolen({9, 9});
+  engine.run();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(status, CompletionStatus::Transient);
+}
+
+TEST_F(AmiFixture, SynchronousServantsStillReplyNormally) {
+  Poa& poa = server.create_poa("app");
+  auto servant = std::make_shared<FunctionServant>(
+      microseconds(50), [](ServerRequest& req) { req.reply_body = {7}; });
+  const ObjectRef ref = poa.activate_object("worker", std::move(servant));
+  std::vector<std::uint8_t> body;
+  client.invoke(ref, "work", {}, InvokeOptions{},
+                [&](CompletionStatus, std::vector<std::uint8_t> b) { body = std::move(b); });
+  engine.run();
+  EXPECT_EQ(body, (std::vector<std::uint8_t>{7}));
+}
+
+}  // namespace
+}  // namespace aqm::orb

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "orb/cdr.hpp"
+#include "orb/giop.hpp"
+
+namespace aqm::orb {
+namespace {
+
+// --- CDR -------------------------------------------------------------------------
+
+TEST(Cdr, PrimitiveRoundTrip) {
+  CdrWriter w;
+  w.write_u8(0xAB);
+  w.write_u16(0x1234);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i32(-42);
+  w.write_i64(std::numeric_limits<std::int64_t>::min());
+  w.write_bool(true);
+  w.write_f32(3.5F);
+  w.write_f64(-2.25);
+
+  CdrReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u16(), 0x1234);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i32(), -42);
+  EXPECT_EQ(r.read_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_FLOAT_EQ(r.read_f32(), 3.5F);
+  EXPECT_DOUBLE_EQ(r.read_f64(), -2.25);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Cdr, AlignmentRules) {
+  CdrWriter w;
+  w.write_u8(1);     // offset 0
+  w.write_u32(2);    // aligns to 4: pads 3 bytes
+  EXPECT_EQ(w.size(), 8u);
+  w.write_u8(3);     // offset 8
+  w.write_u64(4);    // aligns to 16: pads 7
+  EXPECT_EQ(w.size(), 24u);
+
+  CdrReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 1);
+  EXPECT_EQ(r.read_u32(), 2u);
+  EXPECT_EQ(r.read_u8(), 3);
+  EXPECT_EQ(r.read_u64(), 4u);
+}
+
+TEST(Cdr, StringRoundTrip) {
+  CdrWriter w;
+  w.write_string("hello");
+  w.write_string("");
+  w.write_string("with \0 no, actually not");  // literal truncates at NUL
+  CdrReader r(w.buffer());
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "with ");
+}
+
+TEST(Cdr, OctetsRoundTrip) {
+  CdrWriter w;
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  w.write_octets(data);
+  CdrReader r(w.buffer());
+  EXPECT_EQ(r.read_octets(), data);
+}
+
+TEST(Cdr, UnderrunThrows) {
+  CdrWriter w;
+  w.write_u16(7);
+  CdrReader r(w.buffer());
+  (void)r.read_u16();
+  EXPECT_THROW((void)r.read_u32(), MarshalError);
+}
+
+TEST(Cdr, TruncatedStringThrows) {
+  CdrWriter w;
+  w.write_u32(100);  // claims 100 bytes follow
+  w.write_u8('x');
+  CdrReader r(w.buffer());
+  EXPECT_THROW((void)r.read_string(), MarshalError);
+}
+
+TEST(Cdr, PatchU32) {
+  CdrWriter w;
+  w.write_u32(0);
+  w.write_u32(7);
+  w.patch_u32(0, 99);
+  CdrReader r(w.buffer());
+  EXPECT_EQ(r.read_u32(), 99u);
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_THROW(w.patch_u32(100, 1), MarshalError);
+}
+
+TEST(Cdr, RandomizedRoundTrip) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    CdrWriter w;
+    std::vector<std::uint64_t> values;
+    std::vector<int> kinds;
+    const int n = static_cast<int>(rng.uniform_int(1, 30));
+    for (int i = 0; i < n; ++i) {
+      const int kind = static_cast<int>(rng.uniform_int(0, 3));
+      const std::uint64_t v = rng.next_u64();
+      kinds.push_back(kind);
+      values.push_back(v);
+      switch (kind) {
+        case 0: w.write_u8(static_cast<std::uint8_t>(v)); break;
+        case 1: w.write_u16(static_cast<std::uint16_t>(v)); break;
+        case 2: w.write_u32(static_cast<std::uint32_t>(v)); break;
+        default: w.write_u64(v); break;
+      }
+    }
+    CdrReader r(w.buffer());
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t v = values[static_cast<std::size_t>(i)];
+      switch (kinds[static_cast<std::size_t>(i)]) {
+        case 0: ASSERT_EQ(r.read_u8(), static_cast<std::uint8_t>(v)); break;
+        case 1: ASSERT_EQ(r.read_u16(), static_cast<std::uint16_t>(v)); break;
+        case 2: ASSERT_EQ(r.read_u32(), static_cast<std::uint32_t>(v)); break;
+        default: ASSERT_EQ(r.read_u64(), v); break;
+      }
+    }
+  }
+}
+
+// --- GIOP -------------------------------------------------------------------------
+
+RequestHeader make_request_header() {
+  RequestHeader h;
+  h.request_id = 42;
+  h.response_expected = true;
+  h.object_key = "video/receiver1";
+  h.operation = "push_frame";
+  h.contexts.push_back(make_priority_context(20'000));
+  h.contexts.push_back(make_timestamp_context(TimePoint{123'456'789}));
+  return h;
+}
+
+TEST(Giop, RequestRoundTrip) {
+  const std::vector<std::uint8_t> body{9, 8, 7, 6, 5};
+  const auto bytes = encode_request(make_request_header(), body);
+  const GiopMessage msg = decode(bytes);
+  EXPECT_EQ(msg.type, GiopMsgType::Request);
+  EXPECT_EQ(msg.request.request_id, 42u);
+  EXPECT_TRUE(msg.request.response_expected);
+  EXPECT_EQ(msg.request.object_key, "video/receiver1");
+  EXPECT_EQ(msg.request.operation, "push_frame");
+  EXPECT_EQ(msg.body, body);
+  EXPECT_EQ(find_priority(msg.request.contexts), 20'000);
+  EXPECT_EQ(find_timestamp(msg.request.contexts), TimePoint{123'456'789});
+}
+
+TEST(Giop, ReplyRoundTrip) {
+  ReplyHeader h;
+  h.request_id = 77;
+  h.status = ReplyStatus::SystemException;
+  h.contexts.push_back(make_priority_context(5));
+  const std::vector<std::uint8_t> body{1, 2, 3};
+  const auto bytes = encode_reply(h, body);
+  const GiopMessage msg = decode(bytes);
+  EXPECT_EQ(msg.type, GiopMsgType::Reply);
+  EXPECT_EQ(msg.reply.request_id, 77u);
+  EXPECT_EQ(msg.reply.status, ReplyStatus::SystemException);
+  EXPECT_EQ(msg.body, body);
+  EXPECT_EQ(find_priority(msg.reply.contexts), 5);
+}
+
+TEST(Giop, EmptyBodyRoundTrip) {
+  const auto bytes = encode_request(make_request_header(), {});
+  const GiopMessage msg = decode(bytes);
+  EXPECT_TRUE(msg.body.empty());
+}
+
+TEST(Giop, OnewayFlagPreserved) {
+  RequestHeader h = make_request_header();
+  h.response_expected = false;
+  const auto bytes = encode_request(h, {});
+  EXPECT_FALSE(decode(bytes).request.response_expected);
+}
+
+TEST(Giop, BadMagicRejected) {
+  auto bytes = encode_request(make_request_header(), {});
+  bytes[0] = 'X';
+  EXPECT_THROW((void)decode(bytes), MarshalError);
+}
+
+TEST(Giop, TruncatedMessageRejected) {
+  const std::vector<std::uint8_t> body{1, 2, 3, 4};
+  auto bytes = encode_request(make_request_header(), body);
+  bytes.resize(bytes.size() - 2);
+  EXPECT_THROW((void)decode(bytes), MarshalError);
+}
+
+TEST(Giop, ShortHeaderRejected) {
+  const std::vector<std::uint8_t> tiny{'G', 'I', 'O', 'P', 1};
+  EXPECT_THROW((void)decode(tiny), MarshalError);
+}
+
+TEST(Giop, UnknownTypeRejected) {
+  auto bytes = encode_request(make_request_header(), {});
+  bytes[7] = 9;
+  EXPECT_THROW((void)decode(bytes), MarshalError);
+}
+
+TEST(Giop, MissingContextsReturnNullopt) {
+  RequestHeader h;
+  h.request_id = 1;
+  h.object_key = "a/b";
+  h.operation = "op";
+  const GiopMessage msg = decode(encode_request(h, {}));
+  EXPECT_FALSE(find_priority(msg.request.contexts).has_value());
+  EXPECT_FALSE(find_timestamp(msg.request.contexts).has_value());
+}
+
+TEST(Giop, LargeBodyRoundTrip) {
+  std::vector<std::uint8_t> body(100'000);
+  for (std::size_t i = 0; i < body.size(); ++i) body[i] = static_cast<std::uint8_t>(i);
+  const auto bytes = encode_request(make_request_header(), body);
+  EXPECT_EQ(decode(bytes).body, body);
+}
+
+}  // namespace
+}  // namespace aqm::orb

@@ -1,0 +1,220 @@
+// Core integration layer: CORBA CPU-reservation manager, network QoS
+// manager, end-to-end QoS sessions, testbeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/cpu_reservation_manager.hpp"
+#include "core/network_qos_manager.hpp"
+#include "core/qos_session.hpp"
+#include "core/testbed.hpp"
+
+namespace aqm::core {
+namespace {
+
+struct AtrFixture : public ::testing::Test {
+  AtrFixture()
+      : bed(AtrTestbedParams{}),
+        manager_poa(&bed.server_orb.create_poa("mgmt")),
+        manager(*manager_poa, bed.server_cpu),
+        client(bed.client_orb, manager.ref()) {}
+
+  AtrTestbed bed;
+  orb::Poa* manager_poa;
+  CpuReservationManagerServer manager;
+  CpuReservationClient client;
+};
+
+TEST_F(AtrFixture, RemoteReserveCreationSucceeds) {
+  std::optional<Result<os::ReserveId>> outcome;
+  client.create_reserve({milliseconds(20), milliseconds(100), true},
+                        [&](Result<os::ReserveId> r) { outcome = std::move(r); });
+  bed.engine.run();
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->ok());
+  EXPECT_TRUE(bed.server_cpu.has_reserve(outcome->value()));
+  EXPECT_NEAR(bed.server_cpu.reserved_utilization(), 0.2, 1e-9);
+}
+
+TEST_F(AtrFixture, RemoteReserveAdmissionFailureReported) {
+  std::optional<Result<os::ReserveId>> first;
+  std::optional<Result<os::ReserveId>> second;
+  client.create_reserve({milliseconds(80), milliseconds(100), true},
+                        [&](Result<os::ReserveId> r) { first = std::move(r); });
+  bed.engine.run();
+  ASSERT_TRUE(first && first->ok());
+  client.create_reserve({milliseconds(30), milliseconds(100), true},
+                        [&](Result<os::ReserveId> r) { second = std::move(r); });
+  bed.engine.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->ok());
+  EXPECT_NE(second->error().find("admission denied"), std::string::npos);
+}
+
+TEST_F(AtrFixture, RemoteDestroyReleasesReserve) {
+  std::optional<os::ReserveId> id;
+  client.create_reserve({milliseconds(50), milliseconds(100), true},
+                        [&](Result<os::ReserveId> r) {
+                          ASSERT_TRUE(r.ok());
+                          id = r.value();
+                        });
+  bed.engine.run();
+  ASSERT_TRUE(id);
+  std::optional<bool> destroyed;
+  client.destroy_reserve(*id, [&](bool ok) { destroyed = ok; });
+  bed.engine.run();
+  EXPECT_EQ(destroyed, true);
+  EXPECT_FALSE(bed.server_cpu.has_reserve(*id));
+  EXPECT_DOUBLE_EQ(bed.server_cpu.reserved_utilization(), 0.0);
+}
+
+struct SessionFixture : public ::testing::Test {
+  SessionFixture()
+      : bed(ReservationTestbedParams{}),
+        app_poa(&bed.receiver_orb.create_poa("app")),
+        mgmt_poa(&bed.receiver_orb.create_poa("mgmt")),
+        manager(*mgmt_poa, bed.receiver_cpu),
+        cpu_client(bed.sender_orb, manager.ref()) {
+    auto servant = std::make_shared<orb::FunctionServant>(
+        microseconds(100), [](orb::ServerRequest&) {});
+    target = app_poa->activate_object("target", std::move(servant));
+    stub = std::make_unique<orb::ObjectStub>(bed.sender_orb, target);
+    stub->set_flow(kFlowVideo);
+  }
+
+  ReservationTestbed bed;
+  orb::Poa* app_poa;
+  orb::Poa* mgmt_poa;
+  CpuReservationManagerServer manager;
+  CpuReservationClient cpu_client;
+  orb::ObjectRef target;
+  std::unique_ptr<orb::ObjectStub> stub;
+};
+
+TEST_F(SessionFixture, CombinedPolicyAppliesAllMechanisms) {
+  QoSSession session(bed.sender_orb, *stub, &bed.qos, &cpu_client);
+  EndToEndQosPolicy policy;
+  policy.priority = 28'000;
+  policy.map_priority_to_dscp = true;
+  policy.server_cpu_reserve = os::ReserveSpec{milliseconds(20), milliseconds(100), true};
+  policy.network_reservation = net::FlowSpec{1.2e6, 32'000};
+
+  std::optional<bool> outcome;
+  session.apply(policy, [&](Status<std::string> s) { outcome = s.ok(); });
+  bed.engine.run_until(TimePoint{seconds(2).ns()});
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(*outcome);
+  EXPECT_TRUE(session.network_reserved());
+  ASSERT_TRUE(session.cpu_reserve_id().has_value());
+  EXPECT_TRUE(bed.receiver_cpu.has_reserve(*session.cpu_reserve_id()));
+  EXPECT_EQ(bed.sender_orb.dscp_mappings().to_dscp(28'000), net::dscp::kEf);
+  // The bottleneck queue carries the stream reservation.
+  auto* q = dynamic_cast<net::IntServQueue*>(
+      &bed.network.link_between(bed.switch_node, bed.receiver_node)->queue());
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->has_reservation(kFlowVideo));
+}
+
+TEST_F(SessionFixture, RevokeTearsDownEverything) {
+  QoSSession session(bed.sender_orb, *stub, &bed.qos, &cpu_client);
+  EndToEndQosPolicy policy;
+  policy.network_reservation = net::FlowSpec{1e6, 32'000};
+  policy.server_cpu_reserve = os::ReserveSpec{milliseconds(10), milliseconds(100), true};
+  std::optional<bool> outcome;
+  session.apply(policy, [&](Status<std::string> s) { outcome = s.ok(); });
+  bed.engine.run_until(TimePoint{seconds(2).ns()});
+  ASSERT_TRUE(outcome && *outcome);
+
+  session.revoke();
+  bed.engine.run_until(TimePoint{seconds(4).ns()});
+  EXPECT_FALSE(session.network_reserved());
+  EXPECT_FALSE(session.cpu_reserve_id().has_value());
+  EXPECT_DOUBLE_EQ(bed.receiver_cpu.reserved_utilization(), 0.0);
+  auto* q = dynamic_cast<net::IntServQueue*>(
+      &bed.network.link_between(bed.switch_node, bed.receiver_node)->queue());
+  EXPECT_FALSE(q->has_reservation(kFlowVideo));
+}
+
+TEST_F(SessionFixture, PriorityOnlyPolicyIsSynchronous) {
+  QoSSession session(bed.sender_orb, *stub);
+  EndToEndQosPolicy policy;
+  policy.priority = 15'000;
+  policy.explicit_dscp = net::dscp::kAf41;
+  std::optional<bool> outcome;
+  session.apply(policy, [&](Status<std::string> s) { outcome = s.ok(); });
+  // No simulation time needed: callback fires inline.
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(*outcome);
+  EXPECT_EQ(stub->ref().protocol.dscp, net::dscp::kAf41);
+  EXPECT_TRUE(policy.uses_priorities());
+  EXPECT_FALSE(policy.uses_reservations());
+}
+
+TEST_F(SessionFixture, MissingManagersReportedAsErrors) {
+  QoSSession session(bed.sender_orb, *stub, nullptr, nullptr);
+  EndToEndQosPolicy policy;
+  policy.network_reservation = net::FlowSpec{1e6, 32'000};
+  policy.server_cpu_reserve = os::ReserveSpec{milliseconds(10), milliseconds(100), true};
+  std::optional<Status<std::string>> outcome;
+  session.apply(policy, [&](Status<std::string> s) { outcome = std::move(s); });
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok());
+  EXPECT_NE(outcome->error().find("NetworkQosManager"), std::string::npos);
+  EXPECT_NE(outcome->error().find("CpuReservationClient"), std::string::npos);
+}
+
+TEST_F(SessionFixture, ReservationWithoutFlowIdFails) {
+  orb::ObjectStub flowless(bed.sender_orb, target);
+  QoSSession session(bed.sender_orb, flowless, &bed.qos, nullptr);
+  EndToEndQosPolicy policy;
+  policy.network_reservation = net::FlowSpec{1e6, 32'000};
+  std::optional<Status<std::string>> outcome;
+  session.apply(policy, [&](Status<std::string> s) { outcome = std::move(s); });
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok());
+  EXPECT_NE(outcome->error().find("flow id"), std::string::npos);
+}
+
+TEST(NetworkQosManagerTest, AgentsAreReused) {
+  sim::Engine engine;
+  net::Network network(engine);
+  const net::NodeId a = network.add_node("a");
+  NetworkQosManager qos(network);
+  net::RsvpAgent& first = qos.agent(a);
+  net::RsvpAgent& again = qos.agent(a);
+  EXPECT_EQ(&first, &again);
+}
+
+TEST(Testbeds, PriorityTestbedTopology) {
+  PriorityTestbed bed((PriorityTestbedParams{}));
+  EXPECT_EQ(bed.network.node_count(), 4u);
+  EXPECT_EQ(bed.network.next_hop(bed.sender_node, bed.receiver_node), bed.router_node);
+  EXPECT_EQ(bed.network.next_hop(bed.cross_node, bed.receiver_node), bed.router_node);
+  ASSERT_NE(bed.network.link_between(bed.router_node, bed.receiver_node), nullptr);
+  EXPECT_DOUBLE_EQ(
+      bed.network.link_between(bed.router_node, bed.receiver_node)->config().bandwidth_bps,
+      10e6);
+}
+
+TEST(Testbeds, DiffservFlagSwitchesQueueType) {
+  PriorityTestbedParams p;
+  p.diffserv_bottleneck = true;
+  PriorityTestbed bed(p);
+  auto* q = dynamic_cast<net::DiffServQueue*>(
+      &bed.network.link_between(bed.router_node, bed.receiver_node)->queue());
+  EXPECT_NE(q, nullptr);
+}
+
+TEST(Testbeds, ReservationTestbedHasIntservPath) {
+  ReservationTestbed bed((ReservationTestbedParams{}));
+  EXPECT_NE(dynamic_cast<net::IntServQueue*>(
+                &bed.network.link_between(bed.sender_node, bed.switch_node)->queue()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<net::IntServQueue*>(
+                &bed.network.link_between(bed.switch_node, bed.receiver_node)->queue()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace aqm::core

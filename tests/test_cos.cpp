@@ -1,0 +1,271 @@
+// CORBA object services: naming and real-time events.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cos/events.hpp"
+#include "cos/naming.hpp"
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+#include "os/cpu.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::cos {
+namespace {
+
+struct CosFixture : public ::testing::Test {
+  CosFixture()
+      : net(engine),
+        host_a(net.add_node("a")),
+        host_b(net.add_node("b")),
+        host_c(net.add_node("c")),
+        cpu_a(engine, "cpu-a"),
+        cpu_b(engine, "cpu-b"),
+        cpu_c(engine, "cpu-c"),
+        orb_a(net, host_a, cpu_a),
+        orb_b(net, host_b, cpu_b),
+        orb_c(net, host_c, cpu_c) {
+    net::LinkConfig link;
+    net.add_duplex_link(host_a, host_b, link);
+    net.add_duplex_link(host_b, host_c, link);
+  }
+
+  orb::ObjectRef make_dummy(orb::OrbEndpoint& orb, const std::string& poa_name) {
+    orb::Poa& poa = orb.create_poa(poa_name);
+    return poa.activate_object(
+        "obj", std::make_shared<orb::FunctionServant>(microseconds(10),
+                                                      [](orb::ServerRequest&) {}));
+  }
+
+  sim::Engine engine;
+  net::Network net;
+  net::NodeId host_a;
+  net::NodeId host_b;
+  net::NodeId host_c;
+  os::Cpu cpu_a;
+  os::Cpu cpu_b;
+  os::Cpu cpu_c;
+  orb::OrbEndpoint orb_a;
+  orb::OrbEndpoint orb_b;
+  orb::OrbEndpoint orb_c;
+};
+
+// --- naming ------------------------------------------------------------------------
+
+TEST_F(CosFixture, LocalBindResolveUnbind) {
+  orb::Poa& poa = orb_b.create_poa("cos");
+  NamingServiceServer naming(poa);
+  const orb::ObjectRef obj = make_dummy(orb_b, "app");
+
+  EXPECT_TRUE(naming.bind("sensors/uav1/video", obj).ok());
+  const auto found = naming.resolve("sensors/uav1/video");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->object_key, obj.object_key);
+  EXPECT_EQ(found->node, obj.node);
+
+  EXPECT_TRUE(naming.unbind("sensors/uav1/video"));
+  EXPECT_FALSE(naming.resolve("sensors/uav1/video").has_value());
+  EXPECT_FALSE(naming.unbind("sensors/uav1/video"));
+}
+
+TEST_F(CosFixture, NamingRejectsMalformedNames) {
+  orb::Poa& poa = orb_b.create_poa("cos");
+  NamingServiceServer naming(poa);
+  const orb::ObjectRef obj = make_dummy(orb_b, "app");
+  EXPECT_FALSE(naming.bind("", obj).ok());
+  EXPECT_FALSE(naming.bind("/leading", obj).ok());
+  EXPECT_FALSE(naming.bind("trailing/", obj).ok());
+  EXPECT_FALSE(naming.bind("dou//ble", obj).ok());
+  EXPECT_FALSE(naming.bind("x", orb::ObjectRef{}).ok());
+}
+
+TEST_F(CosFixture, NamingListByPrefix) {
+  orb::Poa& poa = orb_b.create_poa("cos");
+  NamingServiceServer naming(poa);
+  const orb::ObjectRef obj = make_dummy(orb_b, "app");
+  ASSERT_TRUE(naming.bind("sensors/uav1/video", obj).ok());
+  ASSERT_TRUE(naming.bind("sensors/uav2/video", obj).ok());
+  ASSERT_TRUE(naming.bind("control/station", obj).ok());
+  EXPECT_EQ(naming.list("sensors/").size(), 2u);
+  EXPECT_EQ(naming.list().size(), 3u);
+  EXPECT_EQ(naming.list("nothing/").size(), 0u);
+}
+
+TEST_F(CosFixture, RemoteBindAndResolveAcrossHosts) {
+  // Naming service on B; server on C binds; client on A resolves and calls.
+  orb::Poa& poa = orb_b.create_poa("cos");
+  NamingServiceServer naming(poa);
+
+  int handled = 0;
+  orb::Poa& app_poa = orb_c.create_poa("app");
+  const orb::ObjectRef service = app_poa.activate_object(
+      "worker", std::make_shared<orb::FunctionServant>(
+                    microseconds(10), [&](orb::ServerRequest&) { ++handled; }));
+
+  NamingClient server_side(orb_c, naming.ref());
+  std::optional<bool> bound;
+  server_side.bind("services/worker", service, [&](bool ok) { bound = ok; });
+  engine.run();
+  ASSERT_EQ(bound, true);
+
+  NamingClient client_side(orb_a, naming.ref());
+  std::optional<Result<orb::ObjectRef>> resolved;
+  client_side.resolve("services/worker",
+                      [&](Result<orb::ObjectRef> r) { resolved = std::move(r); });
+  engine.run();
+  ASSERT_TRUE(resolved && resolved->ok());
+
+  orb::InvokeOptions opts;
+  opts.oneway = true;
+  orb_a.invoke(resolved->value(), "work", {}, opts);
+  engine.run();
+  EXPECT_EQ(handled, 1);
+}
+
+TEST_F(CosFixture, RemoteResolveMissingNameFails) {
+  orb::Poa& poa = orb_b.create_poa("cos");
+  NamingServiceServer naming(poa);
+  NamingClient client(orb_a, naming.ref());
+  std::optional<Result<orb::ObjectRef>> resolved;
+  client.resolve("ghost", [&](Result<orb::ObjectRef> r) { resolved = std::move(r); });
+  engine.run();
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_FALSE(resolved->ok());
+  EXPECT_NE(resolved->error().find("not bound"), std::string::npos);
+}
+
+// --- events ------------------------------------------------------------------------
+
+TEST(EventCodec, RoundTrip) {
+  Event e;
+  e.topic = "sensors/uav1/frame";
+  e.priority = 23'000;
+  e.payload = {1, 2, 3};
+  e.published_at = TimePoint{42};
+  const Event back = decode_event(encode_event(e));
+  EXPECT_EQ(back.topic, e.topic);
+  EXPECT_EQ(back.priority, 23'000);
+  EXPECT_EQ(back.payload, e.payload);
+  EXPECT_EQ(back.published_at, TimePoint{42});
+}
+
+TEST_F(CosFixture, EventsFanOutToMatchingConsumers) {
+  orb::Poa& channel_poa = orb_b.create_poa("cos");
+  EventChannel channel(orb_b, channel_poa);
+
+  std::vector<std::string> a_topics;
+  orb::Poa& a_poa = orb_a.create_poa("app");
+  EventConsumer consumer_a(a_poa, "listener", microseconds(20),
+                           [&](const Event& e) { a_topics.push_back(e.topic); });
+  int c_count = 0;
+  orb::Poa& c_poa = orb_c.create_poa("app");
+  EventConsumer consumer_c(c_poa, "listener", microseconds(20),
+                           [&](const Event&) { ++c_count; });
+
+  std::optional<bool> ack_a;
+  std::optional<bool> ack_c;
+  consumer_a.subscribe(orb_a, channel.ref(), "sensors/", [&](bool ok) { ack_a = ok; });
+  consumer_c.subscribe(orb_c, channel.ref(), "sensors/uav1/", [&](bool ok) { ack_c = ok; });
+  engine.run();
+  ASSERT_EQ(ack_a, true);
+  ASSERT_EQ(ack_c, true);
+  EXPECT_EQ(channel.consumer_count(), 2u);
+
+  EventSupplier supplier(orb_c, channel.ref());
+  supplier.push("sensors/uav1/frame", 20'000);
+  supplier.push("sensors/uav2/frame", 20'000);
+  supplier.push("control/heartbeat", 20'000);
+  engine.run();
+
+  // A (prefix "sensors/") sees both sensor events; C only uav1's.
+  ASSERT_EQ(a_topics.size(), 2u);
+  EXPECT_EQ(c_count, 1);
+  EXPECT_EQ(channel.events_published(), 3u);
+  EXPECT_EQ(channel.deliveries(), 3u);
+  EXPECT_EQ(consumer_a.received(), 2u);
+}
+
+TEST_F(CosFixture, EventPriorityPropagatesToConsumers) {
+  orb::Poa& channel_poa = orb_b.create_poa("cos");
+  EventChannel channel(orb_b, channel_poa);
+
+  std::optional<orb::CorbaPriority> delivered_priority;
+  orb::Poa& a_poa = orb_a.create_poa("app");
+  auto probe = std::make_shared<orb::FunctionServant>(
+      microseconds(10), [&](orb::ServerRequest& req) {
+        if (req.operation == kPushEventOp) delivered_priority = req.priority;
+      });
+  const orb::ObjectRef consumer = a_poa.activate_object("probe", std::move(probe));
+  channel.subscribe("alerts/", consumer);
+
+  EventSupplier supplier(orb_c, channel.ref());
+  supplier.push("alerts/threat", 31'000);
+  engine.run();
+  // The delivery request ran at the event's CORBA priority end to end.
+  ASSERT_TRUE(delivered_priority.has_value());
+  EXPECT_EQ(*delivered_priority, 31'000);
+}
+
+TEST_F(CosFixture, UnsubscribeStopsDelivery) {
+  orb::Poa& channel_poa = orb_b.create_poa("cos");
+  EventChannel channel(orb_b, channel_poa);
+  int received = 0;
+  orb::Poa& a_poa = orb_a.create_poa("app");
+  EventConsumer consumer(a_poa, "listener", microseconds(20),
+                         [&](const Event&) { ++received; });
+  channel.subscribe("x/", consumer.ref());
+  EventSupplier supplier(orb_c, channel.ref());
+  supplier.push("x/one", 100);
+  engine.run();
+  channel.unsubscribe("x/", consumer.ref());
+  supplier.push("x/two", 100);
+  engine.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(channel.consumer_count(), 0u);
+}
+
+TEST_F(CosFixture, DuplicateSubscriptionReplaced) {
+  orb::Poa& channel_poa = orb_b.create_poa("cos");
+  EventChannel channel(orb_b, channel_poa);
+  int received = 0;
+  orb::Poa& a_poa = orb_a.create_poa("app");
+  EventConsumer consumer(a_poa, "listener", microseconds(20),
+                         [&](const Event&) { ++received; });
+  channel.subscribe("x/", consumer.ref());
+  channel.subscribe("x/", consumer.ref());  // no duplicate deliveries
+  EventSupplier supplier(orb_c, channel.ref());
+  supplier.push("x/e", 100);
+  engine.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(CosFixture, NamingBootstrapsEventChannel) {
+  // The full service dance: channel registers itself in the naming
+  // service; a consumer resolves it by name and subscribes.
+  orb::Poa& cos_poa = orb_b.create_poa("cos");
+  NamingServiceServer naming(cos_poa);
+  EventChannel channel(orb_b, cos_poa);
+  ASSERT_TRUE(naming.bind("services/events", channel.ref()).ok());
+
+  int received = 0;
+  orb::Poa& a_poa = orb_a.create_poa("app");
+  EventConsumer consumer(a_poa, "listener", microseconds(20),
+                         [&](const Event&) { ++received; });
+
+  NamingClient resolver(orb_a, naming.ref());
+  resolver.resolve("services/events", [&](Result<orb::ObjectRef> r) {
+    ASSERT_TRUE(r.ok());
+    consumer.subscribe(orb_a, r.value(), "t/");
+  });
+  engine.run();
+
+  EventSupplier supplier(orb_c, channel.ref());
+  supplier.push("t/event", 100);
+  engine.run();
+  EXPECT_EQ(received, 1);
+}
+
+}  // namespace
+}  // namespace aqm::cos

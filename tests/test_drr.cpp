@@ -1,0 +1,156 @@
+// Deficit-round-robin weighted fair queuing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/drr_queue.hpp"
+#include "net/network.hpp"
+#include "net/traffic_gen.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::net {
+namespace {
+
+Packet make_packet(Dscp dscp, std::uint32_t size = 1000, FlowId flow = kNoFlow) {
+  Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.dscp = dscp;
+  p.size_bytes = size;
+  p.flow = flow;
+  return p;
+}
+
+const TimePoint t0 = TimePoint::zero();
+
+TEST(DrrQueue, FifoWithinSingleClass) {
+  DrrQueue q(DrrConfig{});
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    EXPECT_FALSE(q.enqueue(make_packet(dscp::kBestEffort, i * 100), t0).has_value());
+  }
+  EXPECT_EQ(q.dequeue(t0)->size_bytes, 100u);
+  EXPECT_EQ(q.dequeue(t0)->size_bytes, 200u);
+  EXPECT_EQ(q.dequeue(t0)->size_bytes, 300u);
+  EXPECT_FALSE(q.dequeue(t0).has_value());
+}
+
+TEST(DrrQueue, PerClassCapacityEnforced) {
+  DrrConfig cfg;
+  cfg.class_capacity = 2;
+  DrrQueue q(cfg);
+  EXPECT_FALSE(q.enqueue(make_packet(dscp::kEf), t0).has_value());
+  EXPECT_FALSE(q.enqueue(make_packet(dscp::kEf), t0).has_value());
+  EXPECT_TRUE(q.enqueue(make_packet(dscp::kEf), t0).has_value());
+  EXPECT_FALSE(q.enqueue(make_packet(dscp::kBestEffort), t0).has_value());
+  EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+TEST(DrrQueue, BacklogDrainsAccordingToWeights) {
+  // EF (weight 8) vs best effort (weight 1): a standing backlog drains
+  // roughly 8:1 by bytes.
+  DrrConfig cfg;
+  cfg.class_capacity = 1000;
+  DrrQueue q(cfg);
+  for (int i = 0; i < 400; ++i) {
+    (void)q.enqueue(make_packet(dscp::kEf, 1000), t0);
+    (void)q.enqueue(make_packet(dscp::kBestEffort, 1000), t0);
+  }
+  // Drain 180 packets (both classes stay backlogged throughout).
+  int ef = 0;
+  int be = 0;
+  for (int i = 0; i < 180; ++i) {
+    const auto p = q.dequeue(t0);
+    ASSERT_TRUE(p.has_value());
+    (classify(p->dscp) == PhbClass::Ef ? ef : be) += 1;
+  }
+  ASSERT_GT(be, 0);  // no starvation, unlike strict priority
+  EXPECT_NEAR(static_cast<double>(ef) / be, 8.0, 1.5);
+}
+
+TEST(DrrQueue, NoStarvationUnderHighClassOverload) {
+  // Contrast with DiffServQueue: best effort still drains while EF is
+  // permanently backlogged.
+  DrrQueue q(DrrConfig{});
+  for (int i = 0; i < 300; ++i) (void)q.enqueue(make_packet(dscp::kEf), t0);
+  (void)q.enqueue(make_packet(dscp::kBestEffort, 777), t0);
+  bool be_served = false;
+  for (int i = 0; i < 100 && !be_served; ++i) {
+    const auto p = q.dequeue(t0);
+    ASSERT_TRUE(p.has_value());
+    be_served = p->size_bytes == 777;
+    (void)q.enqueue(make_packet(dscp::kEf), t0);  // keep EF backlogged
+  }
+  EXPECT_TRUE(be_served);
+}
+
+TEST(DrrQueue, LargePacketsEventuallyServedDespiteSmallQuantum) {
+  DrrConfig cfg;
+  cfg.quantum_bytes = 100;  // far below the packet size
+  DrrQueue q(cfg);
+  (void)q.enqueue(make_packet(dscp::kBestEffort, 5000), t0);
+  const auto p = q.dequeue(t0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size_bytes, 5000u);
+}
+
+TEST(DrrQueue, IdleClassDoesNotHoardCredit) {
+  DrrQueue q(DrrConfig{});
+  // Serve a lone BE packet; the class retires and must not keep credit.
+  (void)q.enqueue(make_packet(dscp::kBestEffort, 100), t0);
+  (void)q.dequeue(t0);
+  // A later competition round behaves as if fresh.
+  for (int i = 0; i < 100; ++i) {
+    (void)q.enqueue(make_packet(dscp::kEf, 1000), t0);
+    (void)q.enqueue(make_packet(dscp::kBestEffort, 1000), t0);
+  }
+  int ef = 0;
+  int be = 0;
+  for (int i = 0; i < 90; ++i) {
+    const auto p = q.dequeue(t0);
+    ASSERT_TRUE(p.has_value());
+    (classify(p->dscp) == PhbClass::Ef ? ef : be) += 1;
+  }
+  EXPECT_GT(ef, be);  // EF's 8x weight dominates again
+}
+
+TEST(DrrQueue, EndToEndThroughputSharesLinkByWeight) {
+  sim::Engine engine;
+  Network net(engine);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig bottleneck;
+  bottleneck.bandwidth_bps = 10e6;
+  DrrConfig cfg;
+  net.add_link(a, b, bottleneck, std::make_unique<DrrQueue>(cfg));
+  net.add_link(b, a, bottleneck);
+  net.set_receiver(b, [](Packet&&) {});
+
+  // Two saturating flows: EF (weight 8) and BE (weight 1).
+  TrafficGenerator::Config ef;
+  ef.src = a;
+  ef.dst = b;
+  ef.rate_bps = 20e6;
+  ef.dscp = dscp::kEf;
+  ef.flow = 1;
+  TrafficGenerator ef_gen(net, ef);
+  TrafficGenerator::Config be = ef;
+  be.dscp = dscp::kBestEffort;
+  be.flow = 2;
+  be.seed = 8;
+  TrafficGenerator be_gen(net, be);
+  ef_gen.start();
+  be_gen.start();
+  engine.run_until(TimePoint{seconds(10).ns()});
+  ef_gen.stop();
+  be_gen.stop();
+
+  const double ef_bytes = static_cast<double>(net.flow(1).delivered_bytes);
+  const double be_bytes = static_cast<double>(net.flow(2).delivered_bytes);
+  ASSERT_GT(be_bytes, 0.0);
+  EXPECT_NEAR(ef_bytes / be_bytes, 8.0, 1.0);
+  // Link fully utilized: combined goodput ~ 10 Mbps.
+  EXPECT_NEAR((ef_bytes + be_bytes) * 8.0 / 10.0, 10e6, 0.5e6);
+}
+
+}  // namespace
+}  // namespace aqm::net

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "orb/exceptions.hpp"
+#include "orb/ior.hpp"
+
+namespace aqm::orb {
+namespace {
+
+ObjectRef sample_ref() {
+  ObjectRef ref;
+  ref.node = 42;
+  ref.object_key = "video/receiver1";
+  ref.priority_model = PriorityModel::ServerDeclared;
+  ref.server_priority = 22'000;
+  ref.protocol.dscp = net::dscp::kEf;
+  return ref;
+}
+
+TEST(Ior, RoundTripPreservesEverything) {
+  const ObjectRef ref = sample_ref();
+  const std::string ior = object_to_string(ref);
+  const ObjectRef back = string_to_object(ior);
+  EXPECT_EQ(back.node, 42);
+  EXPECT_EQ(back.object_key, "video/receiver1");
+  EXPECT_EQ(back.priority_model, PriorityModel::ServerDeclared);
+  EXPECT_EQ(back.server_priority, 22'000);
+  ASSERT_TRUE(back.protocol.dscp.has_value());
+  EXPECT_EQ(*back.protocol.dscp, net::dscp::kEf);
+}
+
+TEST(Ior, RoundTripWithoutOptionalComponents) {
+  ObjectRef ref;
+  ref.node = 1;
+  ref.object_key = "a/b";
+  const ObjectRef back = string_to_object(object_to_string(ref));
+  EXPECT_EQ(back.priority_model, PriorityModel::ClientPropagated);
+  EXPECT_EQ(back.server_priority, 0);
+  EXPECT_FALSE(back.protocol.dscp.has_value());
+}
+
+TEST(Ior, StartsWithIorPrefixAndIsHex) {
+  const std::string ior = object_to_string(sample_ref());
+  ASSERT_GT(ior.size(), 4u);
+  EXPECT_EQ(ior.substr(0, 4), "IOR:");
+  for (std::size_t i = 4; i < ior.size(); ++i) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(ior[i]))) << "at " << i;
+  }
+}
+
+TEST(Ior, DeterministicForSameRef) {
+  EXPECT_EQ(object_to_string(sample_ref()), object_to_string(sample_ref()));
+}
+
+TEST(Ior, RejectsInvalidRef) {
+  EXPECT_THROW((void)object_to_string(ObjectRef{}), BadParam);
+}
+
+TEST(Ior, RejectsGarbageStrings) {
+  EXPECT_THROW((void)string_to_object("not an ior"), MarshalError);
+  EXPECT_THROW((void)string_to_object("IOR:zz"), MarshalError);
+  EXPECT_THROW((void)string_to_object("IOR:abc"), MarshalError);  // odd length
+  EXPECT_THROW((void)string_to_object("IOR:00000000"), MarshalError);  // bad magic
+}
+
+TEST(Ior, RejectsTruncatedProfile) {
+  std::string ior = object_to_string(sample_ref());
+  ior.resize(ior.size() - 8);
+  EXPECT_THROW((void)string_to_object(ior), MarshalError);
+}
+
+}  // namespace
+}  // namespace aqm::orb

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "media/frame_filter.hpp"
+#include "media/gop.hpp"
+#include "media/video_sink.hpp"
+#include "media/video_source.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::media {
+namespace {
+
+TEST(Gop, PaperProfileShape) {
+  const GopStructure gop = GopStructure::mpeg1_paper_profile();
+  EXPECT_EQ(gop.gop_length(), 15u);
+  EXPECT_EQ(gop.type_at(0), FrameType::I);
+  EXPECT_EQ(gop.type_at(1), FrameType::B);
+  EXPECT_EQ(gop.type_at(3), FrameType::P);
+  EXPECT_EQ(gop.type_at(15), FrameType::I);  // wraps to next GOP
+  // I-frames at 2 per second at 30 fps.
+  int i_frames = 0;
+  for (std::uint64_t f = 0; f < 30; ++f) {
+    if (gop.type_at(f) == FrameType::I) ++i_frames;
+  }
+  EXPECT_EQ(i_frames, 2);
+}
+
+TEST(Gop, PaperProfileRates) {
+  const GopStructure gop = GopStructure::mpeg1_paper_profile();
+  // Full stream ~1.2 Mbps.
+  EXPECT_NEAR(gop.rate_bps(30.0), 1.2e6, 0.05e6);
+  // I+P (10 fps) fits under the 670 kbps partial reservation.
+  const double ip = gop.rate_bps_filtered(30.0, true, true, false);
+  EXPECT_LT(ip, 670e3);
+  EXPECT_GT(ip, 500e3);
+  // I-only (2 fps) is small.
+  const double i_only = gop.rate_bps_filtered(30.0, true, false, false);
+  EXPECT_LT(i_only, 250e3);
+}
+
+TEST(Gop, SizeRatiosMatchTypes) {
+  const GopStructure gop = GopStructure::mpeg1_paper_profile();
+  EXPECT_GT(gop.size_of(FrameType::I), gop.size_of(FrameType::P));
+  EXPECT_GT(gop.size_of(FrameType::P), gop.size_of(FrameType::B));
+}
+
+TEST(Gop, RejectsBadPatterns) {
+  EXPECT_THROW(GopStructure("BIP", 100, 50, 25), std::invalid_argument);
+  EXPECT_THROW(GopStructure("", 100, 50, 25), std::invalid_argument);
+  EXPECT_THROW(GopStructure("IXZ", 100, 50, 25), std::invalid_argument);
+}
+
+TEST(VideoSource, EmitsAtConfiguredFps) {
+  sim::Engine engine;
+  std::vector<VideoFrame> frames;
+  VideoSource src(engine, GopStructure::mpeg1_paper_profile(), 30.0,
+                  [&](const VideoFrame& f) { frames.push_back(f); });
+  src.start();
+  engine.run_until(TimePoint{seconds(2).ns()});
+  src.stop();
+  EXPECT_EQ(frames.size(), 60u);
+  EXPECT_EQ(frames[0].type, FrameType::I);
+  EXPECT_EQ(frames[0].index, 0u);
+  EXPECT_EQ(frames[59].index, 59u);
+}
+
+TEST(VideoSource, RunBetweenWindowsEmission) {
+  sim::Engine engine;
+  int count = 0;
+  VideoSource src(engine, GopStructure::mpeg1_paper_profile(), 30.0,
+                  [&](const VideoFrame&) { ++count; });
+  src.run_between(TimePoint{seconds(1).ns()}, TimePoint{seconds(2).ns()});
+  engine.run_until(TimePoint{seconds(3).ns()});
+  EXPECT_NEAR(count, 30, 1);
+}
+
+TEST(FrameFilter, LevelsPassExpectedTypes) {
+  FrameFilter filter(FilterLevel::Full);
+  EXPECT_TRUE(filter.passes(FrameType::I));
+  EXPECT_TRUE(filter.passes(FrameType::P));
+  EXPECT_TRUE(filter.passes(FrameType::B));
+  filter.set_level(FilterLevel::IpOnly);
+  EXPECT_TRUE(filter.passes(FrameType::I));
+  EXPECT_TRUE(filter.passes(FrameType::P));
+  EXPECT_FALSE(filter.passes(FrameType::B));
+  filter.set_level(FilterLevel::IOnly);
+  EXPECT_TRUE(filter.passes(FrameType::I));
+  EXPECT_FALSE(filter.passes(FrameType::P));
+  EXPECT_FALSE(filter.passes(FrameType::B));
+}
+
+TEST(FrameFilter, IpOnlyYields10FpsOfPaperGop) {
+  const GopStructure gop = GopStructure::mpeg1_paper_profile();
+  FrameFilter filter(FilterLevel::IpOnly);
+  int passed = 0;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    VideoFrame f;
+    f.index = i;
+    f.type = gop.type_at(i);
+    if (filter.filter(f)) ++passed;
+  }
+  EXPECT_EQ(passed, 10);  // 10 fps out of 30
+  EXPECT_EQ(filter.forwarded(), 10u);
+  EXPECT_EQ(filter.dropped(), 20u);
+}
+
+TEST(FrameFilter, IOnlyYields2FpsOfPaperGop) {
+  const GopStructure gop = GopStructure::mpeg1_paper_profile();
+  FrameFilter filter(FilterLevel::IOnly);
+  int passed = 0;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    VideoFrame f;
+    f.index = i;
+    f.type = gop.type_at(i);
+    if (filter.filter(f)) ++passed;
+  }
+  EXPECT_EQ(passed, 2);
+}
+
+struct SinkFixture : public ::testing::Test {
+  SinkFixture() : sink(engine, GopStructure::mpeg1_paper_profile()) {}
+
+  VideoFrame frame(std::uint64_t index) {
+    const GopStructure gop = GopStructure::mpeg1_paper_profile();
+    VideoFrame f;
+    f.index = index;
+    f.type = gop.type_at(index);
+    f.size_bytes = gop.size_of(f.type);
+    f.capture_time = engine.now();
+    return f;
+  }
+
+  sim::Engine engine;
+  VideoSinkStats sink;
+};
+
+TEST_F(SinkFixture, CountsByType) {
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    const auto f = frame(i);
+    sink.on_transmitted(f);
+    sink.on_received(f);
+  }
+  EXPECT_EQ(sink.received_count(), 15u);
+  EXPECT_EQ(sink.received_of(FrameType::I), 1u);
+  EXPECT_EQ(sink.received_of(FrameType::P), 4u);
+  EXPECT_EQ(sink.received_of(FrameType::B), 10u);
+}
+
+TEST_F(SinkFixture, FullGopIsFullyDecodable) {
+  for (std::uint64_t i = 0; i < 15; ++i) sink.on_received(frame(i));
+  // Trailing B frames of the GOP reference the next GOP's I frame.
+  sink.on_received(frame(15));
+  EXPECT_EQ(sink.decodable_count(), 16u);
+}
+
+TEST_F(SinkFixture, MissingIFrameKillsDependents) {
+  // GOP without its I frame: P and B frames are undecodable.
+  for (std::uint64_t i = 1; i < 15; ++i) sink.on_received(frame(i));
+  EXPECT_EQ(sink.decodable_count(), 0u);
+}
+
+TEST_F(SinkFixture, IPOnlyDeliveryDecodableWithoutBFrames) {
+  // Deliver only I and P frames (the 10fps filtered stream).
+  const GopStructure gop = GopStructure::mpeg1_paper_profile();
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    if (gop.type_at(i) != FrameType::B) sink.on_received(frame(i));
+  }
+  EXPECT_EQ(sink.decodable_count(), 5u);  // 1 I + 4 P
+}
+
+TEST_F(SinkFixture, MissingMiddlePBreaksChain) {
+  const GopStructure gop = GopStructure::mpeg1_paper_profile();
+  // Deliver I and all P except the first P (position 3).
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    if (gop.type_at(i) == FrameType::B) continue;
+    if (i == 3) continue;
+    sink.on_received(frame(i));
+  }
+  // Only the I frame is decodable: every later P depends on P@3.
+  EXPECT_EQ(sink.decodable_count(), 1u);
+}
+
+TEST_F(SinkFixture, LatencySeriesTracksDelay) {
+  auto f = frame(0);
+  engine.after(milliseconds(25), [&, f] { sink.on_received(f); });
+  engine.run();
+  const auto stats = sink.latency_series().stats();
+  ASSERT_EQ(stats.count(), 1u);
+  EXPECT_NEAR(stats.mean(), 25.0, 0.001);
+}
+
+TEST_F(SinkFixture, WindowedCountsUseRightClocks) {
+  // Transmit at t=0; receive at t=5s (post-window).
+  const auto f = frame(0);
+  sink.on_transmitted(f);
+  engine.after(seconds(5), [&, f] { sink.on_received(f); });
+  engine.run();
+  EXPECT_EQ(sink.transmitted_between(TimePoint::zero(), TimePoint{seconds(1).ns()}), 1u);
+  EXPECT_EQ(sink.received_between(TimePoint::zero(), TimePoint{seconds(1).ns()}), 0u);
+  EXPECT_EQ(sink.received_between(TimePoint{seconds(4).ns()}, TimePoint{seconds(6).ns()}), 1u);
+}
+
+}  // namespace
+}  // namespace aqm::media

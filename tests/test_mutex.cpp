@@ -1,0 +1,179 @@
+// Priority-inheritance mutex: the classic inversion scenario and the
+// protocol that fixes it.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "os/cpu.hpp"
+#include "os/mutex.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::os {
+namespace {
+
+CpuConfig fifo_config() {
+  CpuConfig cfg;
+  cfg.quantum = Duration::max() - Duration{1};
+  return cfg;
+}
+
+TEST(PiMutex, UncontendedAcquireIsImmediate) {
+  sim::Engine engine;
+  Cpu cpu(engine, "cpu", fifo_config());
+  PiMutex mutex(cpu);
+  bool granted = false;
+  mutex.acquire(50, [&](PiMutex::Guard guard) {
+    granted = true;
+    guard.release();
+  });
+  EXPECT_TRUE(granted);
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(PiMutex, WaitersGrantedInPriorityOrder) {
+  sim::Engine engine;
+  Cpu cpu(engine, "cpu", fifo_config());
+  PiMutex mutex(cpu);
+  std::vector<int> order;
+  PiMutex::Guard held;
+  mutex.acquire(10, [&](PiMutex::Guard g) { held = g; });
+  mutex.acquire(20, [&](PiMutex::Guard g) {
+    order.push_back(20);
+    g.release();
+  });
+  mutex.acquire(90, [&](PiMutex::Guard g) {
+    order.push_back(90);
+    g.release();
+  });
+  mutex.acquire(50, [&](PiMutex::Guard g) {
+    order.push_back(50);
+    g.release();
+  });
+  EXPECT_EQ(mutex.waiter_count(), 3u);
+  held.release();  // cascades through all waiters
+  EXPECT_EQ(order, (std::vector<int>{90, 50, 20}));
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(PiMutex, FifoWithinEqualPriority) {
+  sim::Engine engine;
+  Cpu cpu(engine, "cpu", fifo_config());
+  PiMutex mutex(cpu);
+  std::vector<int> order;
+  PiMutex::Guard held;
+  mutex.acquire(10, [&](PiMutex::Guard g) { held = g; });
+  mutex.acquire(50, [&](PiMutex::Guard g) {
+    order.push_back(1);
+    g.release();
+  });
+  mutex.acquire(50, [&](PiMutex::Guard g) {
+    order.push_back(2);
+    g.release();
+  });
+  held.release();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(PiMutex, DoubleReleaseIsIdempotent) {
+  sim::Engine engine;
+  Cpu cpu(engine, "cpu", fifo_config());
+  PiMutex mutex(cpu);
+  PiMutex::Guard guard;
+  mutex.acquire(10, [&](PiMutex::Guard g) { guard = g; });
+  guard.release();
+  guard.release();  // stale: must not disturb the next holder
+  bool second_granted = false;
+  PiMutex::Guard second;
+  mutex.acquire(20, [&](PiMutex::Guard g) {
+    second_granted = true;
+    second = g;
+  });
+  EXPECT_TRUE(second_granted);
+  guard.release();  // still stale
+  EXPECT_TRUE(mutex.locked());
+  second.release();
+  EXPECT_FALSE(mutex.locked());
+}
+
+/// The Mars-Pathfinder shape: low-priority L holds the lock, medium M
+/// preempts L, high H blocks on the lock. Without inheritance H waits for
+/// M's unrelated work; with inheritance L is boosted past M and H gets the
+/// lock promptly.
+struct InversionResult {
+  TimePoint high_done;
+  std::uint64_t boosts;
+};
+
+InversionResult run_inversion(bool priority_inheritance) {
+  sim::Engine engine;
+  Cpu cpu(engine, "cpu", fifo_config());
+  PiMutex mutex(cpu, priority_inheritance);
+  InversionResult result{};
+
+  // t=0: L (prio 10) takes the lock and starts a 30 ms critical section.
+  mutex.acquire(10, [&](PiMutex::Guard g) {
+    const JobId job = cpu.submit_for(milliseconds(30), 10,
+                                     [g]() mutable { g.release(); });
+    g.set_holder_job(job);
+  });
+
+  // t=1ms: M (prio 50) — 200 ms of unrelated work that preempts L.
+  engine.after(milliseconds(1), [&] {
+    cpu.submit_for(milliseconds(200), 50, [] {});
+  });
+
+  // t=2ms: H (prio 90) needs the lock for a 5 ms critical section.
+  engine.after(milliseconds(2), [&] {
+    mutex.acquire(90, [&](PiMutex::Guard g) {
+      const JobId job = cpu.submit_for(milliseconds(5), 90, [&result, &engine, g]() mutable {
+        g.release();
+        result.high_done = engine.now();
+      });
+      g.set_holder_job(job);
+    });
+  });
+
+  engine.run();
+  result.boosts = mutex.inheritance_boosts();
+  return result;
+}
+
+TEST(PiMutex, InversionWithoutInheritance) {
+  const InversionResult r = run_inversion(false);
+  // H waits for M's 200 ms plus L's remaining section: > 230 ms.
+  EXPECT_GT(r.high_done.ns(), milliseconds(230).ns());
+  EXPECT_EQ(r.boosts, 0u);
+}
+
+TEST(PiMutex, InheritanceBoundsHighPriorityBlocking) {
+  const InversionResult r = run_inversion(true);
+  // L is boosted to 90 at t=2ms, finishes its remaining ~29 ms, then H's
+  // 5 ms section runs: done by ~40 ms, two orders before M completes.
+  EXPECT_LT(r.high_done.ns(), milliseconds(45).ns());
+  EXPECT_GE(r.boosts, 1u);
+}
+
+TEST(PiMutex, BoostRestoredAfterRelease) {
+  sim::Engine engine;
+  Cpu cpu(engine, "cpu", fifo_config());
+  PiMutex mutex(cpu);
+  std::optional<Priority> low_priority_after;
+
+  mutex.acquire(10, [&](PiMutex::Guard g) {
+    const JobId job = cpu.submit_for(milliseconds(10), 10, [] {});
+    g.set_holder_job(job);
+    // A high waiter boosts the holder...
+    mutex.acquire(90, [](PiMutex::Guard g2) { g2.release(); });
+    EXPECT_EQ(cpu.base_priority(job), 90);
+    // ...and release restores it.
+    g.release();
+    low_priority_after = cpu.base_priority(job);
+  });
+  ASSERT_TRUE(low_priority_after.has_value());
+  EXPECT_EQ(*low_priority_after, 10);
+  engine.run();
+}
+
+}  // namespace
+}  // namespace aqm::os

@@ -1,0 +1,172 @@
+// QuO layer: system condition objects, contracts, delegates, qoskets.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "quo/contract.hpp"
+#include "quo/delegate.hpp"
+#include "quo/qosket.hpp"
+#include "quo/syscond.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::quo {
+namespace {
+
+TEST(SysCond, ValueSetNotifiesSubscribers) {
+  ValueSysCond cond("load");
+  int notifications = 0;
+  cond.subscribe([&] { ++notifications; });
+  cond.set(1.0);
+  cond.set(2.0);
+  cond.set(2.0);  // unchanged: no notification
+  EXPECT_EQ(notifications, 2);
+  EXPECT_DOUBLE_EQ(cond.value(), 2.0);
+}
+
+TEST(SysCond, LambdaPullsThrough) {
+  double backing = 5.0;
+  LambdaSysCond cond("cpu-util", [&] { return backing; });
+  EXPECT_DOUBLE_EQ(cond.value(), 5.0);
+  backing = 7.0;
+  EXPECT_DOUBLE_EQ(cond.value(), 7.0);
+}
+
+TEST(SysCond, RateMeasuresWindowedRate) {
+  sim::Engine engine;
+  RateSysCond cond(engine, "fps", seconds(1));
+  // 10 events over one second.
+  for (int i = 0; i < 10; ++i) {
+    engine.after(milliseconds(100 * i), [&] { cond.record(); });
+  }
+  engine.run_until(TimePoint{milliseconds(950).ns()});
+  EXPECT_NEAR(cond.value(), 10.0, 1.0);
+}
+
+TEST(SysCond, RateDropsAsEventsAge) {
+  sim::Engine engine;
+  RateSysCond cond(engine, "fps", seconds(1));
+  cond.start();
+  for (int i = 0; i < 10; ++i) {
+    engine.after(milliseconds(50 * i), [&] { cond.record(); });
+  }
+  engine.run_until(TimePoint{seconds(3).ns()});
+  cond.stop();
+  EXPECT_DOUBLE_EQ(cond.value(), 0.0);
+}
+
+TEST(SysCond, RateTickNotifiesOnDrop) {
+  sim::Engine engine;
+  RateSysCond cond(engine, "fps", seconds(1));
+  cond.start();
+  int notified = 0;
+  cond.subscribe([&] { ++notified; });
+  cond.record();
+  const int after_record = notified;
+  engine.run_until(TimePoint{seconds(2).ns()});
+  cond.stop();
+  // The periodic tick must have notified again when the rate fell to 0.
+  EXPECT_GT(notified, after_record);
+}
+
+struct ContractFixture : public ::testing::Test {
+  ContractFixture() : contract(engine, "bandwidth") {}
+  sim::Engine engine;
+  Contract contract;
+};
+
+TEST_F(ContractFixture, FirstMatchingRegionWins) {
+  ValueSysCond bw("bw", 10.0);
+  contract.add_region("high", [&] { return bw.value() >= 8.0; })
+      .add_region("medium", [&] { return bw.value() >= 4.0; })
+      .add_region("low", nullptr);
+  EXPECT_EQ(contract.eval(), "high");
+  bw.set(5.0);
+  EXPECT_EQ(contract.eval(), "medium");
+  bw.set(0.5);
+  EXPECT_EQ(contract.eval(), "low");
+}
+
+TEST_F(ContractFixture, ObserveTriggersAutomaticEval) {
+  ValueSysCond bw("bw", 10.0);
+  contract.add_region("good", [&] { return bw.value() >= 5.0; })
+      .add_region("bad", nullptr)
+      .observe(bw);
+  contract.eval();
+  EXPECT_EQ(contract.current_region(), "good");
+  bw.set(1.0);  // auto re-eval via subscription
+  EXPECT_EQ(contract.current_region(), "bad");
+}
+
+TEST_F(ContractFixture, CallbacksFireOnTransitions) {
+  ValueSysCond bw("bw", 10.0);
+  std::vector<std::string> events;
+  contract.add_region("good", [&] { return bw.value() >= 5.0; })
+      .add_region("bad", nullptr)
+      .on_enter("bad", [&] { events.push_back("enter-bad"); })
+      .on_enter("good", [&] { events.push_back("enter-good"); })
+      .on_transition("good", "bad", [&] { events.push_back("good->bad"); })
+      .observe(bw);
+  contract.eval();  // -> good
+  bw.set(1.0);      // -> bad
+  bw.set(9.0);      // -> good
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], "enter-good");
+  EXPECT_EQ(events[1], "good->bad");
+  EXPECT_EQ(events[2], "enter-bad");
+  EXPECT_EQ(events[3], "enter-good");
+}
+
+TEST_F(ContractFixture, HistoryRecordsTimeline) {
+  ValueSysCond bw("bw", 10.0);
+  contract.add_region("good", [&] { return bw.value() >= 5.0; })
+      .add_region("bad", nullptr)
+      .observe(bw);
+  contract.eval();
+  engine.after(seconds(2), [&] { bw.set(0.0); });
+  engine.run();
+  ASSERT_EQ(contract.history().size(), 2u);
+  EXPECT_EQ(contract.history()[0].second, "good");
+  EXPECT_EQ(contract.history()[1].second, "bad");
+  EXPECT_EQ(contract.history()[1].first.ns(), seconds(2).ns());
+  EXPECT_EQ(contract.transition_count(), 1u);
+}
+
+TEST_F(ContractFixture, NoRegionMatchKeepsCurrent) {
+  ValueSysCond v("v", 10.0);
+  contract.add_region("only", [&] { return v.value() > 5.0; });
+  contract.eval();
+  EXPECT_EQ(contract.current_region(), "only");
+  v.set(1.0);
+  EXPECT_EQ(contract.eval(), "only");  // nothing matches: stay put
+}
+
+TEST_F(ContractFixture, TransitionCallbackSettingConditionDoesNotRecurse) {
+  ValueSysCond v("v", 10.0);
+  contract.add_region("a", [&] { return v.value() > 5.0; })
+      .add_region("b", nullptr)
+      .observe(v);
+  contract.on_enter("b", [&] { v.set(9.0); });  // would re-trigger eval
+  contract.eval();
+  v.set(1.0);
+  // Re-entrant eval is suppressed; a later eval picks up the new value.
+  EXPECT_EQ(contract.current_region(), "b");
+  EXPECT_EQ(contract.eval(), "a");
+}
+
+TEST(Qosket, OwnsContractsAndConditions) {
+  sim::Engine engine;
+  Qosket qosket("video-quality");
+  auto& cond = qosket.make_syscond<ValueSysCond>("bw", 3.0);
+  auto& contract = qosket.make_contract(engine, "main");
+  contract.add_region("any", nullptr);
+  EXPECT_EQ(qosket.contract("main"), &contract);
+  EXPECT_EQ(qosket.syscond("bw"), &cond);
+  EXPECT_EQ(qosket.contract("missing"), nullptr);
+  EXPECT_EQ(qosket.syscond("missing"), nullptr);
+  EXPECT_EQ(qosket.contract_count(), 1u);
+  EXPECT_EQ(qosket.syscond_count(), 1u);
+}
+
+}  // namespace
+}  // namespace aqm::quo

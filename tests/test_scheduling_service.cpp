@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduling_service.hpp"
+
+namespace aqm::core {
+namespace {
+
+ActivitySpec task(const std::string& name, Duration period, Duration cost,
+                  int importance = 0) {
+  return ActivitySpec{name, period, cost, importance};
+}
+
+TEST(SchedulingService, RateMonotonicOrdering) {
+  SchedulingService svc;
+  svc.declare(task("video", milliseconds(33), milliseconds(5)));
+  svc.declare(task("telemetry", milliseconds(100), milliseconds(10)));
+  svc.declare(task("logging", seconds(1), milliseconds(50)));
+  ASSERT_TRUE(svc.assign().ok());
+  const auto video = svc.priority_of("video");
+  const auto telemetry = svc.priority_of("telemetry");
+  const auto logging = svc.priority_of("logging");
+  ASSERT_TRUE(video && telemetry && logging);
+  EXPECT_GT(*video, *telemetry);     // shorter period -> higher priority
+  EXPECT_GT(*telemetry, *logging);
+}
+
+TEST(SchedulingService, ImportanceBreaksPeriodTies) {
+  SchedulingService svc;
+  svc.declare(task("a", milliseconds(50), milliseconds(5), 1));
+  svc.declare(task("b", milliseconds(50), milliseconds(5), 9));
+  ASSERT_TRUE(svc.assign().ok());
+  EXPECT_GT(*svc.priority_of("b"), *svc.priority_of("a"));
+}
+
+TEST(SchedulingService, PrioritiesSpanTheConfiguredBand) {
+  SchedulingServiceConfig cfg;
+  cfg.band_min = 10'000;
+  cfg.band_max = 20'000;
+  SchedulingService svc(cfg);
+  svc.declare(task("fast", milliseconds(10), milliseconds(1)));
+  svc.declare(task("mid", milliseconds(100), milliseconds(1)));
+  svc.declare(task("slow", seconds(1), milliseconds(1)));
+  ASSERT_TRUE(svc.assign().ok());
+  EXPECT_EQ(*svc.priority_of("fast"), 20'000);
+  EXPECT_EQ(*svc.priority_of("slow"), 10'000);
+  EXPECT_GT(*svc.priority_of("mid"), 10'000);
+  EXPECT_LT(*svc.priority_of("mid"), 20'000);
+}
+
+TEST(SchedulingService, SingleTaskGetsTopOfBand) {
+  SchedulingService svc;
+  svc.declare(task("only", milliseconds(10), milliseconds(2)));
+  ASSERT_TRUE(svc.assign().ok());
+  EXPECT_EQ(*svc.priority_of("only"), 30'000);
+}
+
+TEST(SchedulingService, LiuLaylandBoundValues) {
+  EXPECT_DOUBLE_EQ(SchedulingService::liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(SchedulingService::liu_layland_bound(2), 0.8284, 1e-3);
+  EXPECT_NEAR(SchedulingService::liu_layland_bound(3), 0.7798, 1e-3);
+  // Limit: ln 2 ~ 0.693.
+  EXPECT_NEAR(SchedulingService::liu_layland_bound(1000), 0.6934, 1e-3);
+}
+
+TEST(SchedulingService, UtilizationSumsDeclaredTasks) {
+  SchedulingService svc;
+  svc.declare(task("a", milliseconds(100), milliseconds(25)));
+  svc.declare(task("b", milliseconds(200), milliseconds(50)));
+  EXPECT_NEAR(svc.total_utilization(), 0.5, 1e-12);
+}
+
+TEST(SchedulingService, ClassicFeasibleBeyondTheBound) {
+  // U = 0.25 + 0.25 + 0.25 = 0.75 < LL bound for 3 (0.7798): bound passes.
+  SchedulingService svc;
+  svc.declare(task("t1", milliseconds(40), milliseconds(10)));
+  svc.declare(task("t2", milliseconds(80), milliseconds(20)));
+  svc.declare(task("t3", milliseconds(160), milliseconds(40)));
+  EXPECT_TRUE(svc.feasible_by_bound());
+  EXPECT_TRUE(svc.feasible_by_response_time());
+
+  // Harmonic task set at U = 1.0: fails the LL bound but is exactly
+  // schedulable — RTA proves it.
+  SchedulingService harmonic;
+  harmonic.declare(task("h1", milliseconds(10), milliseconds(5)));
+  harmonic.declare(task("h2", milliseconds(20), milliseconds(10)));
+  EXPECT_FALSE(harmonic.feasible_by_bound());
+  EXPECT_TRUE(harmonic.feasible_by_response_time());
+  EXPECT_TRUE(harmonic.assign().ok());
+}
+
+TEST(SchedulingService, ResponseTimeAnalysisKnownExample) {
+  // Textbook example: T={7,12,20}, C={3,3,5}.
+  // R1=3; R2=3+ceil(R2/7)*3 -> 6; R3=5+...-> 20 (fits exactly).
+  SchedulingService svc;
+  svc.declare(task("t1", milliseconds(7), milliseconds(3)));
+  svc.declare(task("t2", milliseconds(12), milliseconds(3)));
+  svc.declare(task("t3", milliseconds(20), milliseconds(5)));
+  ASSERT_TRUE(svc.feasible_by_response_time());
+  EXPECT_EQ(svc.worst_case_response("t1")->ns(), milliseconds(3).ns());
+  EXPECT_EQ(svc.worst_case_response("t2")->ns(), milliseconds(6).ns());
+  EXPECT_EQ(svc.worst_case_response("t3")->ns(), milliseconds(20).ns());
+}
+
+TEST(SchedulingService, InfeasibleSetRefusedAtAssign) {
+  SchedulingService svc;
+  svc.declare(task("t1", milliseconds(10), milliseconds(6)));
+  svc.declare(task("t2", milliseconds(14), milliseconds(6)));
+  EXPECT_FALSE(svc.feasible_by_response_time());
+  const auto status = svc.assign();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.error().find("infeasible"), std::string::npos);
+  EXPECT_FALSE(svc.priority_of("t1").has_value());
+}
+
+TEST(SchedulingService, RemoveMakesSetFeasibleAgain) {
+  SchedulingService svc;
+  svc.declare(task("t1", milliseconds(10), milliseconds(6)));
+  svc.declare(task("t2", milliseconds(14), milliseconds(6)));
+  ASSERT_FALSE(svc.assign().ok());
+  svc.remove("t2");
+  ASSERT_TRUE(svc.assign().ok());
+  EXPECT_TRUE(svc.priority_of("t1").has_value());
+  EXPECT_EQ(svc.activity_count(), 1u);
+}
+
+TEST(SchedulingService, RedeclareReplacesSpec) {
+  SchedulingService svc;
+  svc.declare(task("t", milliseconds(100), milliseconds(90)));
+  svc.declare(task("t", milliseconds(100), milliseconds(10)));  // replace
+  EXPECT_EQ(svc.activity_count(), 1u);
+  EXPECT_NEAR(svc.total_utilization(), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace aqm::core

@@ -1,0 +1,130 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace aqm {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared devs = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 1.5);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-100.0);  // clamps into first bucket
+  h.add(100.0);   // clamps into last bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, BucketBounds) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 20.0);
+}
+
+TEST(TimeSeries, StatsBetweenWindow) {
+  TimeSeries ts;
+  ts.add(TimePoint{seconds(1).ns()}, 10.0);
+  ts.add(TimePoint{seconds(2).ns()}, 20.0);
+  ts.add(TimePoint{seconds(3).ns()}, 30.0);
+  const auto s = ts.stats_between(TimePoint{seconds(1).ns()}, TimePoint{seconds(3).ns()});
+  EXPECT_EQ(s.count(), 2u);  // [1s, 3s): includes t=1s and t=2s
+  EXPECT_DOUBLE_EQ(s.mean(), 15.0);
+}
+
+TEST(TimeSeries, BucketizeIncludesEmptyIntervals) {
+  TimeSeries ts;
+  ts.add(TimePoint{seconds(0).ns() + 1}, 5.0);
+  ts.add(TimePoint{seconds(2).ns() + 1}, 7.0);
+  const auto buckets = ts.bucketize(seconds(1), TimePoint{seconds(3).ns()});
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[1].count, 0u);
+  EXPECT_EQ(buckets[2].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[2].mean, 7.0);
+}
+
+TEST(TimeSeries, FormatTableHasRowPerBucket) {
+  TimeSeries ts;
+  ts.add(TimePoint{1}, 1.0);
+  const auto buckets = ts.bucketize(seconds(1), TimePoint{seconds(2).ns()});
+  const std::string table = format_series_table(buckets, "ms");
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace aqm

@@ -1,0 +1,72 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqm {
+namespace {
+
+TEST(Duration, FactoryHelpersScale) {
+  EXPECT_EQ(nanoseconds(7).ns(), 7);
+  EXPECT_EQ(microseconds(3).ns(), 3'000);
+  EXPECT_EQ(milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(seconds(1).ns(), 1'000'000'000);
+}
+
+TEST(Duration, UnitConversions) {
+  const Duration d = milliseconds(1500);
+  EXPECT_DOUBLE_EQ(d.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(d.millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.micros(), 1'500'000.0);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((milliseconds(5) + milliseconds(3)).ns(), 8'000'000);
+  EXPECT_EQ((milliseconds(5) - milliseconds(3)).ns(), 2'000'000);
+  EXPECT_EQ((milliseconds(5) * 4).ns(), 20'000'000);
+  EXPECT_EQ((4 * milliseconds(5)).ns(), 20'000'000);
+  EXPECT_EQ((milliseconds(10) / 4).ns(), 2'500'000);
+  EXPECT_EQ((-milliseconds(1)).ns(), -1'000'000);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = milliseconds(1);
+  d += microseconds(500);
+  EXPECT_EQ(d.ns(), 1'500'000);
+  d -= microseconds(250);
+  EXPECT_EQ(d.ns(), 1'250'000);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(milliseconds(1), milliseconds(2));
+  EXPECT_GT(seconds(1), milliseconds(999));
+  EXPECT_EQ(milliseconds(1000), seconds(1));
+  EXPECT_LE(Duration::zero(), nanoseconds(0));
+  EXPECT_LT(Duration::zero(), Duration::max());
+}
+
+TEST(Duration, SecondsFloatConversion) {
+  EXPECT_EQ(seconds_f(0.001).ns(), 1'000'000);
+  EXPECT_EQ(seconds_f(2.5).ns(), 2'500'000'000LL);
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t{1'000};
+  EXPECT_EQ((t + nanoseconds(500)).ns(), 1'500);
+  EXPECT_EQ((nanoseconds(500) + t).ns(), 1'500);
+  EXPECT_EQ((t - nanoseconds(400)).ns(), 600);
+}
+
+TEST(TimePoint, DifferenceIsDuration) {
+  const TimePoint a{5'000};
+  const TimePoint b{2'000};
+  EXPECT_EQ((a - b).ns(), 3'000);
+  EXPECT_EQ((b - a).ns(), -3'000);
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::zero(), TimePoint{1});
+  EXPECT_LT(TimePoint{1}, TimePoint::max());
+}
+
+}  // namespace
+}  // namespace aqm

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_combined_policy.cpp" "bench/CMakeFiles/ablation_combined_policy.dir/ablation_combined_policy.cpp.o" "gcc" "bench/CMakeFiles/ablation_combined_policy.dir/ablation_combined_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/aqm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/aqm_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cos/CMakeFiles/aqm_cos.dir/DependInfo.cmake"
+  "/root/repo/build/src/avstreams/CMakeFiles/aqm_avstreams.dir/DependInfo.cmake"
+  "/root/repo/build/src/quo/CMakeFiles/aqm_quo.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/aqm_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/aqm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/aqm_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combined_policy.dir/ablation_combined_policy.cpp.o"
+  "CMakeFiles/ablation_combined_policy.dir/ablation_combined_policy.cpp.o.d"
+  "ablation_combined_policy"
+  "ablation_combined_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combined_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_priority_reservation.dir/ablation_priority_reservation.cpp.o"
+  "CMakeFiles/ablation_priority_reservation.dir/ablation_priority_reservation.cpp.o.d"
+  "ablation_priority_reservation"
+  "ablation_priority_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priority_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

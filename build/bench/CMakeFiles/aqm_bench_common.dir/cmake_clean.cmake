@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_bench_common.dir/common/priority_scenario.cpp.o"
+  "CMakeFiles/aqm_bench_common.dir/common/priority_scenario.cpp.o.d"
+  "CMakeFiles/aqm_bench_common.dir/common/reservation_scenario.cpp.o"
+  "CMakeFiles/aqm_bench_common.dir/common/reservation_scenario.cpp.o.d"
+  "libaqm_bench_common.a"
+  "libaqm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

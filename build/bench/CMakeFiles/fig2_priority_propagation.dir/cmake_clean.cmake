@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_priority_propagation.dir/fig2_priority_propagation.cpp.o"
+  "CMakeFiles/fig2_priority_propagation.dir/fig2_priority_propagation.cpp.o.d"
+  "fig2_priority_propagation"
+  "fig2_priority_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_priority_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_control.dir/fig4_control.cpp.o"
+  "CMakeFiles/fig4_control.dir/fig4_control.cpp.o.d"
+  "fig4_control"
+  "fig4_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_thread_priority.dir/fig5_thread_priority.cpp.o"
+  "CMakeFiles/fig5_thread_priority.dir/fig5_thread_priority.cpp.o.d"
+  "fig5_thread_priority"
+  "fig5_thread_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_thread_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_combined_priority.dir/fig6_combined_priority.cpp.o"
+  "CMakeFiles/fig6_combined_priority.dir/fig6_combined_priority.cpp.o.d"
+  "fig6_combined_priority"
+  "fig6_combined_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_combined_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

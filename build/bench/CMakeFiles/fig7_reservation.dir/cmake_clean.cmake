@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_reservation.dir/fig7_reservation.cpp.o"
+  "CMakeFiles/fig7_reservation.dir/fig7_reservation.cpp.o.d"
+  "fig7_reservation"
+  "fig7_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

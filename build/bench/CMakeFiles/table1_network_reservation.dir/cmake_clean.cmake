@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_network_reservation.dir/table1_network_reservation.cpp.o"
+  "CMakeFiles/table1_network_reservation.dir/table1_network_reservation.cpp.o.d"
+  "table1_network_reservation"
+  "table1_network_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_network_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cpu_reservation.dir/table2_cpu_reservation.cpp.o"
+  "CMakeFiles/table2_cpu_reservation.dir/table2_cpu_reservation.cpp.o.d"
+  "table2_cpu_reservation"
+  "table2_cpu_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cpu_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_streaming.cpp" "examples/CMakeFiles/adaptive_streaming.dir/adaptive_streaming.cpp.o" "gcc" "examples/CMakeFiles/adaptive_streaming.dir/adaptive_streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cos/CMakeFiles/aqm_cos.dir/DependInfo.cmake"
+  "/root/repo/build/src/avstreams/CMakeFiles/aqm_avstreams.dir/DependInfo.cmake"
+  "/root/repo/build/src/quo/CMakeFiles/aqm_quo.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/aqm_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/aqm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/aqm_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/aqm_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

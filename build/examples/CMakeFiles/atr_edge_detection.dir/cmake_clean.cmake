@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atr_edge_detection.dir/atr_edge_detection.cpp.o"
+  "CMakeFiles/atr_edge_detection.dir/atr_edge_detection.cpp.o.d"
+  "atr_edge_detection"
+  "atr_edge_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atr_edge_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

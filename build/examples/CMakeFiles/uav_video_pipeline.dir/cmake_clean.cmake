@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uav_video_pipeline.dir/uav_video_pipeline.cpp.o"
+  "CMakeFiles/uav_video_pipeline.dir/uav_video_pipeline.cpp.o.d"
+  "uav_video_pipeline"
+  "uav_video_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uav_video_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_avstreams.dir/frame_codec.cpp.o"
+  "CMakeFiles/aqm_avstreams.dir/frame_codec.cpp.o.d"
+  "CMakeFiles/aqm_avstreams.dir/rate_adaptation.cpp.o"
+  "CMakeFiles/aqm_avstreams.dir/rate_adaptation.cpp.o.d"
+  "CMakeFiles/aqm_avstreams.dir/stream.cpp.o"
+  "CMakeFiles/aqm_avstreams.dir/stream.cpp.o.d"
+  "libaqm_avstreams.a"
+  "libaqm_avstreams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_avstreams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

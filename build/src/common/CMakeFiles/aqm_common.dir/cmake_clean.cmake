@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_common.dir/log.cpp.o"
+  "CMakeFiles/aqm_common.dir/log.cpp.o.d"
+  "CMakeFiles/aqm_common.dir/rng.cpp.o"
+  "CMakeFiles/aqm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/aqm_common.dir/stats.cpp.o"
+  "CMakeFiles/aqm_common.dir/stats.cpp.o.d"
+  "libaqm_common.a"
+  "libaqm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_core.dir/cpu_reservation_manager.cpp.o"
+  "CMakeFiles/aqm_core.dir/cpu_reservation_manager.cpp.o.d"
+  "CMakeFiles/aqm_core.dir/network_qos_manager.cpp.o"
+  "CMakeFiles/aqm_core.dir/network_qos_manager.cpp.o.d"
+  "CMakeFiles/aqm_core.dir/qos_session.cpp.o"
+  "CMakeFiles/aqm_core.dir/qos_session.cpp.o.d"
+  "CMakeFiles/aqm_core.dir/scheduling_service.cpp.o"
+  "CMakeFiles/aqm_core.dir/scheduling_service.cpp.o.d"
+  "CMakeFiles/aqm_core.dir/testbed.cpp.o"
+  "CMakeFiles/aqm_core.dir/testbed.cpp.o.d"
+  "libaqm_core.a"
+  "libaqm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cos/events.cpp" "src/cos/CMakeFiles/aqm_cos.dir/events.cpp.o" "gcc" "src/cos/CMakeFiles/aqm_cos.dir/events.cpp.o.d"
+  "/root/repo/src/cos/naming.cpp" "src/cos/CMakeFiles/aqm_cos.dir/naming.cpp.o" "gcc" "src/cos/CMakeFiles/aqm_cos.dir/naming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/aqm_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/aqm_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_cos.dir/events.cpp.o"
+  "CMakeFiles/aqm_cos.dir/events.cpp.o.d"
+  "CMakeFiles/aqm_cos.dir/naming.cpp.o"
+  "CMakeFiles/aqm_cos.dir/naming.cpp.o.d"
+  "libaqm_cos.a"
+  "libaqm_cos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_cos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

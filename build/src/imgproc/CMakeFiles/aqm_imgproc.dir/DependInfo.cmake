@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgproc/edge.cpp" "src/imgproc/CMakeFiles/aqm_imgproc.dir/edge.cpp.o" "gcc" "src/imgproc/CMakeFiles/aqm_imgproc.dir/edge.cpp.o.d"
+  "/root/repo/src/imgproc/image.cpp" "src/imgproc/CMakeFiles/aqm_imgproc.dir/image.cpp.o" "gcc" "src/imgproc/CMakeFiles/aqm_imgproc.dir/image.cpp.o.d"
+  "/root/repo/src/imgproc/ppm.cpp" "src/imgproc/CMakeFiles/aqm_imgproc.dir/ppm.cpp.o" "gcc" "src/imgproc/CMakeFiles/aqm_imgproc.dir/ppm.cpp.o.d"
+  "/root/repo/src/imgproc/synth.cpp" "src/imgproc/CMakeFiles/aqm_imgproc.dir/synth.cpp.o" "gcc" "src/imgproc/CMakeFiles/aqm_imgproc.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

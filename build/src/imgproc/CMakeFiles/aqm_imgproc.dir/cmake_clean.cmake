@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_imgproc.dir/edge.cpp.o"
+  "CMakeFiles/aqm_imgproc.dir/edge.cpp.o.d"
+  "CMakeFiles/aqm_imgproc.dir/image.cpp.o"
+  "CMakeFiles/aqm_imgproc.dir/image.cpp.o.d"
+  "CMakeFiles/aqm_imgproc.dir/ppm.cpp.o"
+  "CMakeFiles/aqm_imgproc.dir/ppm.cpp.o.d"
+  "CMakeFiles/aqm_imgproc.dir/synth.cpp.o"
+  "CMakeFiles/aqm_imgproc.dir/synth.cpp.o.d"
+  "libaqm_imgproc.a"
+  "libaqm_imgproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/gop.cpp" "src/media/CMakeFiles/aqm_media.dir/gop.cpp.o" "gcc" "src/media/CMakeFiles/aqm_media.dir/gop.cpp.o.d"
+  "/root/repo/src/media/video_sink.cpp" "src/media/CMakeFiles/aqm_media.dir/video_sink.cpp.o" "gcc" "src/media/CMakeFiles/aqm_media.dir/video_sink.cpp.o.d"
+  "/root/repo/src/media/video_source.cpp" "src/media/CMakeFiles/aqm_media.dir/video_source.cpp.o" "gcc" "src/media/CMakeFiles/aqm_media.dir/video_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

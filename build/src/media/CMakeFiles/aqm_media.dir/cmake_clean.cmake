@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_media.dir/gop.cpp.o"
+  "CMakeFiles/aqm_media.dir/gop.cpp.o.d"
+  "CMakeFiles/aqm_media.dir/video_sink.cpp.o"
+  "CMakeFiles/aqm_media.dir/video_sink.cpp.o.d"
+  "CMakeFiles/aqm_media.dir/video_source.cpp.o"
+  "CMakeFiles/aqm_media.dir/video_source.cpp.o.d"
+  "libaqm_media.a"
+  "libaqm_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

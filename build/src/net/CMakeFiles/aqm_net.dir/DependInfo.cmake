@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/drr_queue.cpp" "src/net/CMakeFiles/aqm_net.dir/drr_queue.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/drr_queue.cpp.o.d"
+  "/root/repo/src/net/flow_monitor.cpp" "src/net/CMakeFiles/aqm_net.dir/flow_monitor.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/flow_monitor.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/aqm_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/aqm_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/aqm_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/queue.cpp.o.d"
+  "/root/repo/src/net/red_queue.cpp" "src/net/CMakeFiles/aqm_net.dir/red_queue.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/red_queue.cpp.o.d"
+  "/root/repo/src/net/rsvp.cpp" "src/net/CMakeFiles/aqm_net.dir/rsvp.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/rsvp.cpp.o.d"
+  "/root/repo/src/net/token_bucket.cpp" "src/net/CMakeFiles/aqm_net.dir/token_bucket.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/net/traffic_gen.cpp" "src/net/CMakeFiles/aqm_net.dir/traffic_gen.cpp.o" "gcc" "src/net/CMakeFiles/aqm_net.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

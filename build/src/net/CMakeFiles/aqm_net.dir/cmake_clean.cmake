@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_net.dir/drr_queue.cpp.o"
+  "CMakeFiles/aqm_net.dir/drr_queue.cpp.o.d"
+  "CMakeFiles/aqm_net.dir/flow_monitor.cpp.o"
+  "CMakeFiles/aqm_net.dir/flow_monitor.cpp.o.d"
+  "CMakeFiles/aqm_net.dir/link.cpp.o"
+  "CMakeFiles/aqm_net.dir/link.cpp.o.d"
+  "CMakeFiles/aqm_net.dir/network.cpp.o"
+  "CMakeFiles/aqm_net.dir/network.cpp.o.d"
+  "CMakeFiles/aqm_net.dir/queue.cpp.o"
+  "CMakeFiles/aqm_net.dir/queue.cpp.o.d"
+  "CMakeFiles/aqm_net.dir/red_queue.cpp.o"
+  "CMakeFiles/aqm_net.dir/red_queue.cpp.o.d"
+  "CMakeFiles/aqm_net.dir/rsvp.cpp.o"
+  "CMakeFiles/aqm_net.dir/rsvp.cpp.o.d"
+  "CMakeFiles/aqm_net.dir/token_bucket.cpp.o"
+  "CMakeFiles/aqm_net.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/aqm_net.dir/traffic_gen.cpp.o"
+  "CMakeFiles/aqm_net.dir/traffic_gen.cpp.o.d"
+  "libaqm_net.a"
+  "libaqm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orb/cdr.cpp" "src/orb/CMakeFiles/aqm_orb.dir/cdr.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/cdr.cpp.o.d"
+  "/root/repo/src/orb/giop.cpp" "src/orb/CMakeFiles/aqm_orb.dir/giop.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/giop.cpp.o.d"
+  "/root/repo/src/orb/ior.cpp" "src/orb/CMakeFiles/aqm_orb.dir/ior.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/ior.cpp.o.d"
+  "/root/repo/src/orb/orb.cpp" "src/orb/CMakeFiles/aqm_orb.dir/orb.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/orb.cpp.o.d"
+  "/root/repo/src/orb/poa.cpp" "src/orb/CMakeFiles/aqm_orb.dir/poa.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/poa.cpp.o.d"
+  "/root/repo/src/orb/rt/dscp_mapping.cpp" "src/orb/CMakeFiles/aqm_orb.dir/rt/dscp_mapping.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/rt/dscp_mapping.cpp.o.d"
+  "/root/repo/src/orb/rt/priority_mapping.cpp" "src/orb/CMakeFiles/aqm_orb.dir/rt/priority_mapping.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/rt/priority_mapping.cpp.o.d"
+  "/root/repo/src/orb/rt/threadpool.cpp" "src/orb/CMakeFiles/aqm_orb.dir/rt/threadpool.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/rt/threadpool.cpp.o.d"
+  "/root/repo/src/orb/servant.cpp" "src/orb/CMakeFiles/aqm_orb.dir/servant.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/servant.cpp.o.d"
+  "/root/repo/src/orb/transport.cpp" "src/orb/CMakeFiles/aqm_orb.dir/transport.cpp.o" "gcc" "src/orb/CMakeFiles/aqm_orb.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/aqm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/aqm_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

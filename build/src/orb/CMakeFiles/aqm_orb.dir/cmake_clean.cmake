@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_orb.dir/cdr.cpp.o"
+  "CMakeFiles/aqm_orb.dir/cdr.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/giop.cpp.o"
+  "CMakeFiles/aqm_orb.dir/giop.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/ior.cpp.o"
+  "CMakeFiles/aqm_orb.dir/ior.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/orb.cpp.o"
+  "CMakeFiles/aqm_orb.dir/orb.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/poa.cpp.o"
+  "CMakeFiles/aqm_orb.dir/poa.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/rt/dscp_mapping.cpp.o"
+  "CMakeFiles/aqm_orb.dir/rt/dscp_mapping.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/rt/priority_mapping.cpp.o"
+  "CMakeFiles/aqm_orb.dir/rt/priority_mapping.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/rt/threadpool.cpp.o"
+  "CMakeFiles/aqm_orb.dir/rt/threadpool.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/servant.cpp.o"
+  "CMakeFiles/aqm_orb.dir/servant.cpp.o.d"
+  "CMakeFiles/aqm_orb.dir/transport.cpp.o"
+  "CMakeFiles/aqm_orb.dir/transport.cpp.o.d"
+  "libaqm_orb.a"
+  "libaqm_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

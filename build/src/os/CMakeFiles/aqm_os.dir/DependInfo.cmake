@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cpu.cpp" "src/os/CMakeFiles/aqm_os.dir/cpu.cpp.o" "gcc" "src/os/CMakeFiles/aqm_os.dir/cpu.cpp.o.d"
+  "/root/repo/src/os/load_generator.cpp" "src/os/CMakeFiles/aqm_os.dir/load_generator.cpp.o" "gcc" "src/os/CMakeFiles/aqm_os.dir/load_generator.cpp.o.d"
+  "/root/repo/src/os/mutex.cpp" "src/os/CMakeFiles/aqm_os.dir/mutex.cpp.o" "gcc" "src/os/CMakeFiles/aqm_os.dir/mutex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_os.dir/cpu.cpp.o"
+  "CMakeFiles/aqm_os.dir/cpu.cpp.o.d"
+  "CMakeFiles/aqm_os.dir/load_generator.cpp.o"
+  "CMakeFiles/aqm_os.dir/load_generator.cpp.o.d"
+  "CMakeFiles/aqm_os.dir/mutex.cpp.o"
+  "CMakeFiles/aqm_os.dir/mutex.cpp.o.d"
+  "libaqm_os.a"
+  "libaqm_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quo/contract.cpp" "src/quo/CMakeFiles/aqm_quo.dir/contract.cpp.o" "gcc" "src/quo/CMakeFiles/aqm_quo.dir/contract.cpp.o.d"
+  "/root/repo/src/quo/delegate.cpp" "src/quo/CMakeFiles/aqm_quo.dir/delegate.cpp.o" "gcc" "src/quo/CMakeFiles/aqm_quo.dir/delegate.cpp.o.d"
+  "/root/repo/src/quo/qosket.cpp" "src/quo/CMakeFiles/aqm_quo.dir/qosket.cpp.o" "gcc" "src/quo/CMakeFiles/aqm_quo.dir/qosket.cpp.o.d"
+  "/root/repo/src/quo/status_channel.cpp" "src/quo/CMakeFiles/aqm_quo.dir/status_channel.cpp.o" "gcc" "src/quo/CMakeFiles/aqm_quo.dir/status_channel.cpp.o.d"
+  "/root/repo/src/quo/syscond.cpp" "src/quo/CMakeFiles/aqm_quo.dir/syscond.cpp.o" "gcc" "src/quo/CMakeFiles/aqm_quo.dir/syscond.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/aqm_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/aqm_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_quo.dir/contract.cpp.o"
+  "CMakeFiles/aqm_quo.dir/contract.cpp.o.d"
+  "CMakeFiles/aqm_quo.dir/delegate.cpp.o"
+  "CMakeFiles/aqm_quo.dir/delegate.cpp.o.d"
+  "CMakeFiles/aqm_quo.dir/qosket.cpp.o"
+  "CMakeFiles/aqm_quo.dir/qosket.cpp.o.d"
+  "CMakeFiles/aqm_quo.dir/status_channel.cpp.o"
+  "CMakeFiles/aqm_quo.dir/status_channel.cpp.o.d"
+  "CMakeFiles/aqm_quo.dir/syscond.cpp.o"
+  "CMakeFiles/aqm_quo.dir/syscond.cpp.o.d"
+  "libaqm_quo.a"
+  "libaqm_quo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_quo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_sim.dir/engine.cpp.o"
+  "CMakeFiles/aqm_sim.dir/engine.cpp.o.d"
+  "libaqm_sim.a"
+  "libaqm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

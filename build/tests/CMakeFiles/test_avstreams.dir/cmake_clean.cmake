@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avstreams.dir/test_avstreams.cpp.o"
+  "CMakeFiles/test_avstreams.dir/test_avstreams.cpp.o.d"
+  "test_avstreams"
+  "test_avstreams.pdb"
+  "test_avstreams[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avstreams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdr_giop.dir/test_cdr_giop.cpp.o"
+  "CMakeFiles/test_cdr_giop.dir/test_cdr_giop.cpp.o.d"
+  "test_cdr_giop"
+  "test_cdr_giop.pdb"
+  "test_cdr_giop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdr_giop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

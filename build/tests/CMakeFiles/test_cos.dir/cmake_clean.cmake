@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cos.dir/test_cos.cpp.o"
+  "CMakeFiles/test_cos.dir/test_cos.cpp.o.d"
+  "test_cos"
+  "test_cos.pdb"
+  "test_cos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imgproc.dir/test_imgproc.cpp.o"
+  "CMakeFiles/test_imgproc.dir/test_imgproc.cpp.o.d"
+  "test_imgproc"
+  "test_imgproc.pdb"
+  "test_imgproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

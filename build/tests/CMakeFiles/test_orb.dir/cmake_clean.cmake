@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orb.dir/test_orb.cpp.o"
+  "CMakeFiles/test_orb.dir/test_orb.cpp.o.d"
+  "test_orb"
+  "test_orb.pdb"
+  "test_orb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

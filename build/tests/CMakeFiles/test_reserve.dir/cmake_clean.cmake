@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reserve.dir/test_reserve.cpp.o"
+  "CMakeFiles/test_reserve.dir/test_reserve.cpp.o.d"
+  "test_reserve"
+  "test_reserve.pdb"
+  "test_reserve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reserve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsvp.dir/test_rsvp.cpp.o"
+  "CMakeFiles/test_rsvp.dir/test_rsvp.cpp.o.d"
+  "test_rsvp"
+  "test_rsvp.pdb"
+  "test_rsvp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

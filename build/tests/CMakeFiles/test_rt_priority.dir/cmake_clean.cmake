@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_priority.dir/test_rt_priority.cpp.o"
+  "CMakeFiles/test_rt_priority.dir/test_rt_priority.cpp.o.d"
+  "test_rt_priority"
+  "test_rt_priority.pdb"
+  "test_rt_priority[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduling_service.dir/test_scheduling_service.cpp.o"
+  "CMakeFiles/test_scheduling_service.dir/test_scheduling_service.cpp.o.d"
+  "test_scheduling_service"
+  "test_scheduling_service.pdb"
+  "test_scheduling_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduling_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

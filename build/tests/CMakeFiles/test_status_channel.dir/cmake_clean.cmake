@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_status_channel.dir/test_status_channel.cpp.o"
+  "CMakeFiles/test_status_channel.dir/test_status_channel.cpp.o.d"
+  "test_status_channel"
+  "test_status_channel.pdb"
+  "test_status_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_status_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

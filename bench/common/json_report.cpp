@@ -1,0 +1,111 @@
+#include "common/json_report.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace aqm::bench {
+namespace {
+
+/// Formats a double without trailing noise (JSON-safe, locale-independent).
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(6);
+  os << std::fixed << v;
+  std::string s = os.str();
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s.empty() ? "0" : s;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonReporter::JsonReporter(std::string path, std::string suite)
+    : path_(std::move(path)), suite_(std::move(suite)) {}
+
+bool JsonReporter::ReportContext(const Context&) { return true; }
+
+void JsonReporter::ReportRuns(const std::vector<Run>& runs) {
+  for (const auto& run : runs) {
+    if (run.error_occurred) continue;
+    if (run.run_type == Run::RT_Aggregate) continue;
+    Entry e;
+    e.name = run.benchmark_name();
+    e.iterations = static_cast<std::int64_t>(run.iterations);
+    e.real_time_ns = run.GetAdjustedRealTime();
+    e.cpu_time_ns = run.GetAdjustedCPUTime();
+    const auto items = run.counters.find("items_per_second");
+    if (items != run.counters.end()) e.items_per_second = items->second.value;
+    const auto bytes = run.counters.find("bytes_per_second");
+    if (bytes != run.counters.end()) e.bytes_per_second = bytes->second.value;
+    entries_.push_back(std::move(e));
+  }
+}
+
+void JsonReporter::Finalize() {
+  std::ofstream out(path_);
+  if (!out) {
+    std::cerr << "json_report: cannot open " << path_ << " for writing\n";
+    failed_ = true;
+    return;
+  }
+  out << "{\n  \"suite\": \"" << escape(suite_) << "\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out << "    {\"name\": \"" << escape(e.name) << "\", \"iterations\": " << e.iterations
+        << ", \"real_time_ns\": " << fmt(e.real_time_ns)
+        << ", \"cpu_time_ns\": " << fmt(e.cpu_time_ns)
+        << ", \"items_per_second\": " << fmt(e.items_per_second)
+        << ", \"bytes_per_second\": " << fmt(e.bytes_per_second) << "}"
+        << (i + 1 < entries_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int run_with_json_report(int argc, char** argv, const std::string& suite) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--json_out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_path = argv[i] + std::strlen(kFlag);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // The library refuses a custom file reporter unless --benchmark_out is
+  // set; point it at /dev/null — JsonReporter writes its own file.
+  std::string devnull = "--benchmark_out=/dev/null";
+  if (!json_path.empty()) args.push_back(devnull.data());
+
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+
+  benchmark::ConsoleReporter console;
+  int rc = 0;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks(&console);
+  } else {
+    JsonReporter json(json_path, suite);
+    benchmark::RunSpecifiedBenchmarks(&console, &json);
+    if (json.failed()) rc = 1;
+  }
+  benchmark::Shutdown();
+  return rc;
+}
+
+}  // namespace aqm::bench

@@ -1,0 +1,64 @@
+// JSON perf-report emitter for the micro-benchmarks.
+//
+// Google Benchmark's own JSON output embeds machine context (timestamps,
+// CPU scaling info, library version) that makes diffs noisy. This reporter
+// writes a compact, stable schema meant to be checked in (`BENCH_*.json`)
+// and compared across PRs:
+//
+//   {
+//     "suite": "engine",
+//     "benchmarks": [
+//       {"name": "BM_...", "iterations": N, "real_time_ns": 123.4,
+//        "cpu_time_ns": 120.1, "items_per_second": 8.1e6,
+//        "bytes_per_second": 0.0},
+//       ...
+//     ]
+//   }
+//
+// Use run_with_json_report() from a benchmark main(): it recognises
+// `--json_out=FILE` (and strips it before handing the rest to Google
+// Benchmark), prints the usual console table, and additionally writes the
+// JSON file when requested.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace aqm::bench {
+
+class JsonReporter : public benchmark::BenchmarkReporter {
+ public:
+  JsonReporter(std::string path, std::string suite);
+
+  bool ReportContext(const Context& context) override;
+  void ReportRuns(const std::vector<Run>& runs) override;
+  void Finalize() override;
+
+  /// True if the report file could not be written.
+  bool failed() const { return failed_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_time_ns = 0.0;
+    double cpu_time_ns = 0.0;
+    double items_per_second = 0.0;
+    double bytes_per_second = 0.0;
+  };
+
+  std::string path_;
+  std::string suite_;
+  std::vector<Entry> entries_;
+  bool failed_ = false;
+};
+
+/// Drives a benchmark binary: parses/strips `--json_out=FILE`, initialises
+/// Google Benchmark with the remaining args, runs everything with the
+/// console reporter, and writes the JSON report when a path was given.
+/// Returns the process exit code.
+int run_with_json_report(int argc, char** argv, const std::string& suite);
+
+}  // namespace aqm::bench

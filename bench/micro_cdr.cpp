@@ -1,0 +1,123 @@
+// Micro-benchmarks of CDR marshaling and GIOP message encode/decode — the
+// per-invocation byte-shuffling cost of the ORB. Tracked as BENCH_orb.json
+// from PR to PR.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json_report.hpp"
+#include "orb/buffer_pool.hpp"
+#include "orb/cdr.hpp"
+#include "orb/giop.hpp"
+
+namespace {
+
+using namespace aqm;
+
+orb::RequestHeader make_header() {
+  orb::RequestHeader header;
+  header.request_id = 1;
+  header.object_key = "video/receiver";
+  header.operation = "push_frame";
+  header.contexts.push_back(orb::make_priority_context(20'000));
+  header.contexts.push_back(orb::make_timestamp_context(TimePoint{123}));
+  return header;
+}
+
+/// Headline: the production request-encode path, as exercised once per ORB
+/// invocation by OrbEndpoint::invoke() — pooled buffer, encode, freeze into
+/// the shared MessageBuffer the transport fragments.
+void BM_GiopEncodeRequest(benchmark::State& state) {
+  const std::vector<std::uint8_t> body(static_cast<std::size_t>(state.range(0)));
+  const orb::RequestHeader header = make_header();
+  orb::CdrBufferPool pool;
+  for (auto _ : state) {
+    auto buf = pool.acquire();
+    orb::encode_request(header, body, *buf);
+    pool.note_message_size(buf->size());
+    orb::MessageBuffer bytes = orb::CdrBufferPool::freeze(std::move(buf));
+    benchmark::DoNotOptimize(bytes->data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(body.size()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GiopEncodeRequest)->Arg(128)->Arg(1400)->Arg(13'600);
+
+void BM_GiopEncodeReply(benchmark::State& state) {
+  const std::vector<std::uint8_t> body(static_cast<std::size_t>(state.range(0)));
+  orb::ReplyHeader header;
+  header.request_id = 9;
+  header.contexts.push_back(orb::make_priority_context(20'000));
+  header.contexts.push_back(orb::make_timestamp_context(TimePoint{456}));
+  orb::CdrBufferPool pool;
+  for (auto _ : state) {
+    auto buf = pool.acquire();
+    orb::encode_reply(header, body, *buf);
+    pool.note_message_size(buf->size());
+    orb::MessageBuffer bytes = orb::CdrBufferPool::freeze(std::move(buf));
+    benchmark::DoNotOptimize(bytes->data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(body.size()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GiopEncodeReply)->Arg(1400);
+
+void BM_GiopDecodeRequest(benchmark::State& state) {
+  const std::vector<std::uint8_t> body(static_cast<std::size_t>(state.range(0)));
+  const auto bytes = orb::encode_request(make_header(), body);
+  for (auto _ : state) {
+    const auto msg = orb::decode(bytes);
+    benchmark::DoNotOptimize(msg.request.request_id);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes.size()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GiopDecodeRequest)->Arg(1400);
+
+/// Full encode→decode round trip of a frame-sized request.
+void BM_GiopRoundTrip(benchmark::State& state) {
+  const std::vector<std::uint8_t> body(13'600);
+  const orb::RequestHeader header = make_header();
+  for (auto _ : state) {
+    const auto bytes = orb::encode_request(header, body);
+    const auto msg = orb::decode(bytes);
+    benchmark::DoNotOptimize(msg.body.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 13'600);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GiopRoundTrip);
+
+/// String-heavy marshaling (object keys, operation names, naming paths).
+void BM_CdrWriteStrings(benchmark::State& state) {
+  for (auto _ : state) {
+    orb::CdrWriter w;
+    for (int i = 0; i < 32; ++i) {
+      w.write_string("application/naming/context/object-key");
+      w.write_u32(static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CdrWriteStrings);
+
+void BM_CdrWriteOctets(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(13'600, 0xAB);
+  for (auto _ : state) {
+    orb::CdrWriter w;
+    w.write_u32(7);
+    w.write_octets(payload);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(payload.size()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CdrWriteOctets);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aqm::bench::run_with_json_report(argc, argv, "orb");
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the tracked microbenchmark suites and refreshes the BENCH_*.json
+# reports at the repo root. These files are committed: they are the
+# PR-over-PR performance record of the hot paths (see bench/baselines/ for
+# the pre-optimization numbers).
+#
+# Usage: scripts/run_bench.sh [build-dir] [min-time-seconds]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+min_time="${2:-0.5}"
+
+if [[ ! -x "$build_dir/bench/micro_engine" || ! -x "$build_dir/bench/micro_cdr" ]]; then
+  echo "benchmarks not built; run: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+  exit 1
+fi
+
+run() {
+  local bin="$1" out="$2"
+  echo "== $(basename "$bin") -> $out"
+  "$bin" "--benchmark_min_time=$min_time" "--json_out=$out"
+}
+
+run "$build_dir/bench/micro_engine" "$repo_root/BENCH_engine.json"
+run "$build_dir/bench/micro_cdr" "$repo_root/BENCH_orb.json"
+
+echo "done; compare against bench/baselines/*.seed.json"

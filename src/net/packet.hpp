@@ -1,11 +1,11 @@
 // The unit of transfer in the simulated network.
 #pragma once
 
-#include <any>
 #include <cstdint>
 
 #include "common/time.hpp"
 #include "net/dscp.hpp"
+#include "net/packet_payload.hpp"
 
 namespace aqm::net {
 
@@ -46,7 +46,7 @@ struct Packet {
   std::uint64_t seq = 0;       // per-flow sequence number, set by the sender
   TimePoint sent_at{};         // stamped by Network::send
   PacketKind kind = PacketKind::Data;
-  std::any payload;            // opaque application payload (e.g. GIOP fragment)
+  PacketPayload payload;       // opaque application payload (e.g. GIOP fragment)
 };
 
 }  // namespace aqm::net

@@ -6,6 +6,13 @@
 
 namespace aqm::net {
 
+// Signaling messages ride in packet payloads; keep them inside the inline
+// buffer so emitting them never allocates.
+static_assert(sizeof(PathMsg) <= PacketPayload::kInlineSize);
+static_assert(sizeof(ResvMsg) <= PacketPayload::kInlineSize);
+static_assert(sizeof(ResvErrMsg) <= PacketPayload::kInlineSize);
+static_assert(sizeof(TearMsg) <= PacketPayload::kInlineSize);
+
 RsvpAgent::RsvpAgent(Network& net, NodeId node, Config config)
     : net_(net), node_(node), config_(config) {
   net_.set_control_handler(node_, [this](NodeId at, Packet&& p) { handle(at, std::move(p)); });
@@ -131,16 +138,16 @@ void RsvpAgent::handle(NodeId node, Packet&& p) {
   assert(node == node_);
   switch (p.kind) {
     case PacketKind::RsvpPath:
-      on_path(std::any_cast<PathMsg>(std::move(p.payload)));
+      on_path(p.payload.take<PathMsg>());
       return;
     case PacketKind::RsvpResv:
-      on_resv(std::any_cast<ResvMsg>(std::move(p.payload)));
+      on_resv(p.payload.take<ResvMsg>());
       return;
     case PacketKind::RsvpResvErr:
-      on_resv_err(std::any_cast<ResvErrMsg>(std::move(p.payload)));
+      on_resv_err(p.payload.take<ResvErrMsg>());
       return;
     case PacketKind::RsvpTear:
-      on_tear(std::any_cast<TearMsg>(std::move(p.payload)));
+      on_tear(p.payload.take<TearMsg>());
       return;
     case PacketKind::Data:
       assert(false && "data packet routed to control handler");

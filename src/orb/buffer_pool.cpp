@@ -1,0 +1,28 @@
+#include "orb/buffer_pool.hpp"
+
+namespace aqm::orb {
+
+std::shared_ptr<std::vector<std::uint8_t>> CdrBufferPool::acquire() {
+  const std::size_t n = slots_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = scan_ + i < n ? scan_ + i : scan_ + i - n;
+    auto& slot = slots_[idx];
+    // use_count()==1 means every MessageBuffer handed out from this slot
+    // has been released — only the pool still holds it.
+    if (slot.use_count() == 1) {
+      scan_ = idx + 1 == n ? 0 : idx + 1;
+      slot->clear();
+      slot->reserve(hint_);
+      ++reuses_;
+      return slot;
+    }
+  }
+  ++allocations_;
+  auto buf = std::make_shared<std::vector<std::uint8_t>>();
+  buf->reserve(hint_);
+  if (slots_.size() < max_buffers_) slots_.push_back(buf);
+  // Pool full: hand out an untracked one-off buffer (freed normally).
+  return buf;
+}
+
+}  // namespace aqm::orb

@@ -1,0 +1,65 @@
+// Reusable encode buffers for the CDR/GIOP send path.
+//
+// Every ORB invocation used to build its wire message in a fresh
+// std::vector (growing from empty) and wrap it in a fresh shared_ptr. The
+// pool keeps a small set of buffers alive: acquire() hands out a cleared
+// buffer whose capacity survives from earlier messages, freeze() converts
+// it into the immutable MessageBuffer the transport layer shares between
+// fragments, and when the last fragment releases its reference the buffer
+// automatically becomes reusable (use_count drops back to one — no
+// explicit release call, so early-dropped or expired messages recycle too).
+// A rolling size hint pre-reserves acquire()d buffers to the largest
+// recently seen message, so steady-state encoding never reallocates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace aqm::orb {
+
+/// Bytes of a whole GIOP message, shared between its fragments.
+/// (Defined here so the pool and the transport agree on the type.)
+using MessageBuffer = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+class CdrBufferPool {
+ public:
+  explicit CdrBufferPool(std::size_t max_buffers = 64) : max_buffers_(max_buffers) {}
+  CdrBufferPool(const CdrBufferPool&) = delete;
+  CdrBufferPool& operator=(const CdrBufferPool&) = delete;
+
+  /// Returns an empty buffer with capacity >= size_hint(). Reuses a pooled
+  /// buffer when one is free; falls back to a fresh (untracked) buffer when
+  /// all `max_buffers` are still referenced by in-flight messages.
+  [[nodiscard]] std::shared_ptr<std::vector<std::uint8_t>> acquire();
+
+  /// Converts an acquired buffer into the immutable shared form handed to
+  /// the transport. No copy: the same control block, const-qualified.
+  [[nodiscard]] static MessageBuffer freeze(std::shared_ptr<std::vector<std::uint8_t>> buf) {
+    return MessageBuffer{std::move(buf)};
+  }
+
+  /// Feeds the rolling size hint (call with each encoded message's size).
+  void note_message_size(std::size_t bytes) {
+    // Decay toward the recent maximum so one huge message does not pin
+    // every pooled buffer at its size forever.
+    hint_ = bytes > hint_ ? bytes : hint_ - (hint_ - bytes) / 8;
+  }
+
+  [[nodiscard]] std::size_t size_hint() const { return hint_; }
+  [[nodiscard]] std::size_t pooled_buffers() const { return slots_.size(); }
+
+  // Introspection for tests and reports.
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  std::vector<std::shared_ptr<std::vector<std::uint8_t>>> slots_;
+  std::size_t scan_ = 0;  // rotating cursor: the next free slot is usually here
+  std::size_t max_buffers_;
+  std::size_t hint_ = 256;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace aqm::orb

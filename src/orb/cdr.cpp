@@ -1,55 +1,11 @@
 #include "orb/cdr.hpp"
 
-#include <bit>
-
 namespace aqm::orb {
-namespace {
 
-constexpr bool kHostLittle = std::endian::native == std::endian::little;
-
-template <typename T>
-T byteswap(T v) {
-  std::uint8_t bytes[sizeof(T)];
-  std::memcpy(bytes, &v, sizeof(T));
-  for (std::size_t i = 0; i < sizeof(T) / 2; ++i) std::swap(bytes[i], bytes[sizeof(T) - 1 - i]);
-  T out;
-  std::memcpy(&out, bytes, sizeof(T));
-  return out;
-}
-
-}  // namespace
+using detail::byteswap;
+using detail::kHostLittle;
 
 // --- CdrWriter ---------------------------------------------------------------
-
-void CdrWriter::align(std::size_t n) {
-  while (buf_.size() % n != 0) buf_.push_back(0);
-}
-
-void CdrWriter::write_u8(std::uint8_t v) { buf_.push_back(v); }
-
-void CdrWriter::write_u16(std::uint16_t v) {
-  align(2);
-  if constexpr (!kHostLittle) v = byteswap(v);
-  const auto off = buf_.size();
-  buf_.resize(off + 2);
-  std::memcpy(buf_.data() + off, &v, 2);
-}
-
-void CdrWriter::write_u32(std::uint32_t v) {
-  align(4);
-  if constexpr (!kHostLittle) v = byteswap(v);
-  const auto off = buf_.size();
-  buf_.resize(off + 4);
-  std::memcpy(buf_.data() + off, &v, 4);
-}
-
-void CdrWriter::write_u64(std::uint64_t v) {
-  align(8);
-  if constexpr (!kHostLittle) v = byteswap(v);
-  const auto off = buf_.size();
-  buf_.resize(off + 8);
-  std::memcpy(buf_.data() + off, &v, 8);
-}
 
 void CdrWriter::write_f32(float v) {
   std::uint32_t bits;
@@ -64,26 +20,30 @@ void CdrWriter::write_f64(double v) {
 }
 
 void CdrWriter::write_string(std::string_view s) {
+  // One growth for prefix (+ alignment slack) + bytes + NUL instead of
+  // letting the vector grow piecemeal.
+  grow(buf_->size() + s.size() + 8);
   write_u32(static_cast<std::uint32_t>(s.size() + 1));
-  const auto off = buf_.size();
-  buf_.resize(off + s.size() + 1);
-  std::memcpy(buf_.data() + off, s.data(), s.size());
-  buf_[off + s.size()] = 0;
+  const auto off = buf_->size();
+  buf_->resize(off + s.size() + 1);
+  std::memcpy(buf_->data() + off, s.data(), s.size());
+  (*buf_)[off + s.size()] = 0;
 }
 
 void CdrWriter::write_octets(std::span<const std::uint8_t> bytes) {
+  grow(buf_->size() + bytes.size() + 8);
   write_u32(static_cast<std::uint32_t>(bytes.size()));
   write_raw(bytes);
 }
 
 void CdrWriter::write_raw(std::span<const std::uint8_t> bytes) {
-  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  buf_->insert(buf_->end(), bytes.begin(), bytes.end());
 }
 
 void CdrWriter::patch_u32(std::size_t offset, std::uint32_t v) {
-  if (offset + 4 > buf_.size()) throw MarshalError("patch_u32 out of range");
+  if (offset + 4 > buf_->size()) throw MarshalError("patch_u32 out of range");
   if constexpr (!kHostLittle) v = byteswap(v);
-  std::memcpy(buf_.data() + offset, &v, 4);
+  std::memcpy(buf_->data() + offset, &v, 4);
 }
 
 // --- CdrReader ---------------------------------------------------------------

@@ -7,28 +7,59 @@
 // encoder/decoder pair round-trips across simulated "architectures".
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "orb/exceptions.hpp"
 
 namespace aqm::orb {
 
+namespace detail {
+
+inline constexpr bool kHostLittle = std::endian::native == std::endian::little;
+
+template <typename T>
+inline T byteswap(T v) {
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  for (std::size_t i = 0; i < sizeof(T) / 2; ++i) {
+    std::swap(bytes[i], bytes[sizeof(T) - 1 - i]);
+  }
+  T out;
+  std::memcpy(&out, bytes, sizeof(T));
+  return out;
+}
+
+}  // namespace detail
+
 class CdrWriter {
  public:
   CdrWriter() = default;
 
-  void write_u8(std::uint8_t v);
+  /// Owning writer with pre-reserved capacity — a size hint from the
+  /// caller (e.g. the previous message's size) avoids regrowth.
+  explicit CdrWriter(std::size_t size_hint) { own_.reserve(size_hint); }
+
+  /// Non-owning writer that appends to `external` (typically a pooled
+  /// buffer whose capacity survives across messages). The buffer must
+  /// outlive the writer; take() is not available in this mode.
+  explicit CdrWriter(std::vector<std::uint8_t>& external) : buf_(&external) {}
+
+  void write_u8(std::uint8_t v) { buf_->push_back(v); }
   void write_i8(std::int8_t v) { write_u8(static_cast<std::uint8_t>(v)); }
   void write_bool(bool v) { write_u8(v ? 1 : 0); }
-  void write_u16(std::uint16_t v);
+  void write_u16(std::uint16_t v) { write_prim(v); }
   void write_i16(std::int16_t v) { write_u16(static_cast<std::uint16_t>(v)); }
-  void write_u32(std::uint32_t v);
+  void write_u32(std::uint32_t v) { write_prim(v); }
   void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
-  void write_u64(std::uint64_t v);
+  void write_u64(std::uint64_t v) { write_prim(v); }
   void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
   void write_f32(float v);
   void write_f64(double v);
@@ -40,18 +71,45 @@ class CdrWriter {
   /// Raw bytes with no length prefix (for nested pre-encoded data).
   void write_raw(std::span<const std::uint8_t> bytes);
 
-  /// Pads with zeros so the next write lands on an n-byte boundary.
-  void align(std::size_t n);
+  /// Pads with zeros so the next write lands on an n-byte boundary
+  /// (n must be a power of two, as CDR alignments are).
+  void align(std::size_t n) {
+    assert((n & (n - 1)) == 0);
+    const std::size_t target = (buf_->size() + n - 1) & ~(n - 1);
+    if (target != buf_->size()) buf_->resize(target);  // resize zero-fills the pad
+  }
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return buf_; }
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_->size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return *buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    assert(buf_ == &own_ && "take() on a non-owning CdrWriter");
+    return std::move(own_);
+  }
 
   /// Patches a previously written u32 (used for GIOP message-size fixup).
   void patch_u32(std::size_t offset, std::uint32_t v);
 
  private:
-  std::vector<std::uint8_t> buf_;
+  /// Aligned fixed-width write: the workhorse behind write_u16/u32/u64.
+  /// Always emits little-endian (the writer's advertised byte order).
+  template <typename T>
+  void write_prim(T v) {
+    align(sizeof(T));
+    if constexpr (!detail::kHostLittle) v = detail::byteswap(v);
+    const auto off = buf_->size();
+    buf_->resize(off + sizeof(T));
+    std::memcpy(buf_->data() + off, &v, sizeof(T));
+  }
+
+  /// Ensures capacity for `need` total bytes without defeating the vector's
+  /// geometric growth (a bare reserve(need) would make each subsequent
+  /// write reallocate again).
+  void grow(std::size_t need) {
+    if (need > buf_->capacity()) buf_->reserve(std::max(need, buf_->capacity() * 2));
+  }
+
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* buf_ = &own_;
 };
 
 class CdrReader {

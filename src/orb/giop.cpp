@@ -33,10 +33,9 @@ std::vector<ServiceContext> read_contexts(CdrReader& r) {
   return out;
 }
 
-std::vector<std::uint8_t> finish(CdrWriter w) {
+void finish(CdrWriter& w) {
   // Patch msg_size = bytes after the 12-byte header.
   w.patch_u32(8, static_cast<std::uint32_t>(w.size() - kHeaderSize));
-  return w.take();
 }
 
 void write_header(CdrWriter& w, GiopMsgType type) {
@@ -50,9 +49,10 @@ void write_header(CdrWriter& w, GiopMsgType type) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_request(const RequestHeader& header,
-                                         std::span<const std::uint8_t> body) {
-  CdrWriter w;
+void encode_request(const RequestHeader& header, std::span<const std::uint8_t> body,
+                    std::vector<std::uint8_t>& out) {
+  out.clear();
+  CdrWriter w(out);
   write_header(w, GiopMsgType::Request);
   w.write_u32(header.request_id);
   w.write_u8(header.response_expected ? 1 : 0);
@@ -61,19 +61,34 @@ std::vector<std::uint8_t> encode_request(const RequestHeader& header,
   write_contexts(w, header.contexts);
   w.align(8);  // GIOP 1.2 aligns the body to 8
   w.write_raw(body);
-  return finish(std::move(w));
+  finish(w);
 }
 
-std::vector<std::uint8_t> encode_reply(const ReplyHeader& header,
-                                       std::span<const std::uint8_t> body) {
-  CdrWriter w;
+void encode_reply(const ReplyHeader& header, std::span<const std::uint8_t> body,
+                  std::vector<std::uint8_t>& out) {
+  out.clear();
+  CdrWriter w(out);
   write_header(w, GiopMsgType::Reply);
   w.write_u32(header.request_id);
   w.write_u32(static_cast<std::uint32_t>(header.status));
   write_contexts(w, header.contexts);
   w.align(8);
   w.write_raw(body);
-  return finish(std::move(w));
+  finish(w);
+}
+
+std::vector<std::uint8_t> encode_request(const RequestHeader& header,
+                                         std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  encode_request(header, body, out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const ReplyHeader& header,
+                                       std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  encode_reply(header, body, out);
+  return out;
 }
 
 GiopMessage decode(std::span<const std::uint8_t> bytes) {

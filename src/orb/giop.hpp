@@ -69,6 +69,13 @@ struct GiopMessage {
 [[nodiscard]] std::vector<std::uint8_t> encode_reply(const ReplyHeader& header,
                                                      std::span<const std::uint8_t> body);
 
+/// Zero-allocation variants: encode into `out` (cleared first), reusing its
+/// capacity. These are the hot path — the ORB encodes into pooled buffers.
+void encode_request(const RequestHeader& header, std::span<const std::uint8_t> body,
+                    std::vector<std::uint8_t>& out);
+void encode_reply(const ReplyHeader& header, std::span<const std::uint8_t> body,
+                  std::vector<std::uint8_t>& out);
+
 /// Parses a full GIOP message; throws MarshalError on malformed input.
 [[nodiscard]] GiopMessage decode(std::span<const std::uint8_t> bytes);
 

@@ -91,8 +91,10 @@ void OrbEndpoint::invoke(const ObjectRef& ref, const std::string& operation,
         header.contexts.push_back(make_priority_context(priority));
         header.contexts.push_back(make_timestamp_context(engine().now()));
 
-        auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
-            encode_request(header, body));
+        auto buf = pool_.acquire();
+        encode_request(header, body, *buf);
+        pool_.note_message_size(buf->size());
+        MessageBuffer bytes = CdrBufferPool::freeze(std::move(buf));
         ++stats_.requests_sent;
         const bool collocated = ref.node == node();
         if (collocated) ++stats_.collocated_calls;
@@ -244,8 +246,10 @@ void OrbEndpoint::send_reply(net::NodeId client, std::uint32_t request_id,
                     header.status = status;
                     header.contexts.push_back(make_priority_context(priority));
                     header.contexts.push_back(make_timestamp_context(engine().now()));
-                    auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
-                        encode_reply(header, body));
+                    auto buf = pool_.acquire();
+                    encode_reply(header, body, *buf);
+                    pool_.note_message_size(buf->size());
+                    MessageBuffer bytes = CdrBufferPool::freeze(std::move(buf));
                     // Replies inherit the priority-derived DSCP.
                     transport_.send_message(client, std::move(bytes),
                                             dscp_mappings_.to_dscp(priority));

@@ -112,6 +112,8 @@ class OrbEndpoint {
   [[nodiscard]] GiopTransport& transport() { return transport_; }
   [[nodiscard]] const OrbStats& stats() const { return stats_; }
   [[nodiscard]] const OrbConfig& config() const { return config_; }
+  /// Encode-buffer pool shared by this endpoint's request and reply paths.
+  [[nodiscard]] CdrBufferPool& buffer_pool() { return pool_; }
 
  private:
   struct PendingRequest {
@@ -132,6 +134,7 @@ class OrbEndpoint {
   net::Network& net_;
   os::Cpu& cpu_;
   OrbConfig config_;
+  CdrBufferPool pool_;
   GiopTransport transport_;
   rt::PriorityMappingManager priority_mappings_;
   rt::DscpMappingManager dscp_mappings_;

@@ -5,6 +5,10 @@
 
 namespace aqm::orb {
 
+// Fragments ride in every data packet; keep them inside the payload's
+// inline buffer so forwarding never allocates.
+static_assert(sizeof(GiopFragment) <= net::PacketPayload::kInlineSize);
+
 GiopTransport::GiopTransport(net::Network& net, net::NodeId node, TransportConfig config)
     : net_(net), node_(node), config_(config) {
   assert(config_.mtu > config_.packet_overhead);
@@ -42,7 +46,7 @@ std::uint64_t GiopTransport::ce_marks(net::FlowId flow) const {
 
 void GiopTransport::on_packet(net::Packet&& p) {
   if (!p.payload.has_value()) return;  // not a GIOP fragment (ignore)
-  const auto* frag = std::any_cast<GiopFragment>(&p.payload);
+  const auto* frag = p.payload.get<GiopFragment>();
   if (frag == nullptr) return;
   if (p.ecn == net::Ecn::CongestionExperienced) ++ce_marks_[p.flow];
 

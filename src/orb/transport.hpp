@@ -14,12 +14,10 @@
 
 #include "common/time.hpp"
 #include "net/network.hpp"
+#include "orb/buffer_pool.hpp"  // MessageBuffer
 #include "sim/engine.hpp"
 
 namespace aqm::orb {
-
-/// Bytes of a whole GIOP message, shared between its fragments.
-using MessageBuffer = std::shared_ptr<const std::vector<std::uint8_t>>;
 
 /// What each network packet carries.
 struct GiopFragment {

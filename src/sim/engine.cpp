@@ -1,62 +1,111 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <bit>
 #include <utility>
 
 namespace aqm::sim {
 
-EventId Engine::at(TimePoint t, Handler fn) {
-  assert(t >= now_ && "cannot schedule events in the past");
-  assert(fn && "event handler must be callable");
-  const std::uint64_t seq = next_seq_++;
-  queue_.push_back(Event{t, seq, std::move(fn)});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
-  return EventId{seq};
-}
+namespace {
 
-bool Engine::cancel(EventId id) {
-  if (!id.valid()) return false;
-  if (id.seq >= next_seq_) return false;
-  // Lazy cancellation: remember the sequence number and skip it on pop.
-  return cancelled_.insert(id.seq).second;
-}
-
-bool Engine::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    Event ev = std::move(queue_.back());
-    queue_.pop_back();
-    if (cancelled_.erase(ev.seq) > 0) continue;
-    out = std::move(ev);
-    return true;
+/// Sort a bucket by Engine-style (time, order) descending. Buckets hold
+/// ~kBucketTarget nearly-random entries; at that size insertion sort beats
+/// std::sort's introsort dispatch by a wide margin (it is the single
+/// hottest piece of refill). Oversized buckets (many events at one
+/// timestamp land in one bucket) fall back to std::sort to avoid the
+/// quadratic worst case. Keys are unique, so both produce the same order.
+template <typename T, typename Less>
+void small_sort(std::vector<T>& v, Less less) {
+  const std::size_t n = v.size();
+  if (n > 32) {
+    std::sort(v.begin(), v.end(), less);
+    return;
   }
-  return false;
+  for (std::size_t i = 1; i < n; ++i) {
+    T tmp = v[i];
+    std::size_t j = i;
+    for (; j > 0 && less(tmp, v[j - 1]); --j) v[j] = v[j - 1];
+    v[j] = tmp;
+  }
+}
+
+}  // namespace
+
+bool Engine::refill() {
+  assert(near_.empty());
+  for (;;) {
+    while (cur_ < nb_) {
+      std::vector<QEntry>& b = buckets_[cur_];
+      ++cur_;
+      if (b.empty()) continue;
+      // Swap rather than copy: the drained near_ vector's storage cycles
+      // back into the bucket, so steady state allocates nothing.
+      near_.swap(b);
+      small_sort(near_, later);
+      near_end_ = rung_start_ + (static_cast<std::int64_t>(cur_) << shift_);
+      return true;
+    }
+    nb_ = 0;
+    if (far_.empty()) return false;
+    build_rung();
+  }
+}
+
+void Engine::build_rung() {
+  // All far_ times are >= near_end_ (and >= the previous rung_end_), so the
+  // new rung's range cannot overlap anything already ordered.
+  assert(far_min_ >= near_end_);
+  rung_start_ = far_min_;
+  const auto span = static_cast<std::uint64_t>(far_max_ - far_min_) + 1;
+  const std::uint64_t target =
+      std::clamp<std::uint64_t>(far_.size() / kBucketTarget, 1, kMaxBuckets);
+  // Bucket width rounded up to a power of two so routing is a shift.
+  const std::uint64_t width = (span + target - 1) / target;
+  shift_ = width <= 1 ? 0 : static_cast<unsigned>(std::bit_width(width - 1));
+  nb_ = static_cast<std::size_t>(((span - 1) >> shift_) + 1);
+  cur_ = 0;
+  if (buckets_.size() < nb_) buckets_.resize(nb_);
+  constexpr std::int64_t kMaxTime = std::numeric_limits<std::int64_t>::max();
+  const std::uint64_t extent = static_cast<std::uint64_t>(nb_) << shift_;
+  rung_end_ = extent > static_cast<std::uint64_t>(kMaxTime - rung_start_)
+                  ? kMaxTime
+                  : rung_start_ + static_cast<std::int64_t>(extent);
+  for (const QEntry& e : far_) {
+    buckets_[static_cast<std::uint64_t>(e.time_ns - rung_start_) >> shift_].push_back(e);
+  }
+  far_.clear();
+  far_min_ = std::numeric_limits<std::int64_t>::max();
+  far_max_ = std::numeric_limits<std::int64_t>::min();
+}
+
+void Engine::tidy_slab() {
+  assert(live_ == 0);
+  if (!slab_scrambled_) return;
+  slab_scrambled_ = false;
+  const std::size_t n = slots_.size();
+  if (n == 0) {
+    free_head_ = kNoFreeSlot;
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    slots_[i].next_free = static_cast<std::uint32_t>(i + 1);
+  }
+  slots_[n - 1].next_free = kNoFreeSlot;
+  free_head_ = 0;
 }
 
 bool Engine::peek_next_time(TimePoint& t) {
-  while (!queue_.empty() && cancelled_.count(queue_.front().seq) > 0) {
-    std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    cancelled_.erase(queue_.back().seq);
-    queue_.pop_back();
-  }
-  if (queue_.empty()) return false;
-  t = queue_.front().time;
-  return true;
-}
-
-bool Engine::step() {
-  Event ev;
-  if (!pop_next(ev)) return false;
-  assert(ev.time >= now_);
-  now_ = ev.time;
-  ++executed_;
-  ev.fn();
-  return true;
-}
-
-void Engine::run() {
-  while (step()) {
+  // Discard tombstoned heads so the reported time is a live event's.
+  for (;;) {
+    if (near_.empty() && !refill()) return false;
+    const QEntry top = near_.back();
+    if (!slots_[top.slot].fn) {
+      near_.pop_back();
+      free_slot(top.slot);
+      continue;
+    }
+    t = TimePoint{top.time_ns};
+    return true;
   }
 }
 

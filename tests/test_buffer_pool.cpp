@@ -1,0 +1,106 @@
+#include "orb/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace aqm::orb {
+namespace {
+
+TEST(CdrBufferPool, FirstAcquireAllocates) {
+  CdrBufferPool pool;
+  const auto buf = pool.acquire();
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(pool.allocations(), 1u);
+  EXPECT_EQ(pool.reuses(), 0u);
+  EXPECT_EQ(pool.pooled_buffers(), 1u);
+}
+
+TEST(CdrBufferPool, ReleasedBufferIsReused) {
+  CdrBufferPool pool;
+  auto buf = pool.acquire();
+  buf->assign({1, 2, 3});
+  const auto* raw = buf.get();
+  buf.reset();  // last external reference gone -> slot is free again
+
+  const auto again = pool.acquire();
+  EXPECT_EQ(again.get(), raw) << "expected the same pooled buffer back";
+  EXPECT_TRUE(again->empty()) << "acquire must hand out a cleared buffer";
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.allocations(), 1u);
+}
+
+TEST(CdrBufferPool, HeldBufferIsNotReused) {
+  CdrBufferPool pool;
+  const auto held = pool.acquire();
+  const auto other = pool.acquire();
+  EXPECT_NE(held.get(), other.get());
+  EXPECT_EQ(pool.allocations(), 2u);
+}
+
+TEST(CdrBufferPool, FrozenMessageKeepsSlotBusyUntilDropped) {
+  CdrBufferPool pool;
+  auto buf = pool.acquire();
+  buf->assign({9, 9, 9});
+  const auto* raw = buf.get();
+  MessageBuffer msg = CdrBufferPool::freeze(std::move(buf));
+  // freeze() reuses the same control block — no copy.
+  EXPECT_EQ(static_cast<const void*>(msg->data()), static_cast<const void*>(raw->data()));
+
+  // While the message is in flight the slot must not be handed out.
+  const auto other = pool.acquire();
+  EXPECT_NE(other.get(), raw);
+
+  msg.reset();  // message fully delivered
+  const auto reused = pool.acquire();
+  EXPECT_EQ(reused.get(), raw);
+}
+
+TEST(CdrBufferPool, PoolFullFallsBackToUntrackedBuffer) {
+  CdrBufferPool pool(/*max_buffers=*/1);
+  const auto a = pool.acquire();
+  const auto b = pool.acquire();  // pool exhausted: one-off buffer
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(pool.pooled_buffers(), 1u);
+  EXPECT_EQ(pool.allocations(), 2u);
+}
+
+TEST(CdrBufferPool, SizeHintTracksRecentMaximumAndDecays) {
+  CdrBufferPool pool;
+  pool.note_message_size(10'000);
+  EXPECT_EQ(pool.size_hint(), 10'000u);
+  // Smaller messages decay the hint toward their size, 1/8 per message.
+  pool.note_message_size(2'000);
+  EXPECT_EQ(pool.size_hint(), 9'000u);
+  for (int i = 0; i < 200; ++i) pool.note_message_size(2'000);
+  EXPECT_LT(pool.size_hint(), 2'100u);
+  EXPECT_GE(pool.size_hint(), 2'000u);
+}
+
+TEST(CdrBufferPool, AcquireReservesSizeHint) {
+  CdrBufferPool pool;
+  pool.note_message_size(4'096);
+  const auto buf = pool.acquire();
+  EXPECT_GE(buf->capacity(), 4'096u);
+}
+
+TEST(CdrBufferPool, SteadyStateChurnNeverReallocates) {
+  CdrBufferPool pool;
+  // Simulate the ORB send loop: acquire, encode, freeze, deliver, drop.
+  pool.note_message_size(1'500);
+  { const auto warm = pool.acquire(); }
+  const std::uint64_t allocs = pool.allocations();
+  for (int i = 0; i < 1'000; ++i) {
+    auto buf = pool.acquire();
+    buf->assign(1'400, static_cast<std::uint8_t>(i));
+    pool.note_message_size(buf->size());
+    MessageBuffer msg = CdrBufferPool::freeze(std::move(buf));
+    // msg dropped at scope exit -> slot free for the next iteration
+  }
+  EXPECT_EQ(pool.allocations(), allocs);
+  EXPECT_GE(pool.reuses(), 1'000u);
+}
+
+}  // namespace
+}  // namespace aqm::orb

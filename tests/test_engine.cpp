@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace aqm::sim {
@@ -74,7 +75,64 @@ TEST(Engine, CancelTwiceReturnsFalse) {
   const EventId id = e.after(milliseconds(1), [] {});
   EXPECT_TRUE(e.cancel(id));
   EXPECT_FALSE(e.cancel(id));
+  EXPECT_EQ(e.pending(), 0u);  // double cancel must not underflow the count
   e.run();
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  int fired = 0;
+  const EventId id = e.after(milliseconds(1), [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, StaleIdDoesNotCancelSlotReuser) {
+  Engine e;
+  // Fire A so its slot recycles, then schedule B (which reuses the slot).
+  // A's stale id must not cancel B: the generation in the id catches it.
+  const EventId a = e.after(milliseconds(1), [] {});
+  e.run();
+  bool b_ran = false;
+  const EventId b = e.after(milliseconds(1), [&] { b_ran = true; });
+  EXPECT_FALSE(e.cancel(a));
+  e.run();
+  EXPECT_TRUE(b_ran);
+  EXPECT_TRUE((a.seq & 0xffffffffu) == (b.seq & 0xffffffffu))
+      << "test premise: B reuses A's slot";
+}
+
+TEST(Engine, CancelFromInsideHandler) {
+  Engine e;
+  bool victim_ran = false;
+  const EventId victim = e.after(milliseconds(2), [&] { victim_ran = true; });
+  e.after(milliseconds(1), [&] { EXPECT_TRUE(e.cancel(victim)); });
+  e.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(e.executed(), 1u);
+}
+
+TEST(Engine, FarFutureAndNearEventsInterleaveInOrder) {
+  // Exercises the calendar queue's near/rung/far routing: handlers keep
+  // scheduling across a wide range of deltas and everything must still
+  // fire in global (time, schedule-order) order.
+  Engine e;
+  std::vector<std::int64_t> times;
+  auto record = [&] { times.push_back(e.now().ns()); };
+  for (int i = 0; i < 40; ++i) {
+    e.after(nanoseconds(17 * i % 64), record);        // dense near ties
+    e.after(microseconds(1 + 13 * i % 29), record);   // mid-range rung
+    e.after(milliseconds(1 + i % 7), record);         // far overflow
+    e.after(seconds(1) + nanoseconds(i), record);     // distant rung rebuild
+  }
+  e.after(nanoseconds(1), [&] {
+    for (int i = 0; i < 20; ++i) e.after(microseconds(100 + i), record);
+  });
+  e.run();
+  EXPECT_EQ(times.size(), 180u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
 }
 
 TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
@@ -153,6 +211,26 @@ TEST(PeriodicTimer, CallbackMayStopTimer) {
   timer.start();
   e.run();
   EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimer, RestartFromInsideCallbackRearmsExactlyOnce) {
+  Engine e;
+  std::vector<std::int64_t> tick_times;
+  PeriodicTimer timer(e, milliseconds(10), [&] {
+    tick_times.push_back(e.now().ns());
+    if (tick_times.size() == 1) {
+      // Restart with a new period from inside the tick. The timer must
+      // re-arm exactly once (no duplicate chain from the old period).
+      timer.set_period(milliseconds(3));
+      timer.start();
+    }
+  });
+  timer.start();
+  e.run_until(TimePoint{milliseconds(20).ns()});
+  const std::vector<std::int64_t> expected{
+      milliseconds(10).ns(), milliseconds(13).ns(), milliseconds(16).ns(),
+      milliseconds(19).ns()};
+  EXPECT_EQ(tick_times, expected);
 }
 
 TEST(PeriodicTimer, RestartResetsPhase) {

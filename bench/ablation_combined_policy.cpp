@@ -6,14 +6,22 @@
 //   dscp        — network DSCP marking only
 //   combined    — thread priorities + DSCP (Fig 6 regime)
 // This extends the paper's Figures 4-6 into a single contention sweep.
+//
+// The 20 (cross rate x policy) cells are independent trials on the
+// shard-parallel experiment runner (--jobs N); the table is assembled in
+// sweep order afterwards, so output is byte-identical for every worker
+// count.
 #include <iostream>
 
 #include "common/priority_scenario.hpp"
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqm;
   using namespace aqm::bench;
+
+  const auto opts = core::parse_experiment_options(argc, argv);
 
   banner("Ablation: policy x cross-traffic sweep (sender 1 = high priority)");
 
@@ -30,8 +38,12 @@ int main() {
       {"combined", true, true},
   };
 
-  TextTable table({"cross(Mbps)", "policy", "s1 mean(ms)", "s1 stddev", "s1 loss%",
-                   "s2 mean(ms)", "s2 loss%"});
+  struct Cell {
+    double cross;
+    const Policy* policy;
+  };
+  std::vector<Cell> cells;
+  core::Experiment<PriorityScenarioResult> exp;
   for (const double cross : cross_rates) {
     for (const auto& p : policies) {
       PriorityScenarioConfig cfg;
@@ -47,21 +59,29 @@ int main() {
       cfg.sender2_priority = 1'000;
       if (p.dscp) cfg.sender1_dscp = net::dscp::kEf;
       cfg.cross_rate_bps = cross;
-      const auto r = run_priority_scenario(cfg);
-      const auto s1 = r.s1_stats();
-      const auto s2 = r.s2_stats();
-      const double loss1 =
-          100.0 * (1.0 - static_cast<double>(r.s1_received) /
-                             static_cast<double>(std::max<std::uint64_t>(1, r.s1_sent)));
-      const double loss2 =
-          100.0 * (1.0 - static_cast<double>(r.s2_received) /
-                             static_cast<double>(std::max<std::uint64_t>(1, r.s2_sent)));
-      table.row({fmt(cross / 1e6, 0), p.name, fmt(s1.mean()), fmt(s1.stddev()),
-                 fmt(loss1, 1), fmt(s2.mean()), fmt(loss2, 1)});
-      std::cout << "." << std::flush;
+      cells.push_back({cross, &p});
+      exp.add(std::string("cross-") + fmt(cross / 1e6, 0) + "-" + p.name, cfg.seed,
+              [cfg](const core::TrialSpec&) { return run_priority_scenario(cfg); });
     }
   }
-  std::cout << "\n\n";
+  const auto results = exp.run(opts);
+
+  TextTable table({"cross(Mbps)", "policy", "s1 mean(ms)", "s1 stddev", "s1 loss%",
+                   "s2 mean(ms)", "s2 loss%"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const auto s1 = r.s1_stats();
+    const auto s2 = r.s2_stats();
+    const double loss1 =
+        100.0 * (1.0 - static_cast<double>(r.s1_received) /
+                           static_cast<double>(std::max<std::uint64_t>(1, r.s1_sent)));
+    const double loss2 =
+        100.0 * (1.0 - static_cast<double>(r.s2_received) /
+                           static_cast<double>(std::max<std::uint64_t>(1, r.s2_sent)));
+    table.row({fmt(cells[i].cross / 1e6, 0), cells[i].policy->name, fmt(s1.mean()),
+               fmt(s1.stddev()), fmt(loss1, 1), fmt(s2.mean()), fmt(loss2, 1)});
+  }
+  std::cout << "\n";
   table.print();
   std::cout << "\nReading: once the offered load exceeds the 10 Mbps bottleneck,\n"
             << "'none' and 'thread-prio' collapse; 'dscp' and 'combined' keep the\n"

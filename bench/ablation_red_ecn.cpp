@@ -10,8 +10,14 @@
 //
 // One 30 fps MPEG stream over the 10 Mbps bottleneck; bursty cross traffic
 // (average 9 Mbps) pushes the aggregate just past capacity.
+//
+// The three router/feedback cases are independent trials on the
+// shard-parallel experiment runner (--jobs N); output is byte-identical
+// for every worker count.
 #include <iostream>
 #include <memory>
+
+#include "core/experiment.hpp"
 
 #include "avstreams/rate_adaptation.hpp"
 #include "avstreams/stream.hpp"
@@ -159,7 +165,9 @@ CaseResult run_case(RouterKind router, Feedback feedback) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = core::parse_experiment_options(argc, argv);
+
   banner("Ablation: RED/ECN early adaptation vs loss-triggered adaptation");
 
   struct Case {
@@ -173,23 +181,29 @@ int main() {
       {"RED+ECN, mark-triggered QuO", RouterKind::RedEcn, Feedback::EcnMarks},
   };
 
+  core::Experiment<CaseResult> exp;
+  for (const auto& c : cases) {
+    exp.add(c.name, 21, [router = c.router, feedback = c.feedback](
+                            const core::TrialSpec&) { return run_case(router, feedback); });
+  }
+  const auto results = exp.run(opts);
+
   TextTable table({"configuration", "delivered/sent", "loss%", "mean lat(ms)",
                    "max lat(ms)", "CE marks", "adaptations"});
-  for (const auto& c : cases) {
-    const CaseResult r = run_case(c.router, c.feedback);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
     const double loss =
         r.transmitted == 0
             ? 0.0
             : 100.0 * static_cast<double>(r.transmitted - std::min(r.transmitted, r.received)) /
                   static_cast<double>(r.transmitted);
-    table.row({c.name,
+    table.row({cases[i].name,
                std::to_string(r.received) + "/" + std::to_string(r.transmitted),
                fmt(loss, 1), fmt(r.latency_ms.mean(), 1),
                fmt(r.latency_ms.empty() ? 0.0 : r.latency_ms.max(), 1),
                std::to_string(r.ce_marks), std::to_string(r.adaptations)});
-    std::cout << "." << std::flush;
   }
-  std::cout << "\n\n";
+  std::cout << "\n";
   table.print();
   std::cout << "\nReading: RED keeps the bottleneck queue short and the ECN marks\n"
             << "let the qosket shed rate before frames die — lower latency and\n"

@@ -46,10 +46,15 @@ void JsonReporter::ReportRuns(const std::vector<Run>& runs) {
     e.iterations = static_cast<std::int64_t>(run.iterations);
     e.real_time_ns = run.GetAdjustedRealTime();
     e.cpu_time_ns = run.GetAdjustedCPUTime();
-    const auto items = run.counters.find("items_per_second");
-    if (items != run.counters.end()) e.items_per_second = items->second.value;
-    const auto bytes = run.counters.find("bytes_per_second");
-    if (bytes != run.counters.end()) e.bytes_per_second = bytes->second.value;
+    for (const auto& [name, counter] : run.counters) {
+      if (name == "items_per_second") {
+        e.items_per_second = counter.value;
+      } else if (name == "bytes_per_second") {
+        e.bytes_per_second = counter.value;
+      } else {
+        e.counters.emplace_back(name, counter.value);
+      }
+    }
     entries_.push_back(std::move(e));
   }
 }
@@ -68,8 +73,16 @@ void JsonReporter::Finalize() {
         << ", \"real_time_ns\": " << fmt(e.real_time_ns)
         << ", \"cpu_time_ns\": " << fmt(e.cpu_time_ns)
         << ", \"items_per_second\": " << fmt(e.items_per_second)
-        << ", \"bytes_per_second\": " << fmt(e.bytes_per_second) << "}"
-        << (i + 1 < entries_.size() ? "," : "") << "\n";
+        << ", \"bytes_per_second\": " << fmt(e.bytes_per_second);
+    if (!e.counters.empty()) {
+      out << ", \"counters\": {";
+      for (std::size_t j = 0; j < e.counters.size(); ++j) {
+        out << "\"" << escape(e.counters[j].first) << "\": " << fmt(e.counters[j].second)
+            << (j + 1 < e.counters.size() ? ", " : "");
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }

@@ -10,7 +10,8 @@
 //     "benchmarks": [
 //       {"name": "BM_...", "iterations": N, "real_time_ns": 123.4,
 //        "cpu_time_ns": 120.1, "items_per_second": 8.1e6,
-//        "bytes_per_second": 0.0},
+//        "bytes_per_second": 0.0,
+//        "counters": {"events_per_packet": 1.02}},   // user counters, if any
 //       ...
 //     ]
 //   }
@@ -47,6 +48,8 @@ class JsonReporter : public benchmark::BenchmarkReporter {
     double cpu_time_ns = 0.0;
     double items_per_second = 0.0;
     double bytes_per_second = 0.0;
+    // Any other user counters (benchmark::State::counters), in map order.
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   std::string path_;

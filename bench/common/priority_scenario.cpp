@@ -18,6 +18,7 @@ PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) 
   params.diffserv_bottleneck = cfg.diffserv_router || cfg.map_dscp;
   params.cross_rate_bps = cfg.cross_rate_bps;
   params.router_queue_pkts = cfg.queue_pkts;
+  params.cross_seed = cfg.cross_seed;
   core::PriorityTestbed bed(params);
 
   if (cfg.map_dscp) {
@@ -70,8 +71,8 @@ PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) 
     load_cfg.priority = cfg.cpu_load_priority;
     load_cfg.burst_mean = cfg.cpu_load_burst;
     load_cfg.interval_mean = cfg.cpu_load_interval;
-    load_cfg.seed = cfg.seed;
-    load = std::make_unique<os::LoadGenerator>(bed.engine, bed.receiver_cpu, load_cfg);
+    load = std::make_unique<os::LoadGenerator>(bed.engine, bed.receiver_cpu, load_cfg,
+                                               cfg.seed);
     load->start();
   }
 

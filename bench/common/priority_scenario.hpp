@@ -46,7 +46,12 @@ struct PriorityScenarioConfig {
   Duration servant_cost = microseconds(300);
 
   Duration duration = seconds(60);
+  /// Per-trial seeds: `seed` drives the CPU load generator, `cross_seed`
+  /// the cross-traffic generator. Both reach their generator through the
+  /// explicit-seed constructor, so a trial's randomness is fully determined
+  /// by its config — a requirement for shard-parallel sweeps.
   std::uint64_t seed = 11;
+  std::uint64_t cross_seed = 42;
 };
 
 struct PriorityScenarioResult {

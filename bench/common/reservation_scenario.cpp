@@ -15,6 +15,7 @@ namespace aqm::bench {
 ReservationScenarioResult run_reservation_scenario(const ReservationScenarioConfig& cfg) {
   core::ReservationTestbedParams params;
   params.load_rate_bps = cfg.load_rate_bps;
+  params.load_seed = cfg.load_seed;
   core::ReservationTestbed bed(params);
 
   const media::GopStructure gop = media::GopStructure::mpeg1_paper_profile();

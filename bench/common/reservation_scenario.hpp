@@ -48,6 +48,8 @@ struct ReservationScenarioConfig {
 
   double fps = 30.0;
   Duration sink_decode_cost = microseconds(500);
+  /// Per-trial seed of the 43.8 Mbps load generator (explicit-seed ctor).
+  std::uint64_t load_seed = 43;
 };
 
 struct ReservationScenarioResult {

@@ -5,11 +5,16 @@
 // independent priority; each host's priority-mapping manager translates it
 // into that OS's native band, and the DSCP mapping marks the wire traffic.
 // This binary prints the per-hop table the figure draws.
+//
+// Each CORBA priority is an independent trial (own engine / network / ORBs)
+// on the shard-parallel experiment runner (--jobs N); output is
+// byte-identical for every worker count.
 #include <iostream>
 #include <memory>
 #include <optional>
 
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 #include "net/network.hpp"
 #include "orb/orb.hpp"
 #include "orb/rt/dscp_mapping.hpp"
@@ -17,12 +22,22 @@
 #include "os/cpu.hpp"
 #include "sim/engine.hpp"
 
-int main() {
-  using namespace aqm;
-  using namespace aqm::bench;
+namespace {
 
-  banner("Figure 2: end-to-end priority propagation (RT-CORBA + DiffServ)");
+using namespace aqm;
+using namespace aqm::bench;
 
+struct HopObservation {
+  orb::CorbaPriority relay_saw = -1;
+  orb::CorbaPriority backend_saw = -1;
+  os::Priority client_native = 0;
+  os::Priority middle_native = 0;
+  os::Priority server_native = 0;
+  int client_dscp = 0;
+  int middle_dscp = 0;
+};
+
+HopObservation run_propagation(orb::CorbaPriority corba) {
   sim::Engine engine;
   net::Network network(engine);
   const auto client_node = network.add_node("client (QNX)");
@@ -66,28 +81,49 @@ int main() {
                    middle.invoke(backend_ref, "forward", req.body, opts);
                  }));
 
-  for (const orb::CorbaPriority corba : {4'000, 15'000, 30'000}) {
-    client.set_client_priority(corba);
-    orb::InvokeOptions opts;
-    opts.oneway = true;
-    client.invoke(relay_ref, "send", std::vector<std::uint8_t>(256), opts);
-    engine.run();
+  client.set_client_priority(corba);
+  orb::InvokeOptions opts;
+  opts.oneway = true;
+  client.invoke(relay_ref, "send", std::vector<std::uint8_t>(256), opts);
+  engine.run();
 
+  HopObservation obs;
+  obs.relay_saw = relay_saw.value_or(-1);
+  obs.backend_saw = backend_saw.value_or(-1);
+  obs.client_native = client.priority_mappings().to_native(corba);
+  obs.middle_native = middle.priority_mappings().to_native(corba);
+  obs.server_native = server.priority_mappings().to_native(corba);
+  obs.client_dscp = static_cast<int>(client.dscp_mappings().to_dscp(corba));
+  obs.middle_dscp = static_cast<int>(middle.dscp_mappings().to_dscp(corba));
+  return obs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = core::parse_experiment_options(argc, argv);
+
+  constexpr orb::CorbaPriority kPriorities[] = {4'000, 15'000, 30'000};
+
+  core::Experiment<HopObservation> exp;
+  for (const orb::CorbaPriority corba : kPriorities) {
+    exp.add("fig2-prio-" + std::to_string(corba), static_cast<std::uint64_t>(corba),
+            [corba](const core::TrialSpec&) { return run_propagation(corba); });
+  }
+  const auto results = exp.run(opts);
+
+  banner("Figure 2: end-to-end priority propagation (RT-CORBA + DiffServ)");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const orb::CorbaPriority corba = kPriorities[i];
+    const HopObservation& obs = results[i];
     TextTable table({"hop", "service-context priority", "native priority",
                      "DSCP on egress"});
-    auto dscp = [&](orb::OrbEndpoint& o) {
-      return std::to_string(static_cast<int>(o.dscp_mappings().to_dscp(corba)));
-    };
     table.row({"client (QNX 1..31)", std::to_string(corba),
-               std::to_string(client.priority_mappings().to_native(corba)),
-               dscp(client)});
-    table.row({"middle-tier (LynxOS 0..255)",
-               std::to_string(relay_saw.value_or(-1)),
-               std::to_string(middle.priority_mappings().to_native(corba)),
-               dscp(middle)});
-    table.row({"server (Solaris RT 100..159)",
-               std::to_string(backend_saw.value_or(-1)),
-               std::to_string(server.priority_mappings().to_native(corba)), "-"});
+               std::to_string(obs.client_native), std::to_string(obs.client_dscp)});
+    table.row({"middle-tier (LynxOS 0..255)", std::to_string(obs.relay_saw),
+               std::to_string(obs.middle_native), std::to_string(obs.middle_dscp)});
+    table.row({"server (Solaris RT 100..159)", std::to_string(obs.backend_saw),
+               std::to_string(obs.server_native), "-"});
     std::cout << "CORBA priority " << corba << ":\n";
     table.print();
     std::cout << "\n";

@@ -4,26 +4,41 @@
 //
 // Paper shape: (a) flat ~1.5 ms latency; (b) latency fluctuating wildly
 // between a few milliseconds and over a second, with heavy loss.
+//
+// The two runs are independent trials on the shard-parallel experiment
+// runner (--jobs N); output is byte-identical for every worker count.
 #include <iostream>
 
 #include "common/priority_scenario.hpp"
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqm;
   using namespace aqm::bench;
 
-  banner("Figure 4(a): equal priorities, no DSCP, no cross traffic");
+  const auto opts = core::parse_experiment_options(argc, argv);
+
   PriorityScenarioConfig idle;
   idle.duration = seconds(30);
-  const auto idle_result = run_priority_scenario(idle);
+  PriorityScenarioConfig congested = idle;
+  congested.cross_traffic = true;
+
+  core::Experiment<PriorityScenarioResult> exp;
+  exp.add("fig4a-idle", idle.seed,
+          [idle](const core::TrialSpec&) { return run_priority_scenario(idle); });
+  exp.add("fig4b-congested", congested.seed, [congested](const core::TrialSpec&) {
+    return run_priority_scenario(congested);
+  });
+  const auto results = exp.run(opts);
+  const auto& idle_result = results[0];
+  const auto& congested_result = results[1];
+
+  banner("Figure 4(a): equal priorities, no DSCP, no cross traffic");
   print_latency_series(idle_result, seconds(2), TimePoint{seconds(30).ns()});
   print_summary("Figure 4(a) summary", idle_result);
 
   banner("Figure 4(b): equal priorities, no DSCP, 16 Mbps cross traffic");
-  PriorityScenarioConfig congested = idle;
-  congested.cross_traffic = true;
-  const auto congested_result = run_priority_scenario(congested);
   print_latency_series(congested_result, seconds(2), TimePoint{seconds(30).ns()});
   print_summary("Figure 4(b) summary", congested_result);
 

@@ -6,14 +6,20 @@
 // significantly lower latency; (b) with cross traffic the network is the
 // bottleneck and thread priorities cannot maintain QoS — both streams
 // become unpredictable.
+//
+// The two runs are independent trials on the shard-parallel experiment
+// runner (--jobs N); output is byte-identical for every worker count.
 #include <iostream>
 
 #include "common/priority_scenario.hpp"
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqm;
   using namespace aqm::bench;
+
+  const auto opts = core::parse_experiment_options(argc, argv);
 
   PriorityScenarioConfig base;
   base.duration = seconds(30);
@@ -21,15 +27,24 @@ int main() {
   base.sender2_priority = 1'000;   // maps to low native thread priority
   base.cpu_load = true;            // load lands between the two
 
+  PriorityScenarioConfig congested = base;
+  congested.cross_traffic = true;
+
+  core::Experiment<PriorityScenarioResult> exp;
+  exp.add("fig5a-quiet-net", base.seed,
+          [base](const core::TrialSpec&) { return run_priority_scenario(base); });
+  exp.add("fig5b-congested", congested.seed, [congested](const core::TrialSpec&) {
+    return run_priority_scenario(congested);
+  });
+  const auto results = exp.run(opts);
+  const auto& a = results[0];
+  const auto& b = results[1];
+
   banner("Figure 5(a): thread priorities + CPU load, no cross traffic");
-  const auto a = run_priority_scenario(base);
   print_latency_series(a, seconds(2), TimePoint{seconds(30).ns()});
   print_summary("Figure 5(a) summary", a);
 
   banner("Figure 5(b): thread priorities + CPU load + 16 Mbps cross traffic");
-  PriorityScenarioConfig congested = base;
-  congested.cross_traffic = true;
-  const auto b = run_priority_scenario(congested);
   print_latency_series(b, seconds(2), TimePoint{seconds(30).ns()});
   print_summary("Figure 5(b) summary", b);
 

@@ -6,16 +6,22 @@
 // Paper shape: both senders become much more predictable; sender 1 shows
 // better performance (lower latency) than sender 2 and than thread
 // priority alone (Figure 5).
+//
+// The combined run and the thread-priority-only reference run are
+// independent trials on the shard-parallel experiment runner (--jobs N);
+// output is byte-identical for every worker count.
 #include <iostream>
 
 #include "common/priority_scenario.hpp"
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqm;
   using namespace aqm::bench;
 
-  banner("Figure 6: thread priorities + DSCP, CPU load + 16 Mbps cross traffic");
+  const auto opts = core::parse_experiment_options(argc, argv);
+
   PriorityScenarioConfig cfg;
   cfg.duration = seconds(30);
   cfg.sender1_priority = 30'000;  // banded mapping: EF; native prio above the CPU load
@@ -23,14 +29,23 @@ int main() {
   cfg.map_dscp = true;            // DiffServ router + banded DSCP mapping
   cfg.cpu_load = true;
   cfg.cross_traffic = true;
-  const auto r = run_priority_scenario(cfg);
-  print_latency_series(r, seconds(2), TimePoint{seconds(30).ns()});
-  print_summary("Figure 6 summary", r);
 
   // For comparison: the same contention with thread priority only (Fig 5b).
   PriorityScenarioConfig fig5b = cfg;
   fig5b.map_dscp = false;
-  const auto r5 = run_priority_scenario(fig5b);
+
+  core::Experiment<PriorityScenarioResult> exp;
+  exp.add("fig6-combined", cfg.seed,
+          [cfg](const core::TrialSpec&) { return run_priority_scenario(cfg); });
+  exp.add("fig6-ref-thread-only", fig5b.seed,
+          [fig5b](const core::TrialSpec&) { return run_priority_scenario(fig5b); });
+  const auto results = exp.run(opts);
+  const auto& r = results[0];
+  const auto& r5 = results[1];
+
+  banner("Figure 6: thread priorities + DSCP, CPU load + 16 Mbps cross traffic");
+  print_latency_series(r, seconds(2), TimePoint{seconds(30).ns()});
+  print_summary("Figure 6 summary", r);
   print_summary("Reference (same contention, thread priority only)", r5);
 
   const auto s1 = r.s1_stats();

@@ -5,23 +5,35 @@
 //   2. partial reservation + frame filter (paper: all I-frames delivered)
 //   3. full reservation                   (paper: all frames delivered)
 // Output: per-second frames sent / received series plus I-frame accounting.
+//
+// The three cases are independent trials on the shard-parallel experiment
+// runner (--jobs N); output is identical for every worker count.
 #include <iostream>
 
 #include "common/reservation_scenario.hpp"
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 
 namespace {
 
 using namespace aqm;
 using namespace aqm::bench;
 
-void run_case(const std::string& title, ReservationLevel level, bool filtering) {
-  banner(title);
-  ReservationScenarioConfig cfg;
-  cfg.reservation = level;
-  cfg.frame_filtering = filtering;
-  const auto r = run_reservation_scenario(cfg);
+struct Case {
+  const char* title;
+  ReservationLevel level;
+  bool filtering;
+};
 
+constexpr Case kCases[] = {
+    {"Figure 7 case 1: no adaptation", ReservationLevel::None, false},
+    {"Figure 7 case 2: partial reservation (670 kbps) + QuO frame filtering",
+     ReservationLevel::Partial, true},
+    {"Figure 7 case 3: full reservation (1.3 Mbps)", ReservationLevel::Full, false},
+};
+
+void print_case(const Case& c, const ReservationScenarioResult& r) {
+  banner(c.title);
   TextTable series({"t(s)", "frames sent", "frames received"});
   // Print a readable subsample: every 5 s, denser around the load window.
   for (std::size_t i = 0; i < r.tx_per_second.size(); ++i) {
@@ -53,12 +65,20 @@ void run_case(const std::string& title, ReservationLevel level, bool filtering) 
 
 }  // namespace
 
-int main() {
-  run_case("Figure 7 case 1: no adaptation", ReservationLevel::None, false);
-  run_case("Figure 7 case 2: partial reservation (670 kbps) + QuO frame filtering",
-           ReservationLevel::Partial, true);
-  run_case("Figure 7 case 3: full reservation (1.3 Mbps)", ReservationLevel::Full,
-           false);
+int main(int argc, char** argv) {
+  const auto opts = core::parse_experiment_options(argc, argv);
+
+  core::Experiment<ReservationScenarioResult> exp;
+  for (const Case& c : kCases) {
+    ReservationScenarioConfig cfg;
+    cfg.reservation = c.level;
+    cfg.frame_filtering = c.filtering;
+    exp.add(c.title, cfg.load_seed,
+            [cfg](const core::TrialSpec&) { return run_reservation_scenario(cfg); });
+  }
+  const auto results = exp.run(opts);
+
+  for (std::size_t i = 0; i < results.size(); ++i) print_case(kCases[i], results[i]);
   std::cout << "\nShape check vs paper: case 1 loses almost everything under load;\n"
             << "case 2 keeps delivering the full-content (I) frames; case 3 delivers\n"
             << "essentially all frames.\n";

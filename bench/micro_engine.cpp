@@ -41,6 +41,7 @@ struct HoldOp {
 void BM_EngineHold(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   sim::Engine e;
+  e.reserve(static_cast<std::size_t>(k));
   std::uint64_t rng = 2024;
   std::uint64_t sink = 0;
   std::uint64_t seed_rng = 7;
@@ -62,6 +63,7 @@ BENCHMARK(BM_EngineHold)->Arg(64)->Arg(1024)->Arg(16384);
 void BM_EngineScheduleFire(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   sim::Engine e;
+  e.reserve(static_cast<std::size_t>(k));
   std::uint64_t sink = 0;
   for (auto _ : state) {
     std::uint64_t rng = 42;
@@ -84,6 +86,7 @@ BENCHMARK(BM_EngineScheduleFire)->Arg(64)->Arg(1024)->Arg(16384);
 void BM_EngineScheduleCancel(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   sim::Engine e;
+  e.reserve(static_cast<std::size_t>(k));
   std::vector<sim::EventId> ids(static_cast<std::size_t>(k));
   std::uint64_t sink = 0;
   for (auto _ : state) {
@@ -107,6 +110,7 @@ BENCHMARK(BM_EngineScheduleCancel)->Arg(1024);
 void BM_EngineTimeoutChurn(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   sim::Engine e;
+  e.reserve(static_cast<std::size_t>(2 * k));
   std::uint64_t sink = 0;
   for (auto _ : state) {
     for (int i = 0; i < k; ++i) {

@@ -1,12 +1,21 @@
 // Micro-benchmarks of the simulation substrate itself (google-benchmark):
 // event-engine throughput, CPU-scheduler throughput, packet forwarding,
-// and the real edge-detection kernels (pixels/second of actual work).
+// link-event coalescing, the shard-parallel sweep runner, and the real
+// edge-detection kernels (pixels/second of actual work). Tracked as
+// BENCH_net.json from PR to PR.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/json_report.hpp"
+#include "core/experiment.hpp"
 #include "imgproc/edge.hpp"
 #include "imgproc/synth.hpp"
 #include "net/network.hpp"
 #include "net/queue.hpp"
+#include "net/traffic_gen.hpp"
 #include "os/cpu.hpp"
 #include "sim/engine.hpp"
 
@@ -17,6 +26,7 @@ using namespace aqm;
 void BM_EngineEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine engine;
+    engine.reserve(10'000);
     int fired = 0;
     for (int i = 0; i < 10'000; ++i) {
       engine.after(microseconds(i), [&fired] { ++fired; });
@@ -69,6 +79,123 @@ void BM_PacketForwarding(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketForwarding);
 
+/// A saturated 10 Mbps link draining a deep burst. Tracks the tentpole
+/// metric of the event-coalescing change: simulator events executed per
+/// delivered packet. Legacy two-event transmitter (Arg 0): ~2 events per
+/// packet (tx-complete + delivery). Coalesced transmitter (Arg 1): ~1
+/// (delivery only; the service decision piggybacks on it).
+void BM_LinkSaturated(benchmark::State& state) {
+  const bool coalesced = state.range(0) != 0;
+  constexpr int kPackets = 4'000;
+  std::uint64_t events = 0;
+  std::uint64_t delivered_total = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.reserve(1'024);
+    net::Network net(engine);
+    const auto a = net.add_node("a");
+    const auto b = net.add_node("b");
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 10e6;
+    cfg.coalesced_events = coalesced;
+    net.add_link(a, b, cfg, std::make_unique<net::DropTailQueue>(kPackets));
+    net.add_link(b, a, cfg);
+    int delivered = 0;
+    net.set_receiver(b, [&delivered](net::Packet&&) { ++delivered; });
+    for (int i = 0; i < kPackets; ++i) {
+      net::Packet p;
+      p.dst = b;
+      p.size_bytes = 1000;
+      net.send(a, std::move(p));
+    }
+    engine.run();
+    events += engine.executed();
+    delivered_total += static_cast<std::uint64_t>(delivered);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+  state.counters["events_per_packet"] =
+      static_cast<double>(events) / static_cast<double>(delivered_total);
+  state.SetLabel(coalesced ? "coalesced" : "legacy");
+}
+BENCHMARK(BM_LinkSaturated)->Arg(0)->Arg(1);
+
+/// One self-contained sweep trial: Poisson traffic through a two-hop path
+/// with a 10 Mbps bottleneck, private engine/network/RNG per trial.
+std::uint64_t run_sweep_trial(std::uint64_t seed) {
+  sim::Engine engine;
+  net::Network net(engine);
+  const auto a = net.add_node("a");
+  const auto r = net.add_node("r");
+  const auto b = net.add_node("b");
+  net::LinkConfig access;
+  access.bandwidth_bps = 100e6;
+  net::LinkConfig bottleneck;
+  bottleneck.bandwidth_bps = 10e6;
+  net.add_duplex_link(a, r, access);
+  net.add_duplex_link(r, b, bottleneck);
+
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes = 0;
+  net.set_receiver(b, [&](net::Packet&& p) {
+    ++delivered;
+    bytes += p.size_bytes;
+  });
+
+  net::TrafficGenerator::Config cfg;
+  cfg.src = a;
+  cfg.dst = b;
+  cfg.rate_bps = 20e6;  // 2x the bottleneck: drops + queueing
+  cfg.poisson = true;
+  net::TrafficGenerator gen(net, cfg, seed);
+  gen.run_between(TimePoint::zero(), TimePoint{milliseconds(100).ns()});
+  engine.run();
+  // Order-insensitive signature of the trial outcome.
+  return delivered * 0x9E3779B97F4A7C15ULL + bytes;
+}
+
+/// The tentpole benchmark: a 32-trial sweep fanned out over the shard
+/// runner at 1/2/4/8 workers. Real time is the metric (workers run outside
+/// the timing thread); the "workers" counter records the fan-out so the
+/// JSON report captures the speedup-vs-workers curve. Every worker count
+/// must produce the identical aggregate — checked here on every iteration.
+void BM_ParallelSweep(benchmark::State& state) {
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  constexpr std::size_t kTrials = 32;
+  constexpr std::uint64_t kBaseSeed = 977;
+
+  // Serial reference aggregate for the invariance check.
+  static const std::uint64_t reference = [] {
+    std::uint64_t agg = 0;
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      agg ^= run_sweep_trial(core::derive_seed(kBaseSeed, i)) + i;
+    }
+    return agg;
+  }();
+
+  for (auto _ : state) {
+    core::Experiment<std::uint64_t> exp;
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      exp.add("sweep-" + std::to_string(i), core::derive_seed(kBaseSeed, i),
+              [](const core::TrialSpec& spec) { return run_sweep_trial(spec.seed); });
+    }
+    core::ExperimentOptions opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    const auto results = exp.run(opts);
+    std::uint64_t agg = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) agg ^= results[i] + i;
+    if (agg != reference) {
+      state.SkipWithError("parallel sweep aggregate differs from serial reference");
+      return;
+    }
+    benchmark::DoNotOptimize(agg);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kTrials));
+  state.counters["workers"] = jobs;
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_DiffServQueueOps(benchmark::State& state) {
   net::DiffServQueue q(100'000);
   const TimePoint t0 = TimePoint::zero();
@@ -101,4 +228,6 @@ BENCHMARK(BM_EdgeDetection)->Arg(0)->Arg(1)->Arg(2);  // Kirsch, Prewitt, Sobel
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return aqm::bench::run_with_json_report(argc, argv, "net");
+}

@@ -10,14 +10,21 @@
 //   No resv + frame filtering       ?    276 ms
 //   Partial resv + filtering      ~100%* 187 ms   (*of the filtered stream)
 //   Full resv + filtering         ~100%  171 ms   63.5
+//
+// The six cases fan out over the shard-parallel experiment runner
+// (--jobs N); the table is assembled from results in case order, so the
+// output is byte-identical for every worker count.
 #include <iostream>
 
 #include "common/reservation_scenario.hpp"
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqm;
   using namespace aqm::bench;
+
+  const auto opts = core::parse_experiment_options(argc, argv);
 
   banner("Table 1: network reservation experiments (under 43.8 Mbps load)");
 
@@ -35,21 +42,27 @@ int main() {
       {"Full Reservation; Frame Filtering", ReservationLevel::Full, true},
   };
 
-  TextTable table({"configuration", "% frames delivered", "avg latency (ms)",
-                   "std dev (ms)", "I-frames recv/sent"});
+  core::Experiment<ReservationScenarioResult> exp;
   for (const auto& c : cases) {
     ReservationScenarioConfig cfg;
     cfg.reservation = c.level;
     cfg.frame_filtering = c.filtering;
-    const auto r = run_reservation_scenario(cfg);
-    table.row({c.name, fmt(r.delivered_percent_under_load(), 1),
+    exp.add(c.name, cfg.load_seed,
+            [cfg](const core::TrialSpec&) { return run_reservation_scenario(cfg); });
+  }
+  const auto results = exp.run(opts);
+
+  TextTable table({"configuration", "% frames delivered", "avg latency (ms)",
+                   "std dev (ms)", "I-frames recv/sent"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.row({cases[i].name, fmt(r.delivered_percent_under_load(), 1),
                fmt(r.latency_under_load_ms.mean(), 1),
                fmt(r.latency_under_load_ms.stddev(), 1),
                std::to_string(r.i_frames_received) + "/" +
                    std::to_string(r.i_frames_transmitted)});
-    std::cout << "." << std::flush;
   }
-  std::cout << "\n\n";
+  std::cout << "\n";
   table.print();
   std::cout
       << "\nNotes: '%' counts frames transmitted while the load was active that\n"

@@ -8,13 +8,19 @@
 // and their variance; adding a CPU reserve restores both to near-unloaded
 // values. The reserve here is created remotely through the CORBA
 // CPU-reservation-manager servant (the paper's Utah/CMU agent).
+//
+// The three conditions are independent trials on the shard-parallel
+// experiment runner (--jobs N); output is byte-identical for every worker
+// count.
 #include <array>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/cpu_reservation_manager.hpp"
+#include "core/experiment.hpp"
 #include "core/testbed.hpp"
 #include "imgproc/edge.hpp"
 #include "imgproc/ppm.hpp"
@@ -36,7 +42,7 @@ struct RunResult {
   std::array<RunningStats, 3> per_algorithm_ms;
 };
 
-RunResult run_condition(bool with_load, bool with_reserve) {
+RunResult run_condition(bool with_load, bool with_reserve, std::uint64_t load_seed) {
   core::AtrTestbedParams params;
   params.server_cpu.reserve_utilization_cap = 0.95;
   core::AtrTestbed bed(params);
@@ -55,8 +61,9 @@ RunResult run_condition(bool with_load, bool with_reserve) {
         });
     bed.engine.run_until(bed.engine.now() + seconds(1));
     if (reserve == os::kNoReserve) {
-      std::cerr << "reserve creation failed\n";
-      std::exit(1);
+      // Thrown (not exit()) so the parallel runner can surface the failure
+      // from a worker thread.
+      throw std::runtime_error("table2: CPU reserve creation failed");
     }
   }
 
@@ -67,8 +74,8 @@ RunResult run_condition(bool with_load, bool with_reserve) {
     cfg.burst_mean = milliseconds(14);
     cfg.interval_mean = milliseconds(55);
     cfg.burst_jitter = 0.8;  // "variable and not sustained"
-    cfg.seed = 17;
-    load = std::make_unique<os::LoadGenerator>(bed.engine, bed.server_cpu, cfg);
+    load = std::make_unique<os::LoadGenerator>(bed.engine, bed.server_cpu, cfg,
+                                               load_seed);
     load->start();
   }
 
@@ -126,15 +133,25 @@ RunResult run_condition(bool with_load, bool with_reserve) {
 
 }  // namespace
 
-int main() {
-  banner("Table 2: CPU reservation experiments (400x250 PPM, Kirsch/Prewitt/Sobel)");
+int main(int argc, char** argv) {
+  const auto opts = core::parse_experiment_options(argc, argv);
 
-  std::cout << "running: no load" << std::flush;
-  const RunResult no_load = run_condition(false, false);
-  std::cout << ", competing load" << std::flush;
-  const RunResult loaded = run_condition(true, false);
-  std::cout << ", load + CPU reservation\n\n" << std::flush;
-  const RunResult reserved = run_condition(true, true);
+  banner("Table 2: CPU reservation experiments (400x250 PPM, Kirsch/Prewitt/Sobel)");
+  std::cout << "conditions: no load, competing load, load + CPU reservation\n\n"
+            << std::flush;
+
+  // Same load seed (17) for both loaded conditions, as in the serial driver.
+  core::Experiment<RunResult> exp;
+  exp.add("table2-no-load", 17,
+          [](const core::TrialSpec&) { return run_condition(false, false, 17); });
+  exp.add("table2-load", 17,
+          [](const core::TrialSpec&) { return run_condition(true, false, 17); });
+  exp.add("table2-load-reserve", 17,
+          [](const core::TrialSpec&) { return run_condition(true, true, 17); });
+  const auto results = exp.run(opts);
+  const RunResult& no_load = results[0];
+  const RunResult& loaded = results[1];
+  const RunResult& reserved = results[2];
 
   TextTable table({"Algorithm", "No Load avg(ms)", "std", "Load avg(ms)", "std",
                    "+%", "Load+Resv avg(ms)", "std"});

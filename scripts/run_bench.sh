@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
-# Runs the tracked microbenchmark suites and refreshes the BENCH_*.json
-# reports at the repo root. These files are committed: they are the
-# PR-over-PR performance record of the hot paths (see bench/baselines/ for
-# the pre-optimization numbers).
+# Runs the tracked microbenchmark suites, refreshes the BENCH_*.json
+# reports at the repo root, and compares each suite against its seed
+# baseline in bench/baselines/, failing loudly on a >15% throughput
+# regression. These files are committed: they are the PR-over-PR
+# performance record of the hot paths.
 #
 # Usage: scripts/run_bench.sh [build-dir] [min-time-seconds]
+#
+# Set AQM_BENCH_NO_COMPARE=1 to skip the baseline comparison (e.g. when
+# running on hardware unrelated to the machine that recorded the
+# baselines — absolute items/second are only comparable on like hardware).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 min_time="${2:-0.5}"
 
-if [[ ! -x "$build_dir/bench/micro_engine" || ! -x "$build_dir/bench/micro_cdr" ]]; then
-  echo "benchmarks not built; run: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
-  exit 1
-fi
+for bin in micro_engine micro_cdr micro_substrate; do
+  if [[ ! -x "$build_dir/bench/$bin" ]]; then
+    echo "benchmarks not built; run: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+    exit 1
+  fi
+done
 
 run() {
   local bin="$1" out="$2"
@@ -24,5 +31,65 @@ run() {
 
 run "$build_dir/bench/micro_engine" "$repo_root/BENCH_engine.json"
 run "$build_dir/bench/micro_cdr" "$repo_root/BENCH_orb.json"
+run "$build_dir/bench/micro_substrate" "$repo_root/BENCH_net.json"
 
-echo "done; compare against bench/baselines/*.seed.json"
+if [[ "${AQM_BENCH_NO_COMPARE:-0}" == "1" ]]; then
+  echo "baseline comparison skipped (AQM_BENCH_NO_COMPARE=1)"
+  exit 0
+fi
+
+echo "== comparing against bench/baselines/*.seed.json (fail on >15% regression)"
+python3 - "$repo_root" <<'EOF'
+import json, pathlib, sys
+
+root = pathlib.Path(sys.argv[1])
+TOLERANCE = 0.15
+failures = []
+compared = 0
+
+for current_path in sorted(root.glob("BENCH_*.json")):
+    baseline_path = root / "bench" / "baselines" / (current_path.stem + ".seed.json")
+    if not baseline_path.exists():
+        print(f"  {current_path.name}: no baseline, skipped")
+        continue
+    current = {b["name"]: b for b in json.loads(current_path.read_text())["benchmarks"]}
+    baseline = {b["name"]: b for b in json.loads(baseline_path.read_text())["benchmarks"]}
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{current_path.name}: benchmark '{name}' disappeared")
+            continue
+        # BM_ParallelSweep records the speedup-vs-workers curve; its wall
+        # time depends on the host's core count and scheduler, so it is a
+        # record, not a regression gate.
+        if "BM_ParallelSweep" in name:
+            continue
+        # Throughput must not regress by more than the tolerance.
+        base_ips = base.get("items_per_second", 0.0)
+        if base_ips > 0:
+            compared += 1
+            cur_ips = cur.get("items_per_second", 0.0)
+            if cur_ips < base_ips * (1 - TOLERANCE):
+                failures.append(
+                    f"{current_path.name}: {name} items/s {cur_ips:.3g} < "
+                    f"{(1-TOLERANCE):.0%} of baseline {base_ips:.3g}")
+        # Tracked cost counters (e.g. events_per_packet) must not grow.
+        for key, base_val in base.get("counters", {}).items():
+            if key == "workers" or base_val <= 0:
+                continue
+            cur_val = cur.get("counters", {}).get(key, 0.0)
+            if cur_val > base_val * (1 + TOLERANCE):
+                failures.append(
+                    f"{current_path.name}: {name} counter {key} {cur_val:.3g} > "
+                    f"{(1+TOLERANCE):.0%} of baseline {base_val:.3g}")
+
+print(f"  {compared} benchmarks compared")
+if failures:
+    print("PERF REGRESSION DETECTED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("  all within tolerance")
+EOF
+
+echo "done"

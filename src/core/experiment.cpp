@@ -1,0 +1,73 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace aqm::core {
+namespace {
+
+bool parse_jobs_value(const char* text, unsigned& out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == nullptr || *end != '\0' || v > 4096) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
+[[noreturn]] void jobs_usage_error(const char* arg) {
+  std::fprintf(stderr, "invalid --jobs argument: %s (expected --jobs N with N in 0..4096; 0 = all cores)\n",
+               arg);
+  std::exit(2);
+}
+
+}  // namespace
+
+namespace detail {
+void report_trial_done(bool enabled) {
+  if (!enabled) return;
+  // Progress goes to stderr so the experiment's stdout stays a clean,
+  // deterministic report regardless of trial completion order.
+  std::fputc('.', stderr);
+  std::fflush(stderr);
+}
+}  // namespace detail
+
+ExperimentOptions parse_experiment_options(int& argc, char** argv) {
+  ExperimentOptions opts;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    bool value_in_next = false;
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      value_in_next = true;
+    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      value = arg + 2;
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (value_in_next) {
+      if (i + 1 >= argc) jobs_usage_error(arg);
+      value = argv[++i];
+    }
+    if (!parse_jobs_value(value, opts.jobs)) jobs_usage_error(value);
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return opts;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 finalizer over (base + golden-ratio stride * (index + 1)).
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace aqm::core

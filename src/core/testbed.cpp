@@ -54,8 +54,7 @@ PriorityTestbed::PriorityTestbed(const PriorityTestbedParams& p)
   cross.off_mean = seconds(2);
   cross.flow = kFlowCross;
   cross.poisson = true;
-  cross.seed = 42;
-  cross_traffic = std::make_unique<net::TrafficGenerator>(network, cross);
+  cross_traffic = std::make_unique<net::TrafficGenerator>(network, cross, p.cross_seed);
 }
 
 ReservationTestbed::ReservationTestbed(const ReservationTestbedParams& p)
@@ -92,8 +91,7 @@ ReservationTestbed::ReservationTestbed(const ReservationTestbedParams& p)
   load.rate_bps = p.load_rate_bps;
   load.flow = kFlowCross;
   load.poisson = true;
-  load.seed = 43;
-  load_traffic = std::make_unique<net::TrafficGenerator>(network, load);
+  load_traffic = std::make_unique<net::TrafficGenerator>(network, load, p.load_seed);
 }
 
 AtrTestbed::AtrTestbed(const AtrTestbedParams& p)

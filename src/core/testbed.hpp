@@ -45,6 +45,9 @@ struct PriorityTestbedParams {
   /// runs); true: DiffServ-enabled router (DSCP runs).
   bool diffserv_bottleneck = false;
   double cross_rate_bps = 16e6;
+  /// Per-trial seed of the cross-traffic generator; override when running
+  /// seed sweeps so parallel trials draw independent streams.
+  std::uint64_t cross_seed = 42;
   os::CpuConfig cpu{};
 };
 
@@ -72,6 +75,8 @@ struct ReservationTestbedParams {
   Duration propagation = microseconds(100);
   net::IntServQueue::Config intserv{};
   double load_rate_bps = 43.8e6;
+  /// Per-trial seed of the load-pulse generator.
+  std::uint64_t load_seed = 43;
   os::CpuConfig cpu{};
 };
 

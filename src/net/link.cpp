@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -25,14 +26,106 @@ Duration Link::transmission_time(std::uint32_t bytes) const {
 }
 
 void Link::send(Packet p) {
+  if (!config_.coalesced_events) {
+    if (auto rejected = queue_->enqueue(std::move(p), engine_.now())) {
+      if (on_drop_) on_drop_(*rejected);
+      return;
+    }
+    if (!busy_) legacy_try_transmit();
+    return;
+  }
+  // Catch the virtual transmitter up before the new packet becomes
+  // visible: a service decision pending at avail_at_ <= now must see the
+  // queue as it was without this arrival, exactly as the legacy
+  // end-of-serialization event (which fired at avail_at_) did.
+  pump();
   if (auto rejected = queue_->enqueue(std::move(p), engine_.now())) {
     if (on_drop_) on_drop_(*rejected);
     return;
   }
-  if (!busy_) try_transmit();
+  // decision_pending_ false implies the transmitter is idle (any committed
+  // transmission ending in the future keeps its decision pending), so the
+  // arrival itself triggers a decision — the legacy "kick on !busy_".
+  if (!decision_pending_) service(engine_.now());
 }
 
-void Link::try_transmit() {
+/// Replays every service decision the legacy transmitter would have made
+/// up to now. A decision is due only at the end of a committed
+/// transmission; once a decision finds the queue unservable, no new one
+/// arises until an arrival (send) or a conformance retry.
+void Link::pump() {
+  while (decision_pending_ && avail_at_ <= engine_.now()) {
+    decision_pending_ = false;
+    service(avail_at_);
+  }
+}
+
+/// One service decision at the exact (possibly past) instant t. Either
+/// commits the next transmission, arms a conformance retry, or finds the
+/// queue empty. t <= now() always; between t and now the queue cannot
+/// have changed (every mutation path pumps first), so dequeuing with the
+/// backdated timestamp reproduces the legacy decision bit for bit —
+/// including token-bucket fill levels and RED arrival state.
+void Link::service(TimePoint t) {
+  if (retry_event_.valid()) {
+    engine_.cancel(retry_event_);
+    retry_event_ = sim::EventId{};
+  }
+  const TimePoint now = engine_.now();
+  for (;;) {
+    if (auto next = queue_->dequeue(t)) {
+      start_tx(std::move(*next), t);
+      return;
+    }
+    // Nothing eligible. If something is queued but gated (token bucket),
+    // retry when it could conform — inline when that instant has already
+    // passed (the legacy retry event would have fired by now).
+    const auto delay = queue_->next_ready_delay(t);
+    if (!delay || *delay >= Duration::max()) return;
+    const TimePoint ready = t + *delay;
+    if (ready > now) {
+      retry_event_ = engine_.at(ready, [this] {
+        retry_event_ = sim::EventId{};
+        service(engine_.now());
+      });
+      return;
+    }
+    t = ready;
+  }
+}
+
+/// Commits a transmission starting at t: head leaves the queue at t, the
+/// transmitter frees at t + tx, the receiver has the packet a propagation
+/// delay later. Schedules the one externally visible event (delivery or
+/// corruption drop), which doubles as the catch-up point keeping the
+/// service chain alive.
+void Link::start_tx(Packet p, TimePoint t) {
+  const Duration tx = transmission_time(p.size_bytes);
+  busy_ns_ += tx.ns();
+  ++tx_packets_;
+  tx_bytes_ += p.size_bytes;
+  avail_at_ = t + tx;
+  decision_pending_ = true;
+  // The loss draw moves from the end of serialization to its commit; draws
+  // still happen exactly once per transmission in transmission order, so
+  // the (seed, packet) mapping matches the legacy sequence bit for bit.
+  if (config_.loss_probability > 0.0 && loss_rng_.bernoulli(config_.loss_probability)) {
+    // A backdated commit can place tx end in the past; clamp the event to
+    // now (the drop hook only feeds counters, never timing).
+    engine_.at(std::max(avail_at_, engine_.now()), [this, p = std::move(p)]() mutable {
+      ++corrupted_;
+      if (on_drop_) on_drop_(p);
+      pump();
+    });
+  } else {
+    engine_.at(avail_at_ + config_.propagation, [this, p = std::move(p)]() mutable {
+      pump();
+      if (deliver_) deliver_(std::move(p));
+    });
+  }
+}
+
+void Link::legacy_try_transmit() {
   assert(!busy_);
   if (retry_event_.valid()) {
     engine_.cancel(retry_event_);
@@ -46,7 +139,7 @@ void Link::try_transmit() {
     if (delay && *delay < Duration::max()) {
       retry_event_ = engine_.after(*delay, [this] {
         retry_event_ = sim::EventId{};
-        if (!busy_) try_transmit();
+        if (!busy_) legacy_try_transmit();
       });
     }
     return;
@@ -72,7 +165,7 @@ void Link::try_transmit() {
         if (deliver_) deliver_(std::move(p));
       });
     }
-    try_transmit();
+    legacy_try_transmit();
   });
 }
 

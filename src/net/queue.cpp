@@ -53,6 +53,7 @@ std::optional<Packet> DiffServQueue::enqueue(Packet p, TimePoint /*now*/) {
   }
   count_enqueue(p);
   bytes_ += p.size_bytes;
+  ++packets_;
   classes_[cls].push_back(std::move(p));
   return std::nullopt;
 }
@@ -63,6 +64,7 @@ std::optional<Packet> DiffServQueue::dequeue(TimePoint /*now*/) {
     Packet p = std::move(cls.front());
     cls.pop_front();
     bytes_ -= p.size_bytes;
+    --packets_;
     count_dequeue();
     return p;
   }
@@ -71,12 +73,6 @@ std::optional<Packet> DiffServQueue::dequeue(TimePoint /*now*/) {
 
 std::optional<Duration> DiffServQueue::next_ready_delay(TimePoint /*now*/) const {
   return std::nullopt;  // strict priority: a queued packet is always eligible
-}
-
-std::size_t DiffServQueue::packets() const {
-  std::size_t n = 0;
-  for (const auto& cls : classes_) n += cls.size();
-  return n;
 }
 
 // --- IntServQueue ------------------------------------------------------------
@@ -117,6 +113,7 @@ void IntServQueue::remove_reservation(FlowId flow) {
   for (auto& p : it->second.q) {
     if (best_effort_.size() >= config_.best_effort_capacity) {
       bytes_ -= p.size_bytes;
+      --packets_;
       count_drop(p);
       continue;
     }
@@ -144,6 +141,7 @@ std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
     }
     count_enqueue(p);
     bytes_ += p.size_bytes;
+    ++packets_;
     control_.push_back(std::move(p));
     return std::nullopt;
   }
@@ -157,6 +155,7 @@ std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
           it->second.bucket.consume(p.size_bytes, now)) {
         count_enqueue(p);
         bytes_ += p.size_bytes;
+        ++packets_;
         it->second.q.push_back(std::move(p));
         return std::nullopt;
       }
@@ -170,6 +169,7 @@ std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
       }
       count_enqueue(p);
       bytes_ += p.size_bytes;
+      ++packets_;
       it->second.q.push_back(std::move(p));
       return std::nullopt;
     }
@@ -180,6 +180,7 @@ std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
   }
   count_enqueue(p);
   bytes_ += p.size_bytes;
+  ++packets_;
   best_effort_.push_back(std::move(p));
   return std::nullopt;
 }
@@ -190,6 +191,7 @@ std::optional<Packet> IntServQueue::dequeue(TimePoint now) {
     Packet p = std::move(control_.front());
     control_.pop_front();
     bytes_ -= p.size_bytes;
+    --packets_;
     count_dequeue();
     return p;
   }
@@ -202,6 +204,7 @@ std::optional<Packet> IntServQueue::dequeue(TimePoint now) {
       Packet p = std::move(f.q.front());
       f.q.pop_front();
       bytes_ -= p.size_bytes;
+      --packets_;
       count_dequeue();
       return p;
     }
@@ -211,6 +214,7 @@ std::optional<Packet> IntServQueue::dequeue(TimePoint now) {
     Packet p = std::move(best_effort_.front());
     best_effort_.pop_front();
     bytes_ -= p.size_bytes;
+    --packets_;
     count_dequeue();
     return p;
   }
@@ -227,12 +231,6 @@ std::optional<Duration> IntServQueue::next_ready_delay(TimePoint now) const {
   }
   if (best == Duration::max()) return std::nullopt;  // nothing queued anywhere
   return best;
-}
-
-std::size_t IntServQueue::packets() const {
-  std::size_t n = control_.size() + best_effort_.size();
-  for (const auto& [id, f] : flows_) n += f.q.size();
-  return n;
 }
 
 }  // namespace aqm::net

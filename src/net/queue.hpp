@@ -100,7 +100,7 @@ class DiffServQueue final : public Queue {
   std::optional<Packet> enqueue(Packet p, TimePoint now) override;
   std::optional<Packet> dequeue(TimePoint now) override;
   [[nodiscard]] std::optional<Duration> next_ready_delay(TimePoint now) const override;
-  [[nodiscard]] std::size_t packets() const override;
+  [[nodiscard]] std::size_t packets() const override { return packets_; }
   [[nodiscard]] std::size_t bytes() const override { return bytes_; }
 
   [[nodiscard]] std::size_t class_packets(PhbClass c) const {
@@ -111,6 +111,7 @@ class DiffServQueue final : public Queue {
   std::array<std::deque<Packet>, kPhbClassCount> classes_;
   std::array<std::size_t, kPhbClassCount> capacities_;
   std::size_t bytes_ = 0;
+  std::size_t packets_ = 0;  // total across classes; packets() is on the hot path
 };
 
 /// IntServ guaranteed service. Flows with an installed reservation get a
@@ -149,7 +150,7 @@ class IntServQueue final : public Queue {
   std::optional<Packet> enqueue(Packet p, TimePoint now) override;
   std::optional<Packet> dequeue(TimePoint now) override;
   [[nodiscard]] std::optional<Duration> next_ready_delay(TimePoint now) const override;
-  [[nodiscard]] std::size_t packets() const override;
+  [[nodiscard]] std::size_t packets() const override { return packets_; }
   [[nodiscard]] std::size_t bytes() const override { return bytes_; }
 
  private:
@@ -163,6 +164,7 @@ class IntServQueue final : public Queue {
   std::deque<Packet> best_effort_;
   std::deque<Packet> control_;
   std::size_t bytes_ = 0;
+  std::size_t packets_ = 0;  // total across sub-queues; packets() is hot
 };
 
 /// Factory signature used by topology builders: makes the egress queue for

@@ -6,6 +6,15 @@
 
 namespace aqm::net {
 
+namespace {
+
+TrafficGenerator::Config with_seed(TrafficGenerator::Config c, std::uint64_t seed) {
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace
+
 TrafficGenerator::TrafficGenerator(Network& net, Config config)
     : net_(net), config_(config), rng_(config.seed) {
   assert(config_.src != kInvalidNode);
@@ -13,6 +22,9 @@ TrafficGenerator::TrafficGenerator(Network& net, Config config)
   assert(config_.rate_bps > 0.0);
   assert(config_.packet_bytes > 0);
 }
+
+TrafficGenerator::TrafficGenerator(Network& net, Config config, std::uint64_t trial_seed)
+    : TrafficGenerator(net, with_seed(std::move(config), trial_seed)) {}
 
 void TrafficGenerator::start() {
   if (running_) return;

@@ -33,6 +33,11 @@ class TrafficGenerator {
   };
 
   TrafficGenerator(Network& net, Config config);
+  /// Explicit per-trial seed, overriding config.seed. Every generator owns
+  /// its private Rng (no shared or global stream), so two trials built with
+  /// the same trial seed emit identical packet schedules regardless of
+  /// which worker thread runs them.
+  TrafficGenerator(Network& net, Config config, std::uint64_t trial_seed);
   ~TrafficGenerator() { stop(); }
   TrafficGenerator(const TrafficGenerator&) = delete;
   TrafficGenerator& operator=(const TrafficGenerator&) = delete;

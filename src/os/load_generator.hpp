@@ -29,6 +29,10 @@ class LoadGenerator {
   };
 
   LoadGenerator(sim::Engine& engine, Cpu& cpu, Config config);
+  /// Explicit per-trial seed, overriding config.seed. The generator owns a
+  /// private Rng (no shared or global stream), so trials seeded identically
+  /// produce identical load patterns on any worker thread.
+  LoadGenerator(sim::Engine& engine, Cpu& cpu, Config config, std::uint64_t trial_seed);
   ~LoadGenerator() { stop(); }
   LoadGenerator(const LoadGenerator&) = delete;
   LoadGenerator& operator=(const LoadGenerator&) = delete;

@@ -31,6 +31,15 @@ void small_sort(std::vector<T>& v, Less less) {
 
 }  // namespace
 
+void Engine::reserve(std::size_t n_slots) {
+  slots_.reserve(n_slots);
+  far_.reserve(n_slots);
+  // A drained bucket swaps its storage into near_, so near_ only ever holds
+  // one bucket's worth of entries (plus same-rung inserts).
+  near_.reserve(std::min<std::size_t>(n_slots, 64 * kBucketTarget));
+  buckets_.reserve(std::clamp<std::size_t>(n_slots / kBucketTarget, 1, kMaxBuckets));
+}
+
 bool Engine::refill() {
   assert(near_.empty());
   for (;;) {

@@ -267,6 +267,12 @@ class Engine {
   /// Runs all events with time <= t, then advances the clock to t.
   void run_until(TimePoint t);
 
+  /// Pre-sizes the handler slab and calendar storage for roughly `n_slots`
+  /// concurrently pending events. Capacity-only: scheduling behaviour and
+  /// firing order are unchanged; the ramp-up of a large scenario (or the
+  /// first iterations of a benchmark) just stops paying vector growth.
+  void reserve(std::size_t n_slots);
+
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending() const { return live_; }
 

@@ -1,0 +1,43 @@
+// Shard-parallel execution of independent simulation trials.
+//
+// The engine is single-threaded and bit-deterministic, which makes whole
+// trials embarrassingly parallel: each worker thread constructs its own
+// Engine / Network / testbed inside the task, runs it to completion, and
+// writes its result into a slot owned by that task index. Nothing is
+// shared between trials (the only process-wide mutable state, the log
+// sink, is mutex-guarded), so the aggregate output is byte-identical for
+// any worker count — including jobs == 1, which runs inline on the
+// calling thread with no threads created at all.
+//
+// Work distribution is a single atomic ticket counter: workers pull the
+// next unstarted index, so long trials do not stall short ones behind a
+// static partition. The first exception thrown by any task is captured
+// and rethrown on the calling thread after all workers join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace aqm::sim {
+
+class ParallelRunner {
+ public:
+  /// `jobs` as requested; 0 means "one per hardware thread".
+  explicit ParallelRunner(unsigned jobs = 1) : jobs_(resolve_jobs(jobs)) {}
+
+  /// Maps 0 to std::thread::hardware_concurrency() (min 1).
+  [[nodiscard]] static unsigned resolve_jobs(unsigned requested);
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Runs task(0) .. task(n-1), each exactly once. With jobs() == 1 (or
+  /// n <= 1) the tasks run inline in index order; otherwise min(jobs, n)
+  /// worker threads pull indices from a shared atomic ticket. Blocks until
+  /// every task finished; rethrows the first task exception afterwards.
+  void run(std::size_t n, const std::function<void(std::size_t)>& task) const;
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace aqm::sim

@@ -4,12 +4,16 @@
 // the paper sees excursions "to over a second".
 //
 // The five depths are independent trials on the shard-parallel experiment
-// runner (--jobs N); output is byte-identical for every worker count.
+// runner (--jobs N); output is byte-identical for every worker count —
+// including the --metrics sidecar, whose snapshots are merged in trial
+// order. --trace FILE records the first trial as Chrome trace-event JSON.
 #include <iostream>
+#include <vector>
 
 #include "common/priority_scenario.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace aqm;
@@ -22,15 +26,41 @@ int main(int argc, char** argv) {
   const std::size_t depths[] = {100, 250, 500, 1000, 2000};
 
   core::Experiment<PriorityScenarioResult> exp;
+  bool first = true;
   for (const std::size_t depth : depths) {
     PriorityScenarioConfig cfg;
     cfg.duration = seconds(12);
     cfg.cross_traffic = true;
     cfg.queue_pkts = depth;
+    cfg.collect_metrics = !opts.metrics_path.empty();
+    cfg.trace = first && !opts.trace_path.empty();
+    first = false;
     exp.add("queue-depth-" + std::to_string(depth), cfg.seed,
             [cfg](const core::TrialSpec&) { return run_priority_scenario(cfg); });
   }
   const auto results = exp.run(opts);
+
+  if (!opts.metrics_path.empty()) {
+    std::vector<obs::NamedSnapshot> snaps;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      snaps.push_back({exp.spec(i).name, results[i].metrics});
+    }
+    if (obs::write_metrics_sidecar_file(opts.metrics_path, snaps)) {
+      std::cerr << "metrics written to " << opts.metrics_path << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << opts.metrics_path << "\n";
+      return 1;
+    }
+  }
+  if (!opts.trace_path.empty() && results[0].trace != nullptr) {
+    if (results[0].trace->write_chrome_json_file(opts.trace_path)) {
+      std::cerr << "trace (" << results[0].trace->size() << " events) written to "
+                << opts.trace_path << "\n";
+    } else {
+      std::cerr << "failed to write trace to " << opts.trace_path << "\n";
+      return 1;
+    }
+  }
 
   TextTable table({"queue(pkts)", "theoretical ceiling(ms)", "s1 mean(ms)",
                    "s1 max(ms)", "s1 loss%"});

@@ -28,6 +28,11 @@ PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) 
 
   PriorityScenarioResult result;
 
+  if (cfg.trace) {
+    result.trace = std::make_shared<obs::TraceRecorder>();
+    bed.engine.set_tracer(result.trace.get());
+  }
+
   // Two servants in two separate POAs, as in the paper's receiver host.
   auto make_sink = [&](const std::string& poa_name, TimeSeries& series,
                        std::uint64_t& count) {
@@ -89,6 +94,26 @@ PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) 
   if (load) load->stop();
   // Drain in-flight messages.
   bed.engine.run_until(TimePoint::zero() + cfg.duration + seconds(5));
+
+  if (cfg.collect_metrics) {
+    obs::MetricsRegistry reg;
+    bed.sender_orb.export_metrics(reg, "orb.sender");
+    bed.receiver_orb.export_metrics(reg, "orb.receiver");
+    bed.network.export_metrics(reg, "net");
+    bed.sender_cpu.export_metrics(reg, "cpu.sender");
+    bed.receiver_cpu.export_metrics(reg, "cpu.receiver");
+    reg.counter("scenario.s1_sent").set(result.s1_sent);
+    reg.counter("scenario.s2_sent").set(result.s2_sent);
+    reg.counter("scenario.s1_received").set(result.s1_received);
+    reg.counter("scenario.s2_received").set(result.s2_received);
+    reg.stats("scenario.s1_latency_ms").merge(result.s1_latency_ms.stats());
+    reg.stats("scenario.s2_latency_ms").merge(result.s2_latency_ms.stats());
+    auto& h1 = reg.histogram("scenario.s1_latency_ms_hist", 0.0, 2000.0, 100);
+    for (const auto& pt : result.s1_latency_ms.points()) h1.add(pt.value);
+    auto& h2 = reg.histogram("scenario.s2_latency_ms_hist", 0.0, 2000.0, 100);
+    for (const auto& pt : result.s2_latency_ms.points()) h2.add(pt.value);
+    result.metrics = reg.snapshot();
+  }
   return result;
 }
 

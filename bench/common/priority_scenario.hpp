@@ -5,12 +5,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/stats.hpp"
 #include "net/dscp.hpp"
 #include "core/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orb/types.hpp"
 
 namespace aqm::bench {
@@ -52,6 +55,13 @@ struct PriorityScenarioConfig {
   /// by its config — a requirement for shard-parallel sweeps.
   std::uint64_t seed = 11;
   std::uint64_t cross_seed = 42;
+
+  /// Record a causal trace of the whole trial into result.trace (Chrome
+  /// trace-event JSON via TraceRecorder::write_chrome_json). Off for
+  /// sweeps: tracing stores every ORB/link/queue event.
+  bool trace = false;
+  /// Fill result.metrics with ORB/network/CPU counters at trial end.
+  bool collect_metrics = false;
 };
 
 struct PriorityScenarioResult {
@@ -61,6 +71,10 @@ struct PriorityScenarioResult {
   std::uint64_t s2_sent = 0;
   std::uint64_t s1_received = 0;
   std::uint64_t s2_received = 0;
+  /// Trial-end metrics snapshot (empty unless cfg.collect_metrics).
+  obs::MetricsSnapshot metrics;
+  /// Recorded trial trace (null unless cfg.trace).
+  std::shared_ptr<obs::TraceRecorder> trace;
 
   [[nodiscard]] RunningStats s1_stats() const { return s1_latency_ms.stats(); }
   [[nodiscard]] RunningStats s2_stats() const { return s2_latency_ms.stats(); }

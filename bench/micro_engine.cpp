@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/json_report.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -126,6 +127,49 @@ void BM_EngineTimeoutChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * k);
 }
 BENCHMARK(BM_EngineTimeoutChurn)->Arg(512);
+
+/// Observability tax on the engine hot loop. Arg(0) runs the hold model
+/// with no recorder attached — the shipped default, which must stay within
+/// noise (<2%) of BM_EngineHold/1024. Arg(1) attaches a recorder whose
+/// category mask excludes Engine (instrumentation point reached, bitmask
+/// test fails), Arg(2) records a dispatch instant per event — the upper
+/// bound, clearing the recorder periodically so memory stays flat.
+void BM_TraceOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr int k = 1024;
+  sim::Engine e;
+  e.reserve(k);
+  obs::TraceRecorder recorder(mode == 2
+                                  ? obs::kAllCategories
+                                  : static_cast<std::uint32_t>(obs::TraceCategory::Net));
+  if (mode != 0) e.set_tracer(&recorder);
+  std::uint64_t rng = 2024;
+  std::uint64_t sink = 0;
+  std::uint64_t seed_rng = 7;
+  for (int i = 0; i < k; ++i) {
+    e.after(nanoseconds(static_cast<std::int64_t>(next_rng(seed_rng) & 0x3fff) + 1),
+            HoldOp{e, rng, sink});
+  }
+  // Keep the mode-0/1 loop byte-identical to BM_EngineHold's: the mode
+  // branch lives outside it, so any measured delta is engine-side only.
+  if (mode == 2) {
+    std::size_t since_clear = 0;
+    for (auto _ : state) {
+      e.step();
+      if (++since_clear == 1u << 16) {
+        since_clear = 0;
+        recorder.clear();
+      }
+    }
+  } else {
+    for (auto _ : state) {
+      e.step();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 /// Many periodic timers ticking through a horizon (rate-monotonic style
 /// period spread), measuring the rearm path.

@@ -7,23 +7,36 @@
 //   2. at t=40s: the application upgrades its reservation to full rate via
 //      RSVP, after which the contract returns the stream to 30 fps even
 //      though the load is still there.
+// Pass --trace FILE to capture the whole run as Chrome trace-event JSON
+// (load in Perfetto): ORB call spans chain through per-hop link/queue
+// events to the server dispatch and the QuO region transitions they cause.
+// Pass --metrics FILE for the run's metrics sidecar.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "avstreams/stream.hpp"
+#include "core/experiment.hpp"
 #include "core/testbed.hpp"
 #include "media/frame_filter.hpp"
 #include "media/video_sink.hpp"
 #include "media/video_source.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orb/cdr.hpp"
 #include "quo/contract.hpp"
 #include "quo/syscond.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqm;
+
+  const auto opts = core::parse_experiment_options(argc, argv);
 
   core::ReservationTestbed bed((core::ReservationTestbedParams{}));
   const media::GopStructure gop = media::GopStructure::mpeg1_paper_profile();
+
+  obs::TraceRecorder tracer;
+  if (!opts.trace_path.empty()) bed.engine.set_tracer(&tracer);
 
   media::VideoSinkStats stats(bed.engine, gop);
   orb::Poa& poa = bed.receiver_orb.create_poa("video");
@@ -78,7 +91,14 @@ int main() {
     const auto rx = stats.received_count();
     const auto tx = stats.transmitted_count();
     if (tx > last_tx) {
+      // Chain the measurement (and any contract transition it triggers) to
+      // the most recently dispatched frame — the request whose delivery
+      // tipped the ratio — so the causal trace runs client send -> per-hop
+      // network -> server dispatch -> QuO reaction.
+      obs::TraceRecorder* tr = bed.engine.tracer();
+      if (tr != nullptr) tr->set_current(bed.receiver_orb.last_dispatch_trace());
       ratio.set(static_cast<double>(rx - last_rx) / static_cast<double>(tx - last_tx));
+      if (tr != nullptr) tr->set_current(0);
     }
     last_rx = rx;
     last_tx = tx;
@@ -119,5 +139,34 @@ int main() {
             << lat.max() << " ms\n"
             << "  contract transitions                : " << contract.transition_count()
             << "\n";
+
+  if (!opts.trace_path.empty()) {
+    if (!tracer.write_chrome_json_file(opts.trace_path)) {
+      std::cerr << "failed to write trace to " << opts.trace_path << "\n";
+      return 1;
+    }
+    std::cerr << "trace (" << tracer.size() << " events, " << tracer.track_count()
+              << " tracks) written to " << opts.trace_path << "\n";
+  }
+  if (!opts.metrics_path.empty()) {
+    obs::MetricsRegistry reg;
+    bed.sender_orb.export_metrics(reg, "orb.sender");
+    bed.receiver_orb.export_metrics(reg, "orb.receiver");
+    bed.network.export_metrics(reg, "net");
+    bed.sender_cpu.export_metrics(reg, "cpu.sender");
+    bed.receiver_cpu.export_metrics(reg, "cpu.receiver");
+    reg.counter("stream.frames_sourced").set(stats.source_count());
+    reg.counter("stream.frames_transmitted").set(stats.transmitted_count());
+    reg.counter("stream.frames_received").set(stats.received_count());
+    reg.counter("stream.frames_decodable").set(stats.decodable_count());
+    reg.counter("quo.contract_transitions").set(contract.transition_count());
+    reg.stats("stream.latency_ms").merge(lat);
+    const std::vector<obs::NamedSnapshot> snaps{{"adaptive_streaming", reg.snapshot()}};
+    if (!obs::write_metrics_sidecar_file(opts.metrics_path, snaps)) {
+      std::cerr << "failed to write metrics to " << opts.metrics_path << "\n";
+      return 1;
+    }
+    std::cerr << "metrics written to " << opts.metrics_path << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Captures a causal trace + metrics sidecar from the adaptive-streaming
+# demo and sanity-checks both artifacts: the trace must be valid Chrome
+# trace-event JSON (load it at https://ui.perfetto.dev or
+# chrome://tracing), and the metrics sidecar must be byte-identical
+# regardless of --jobs, which this script also verifies via the
+# ablation_queue_depth sweep at 1 and 4 workers.
+#
+# Usage: scripts/run_trace.sh [build-dir] [out-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root/traces}"
+
+for bin in examples/adaptive_streaming bench/ablation_queue_depth; do
+  if [[ ! -x "$build_dir/$bin" ]]; then
+    echo "not built; run: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$out_dir"
+
+echo "== adaptive_streaming -> $out_dir/adaptive_streaming.trace.json"
+"$build_dir/examples/adaptive_streaming" \
+  --trace "$out_dir/adaptive_streaming.trace.json" \
+  --metrics "$out_dir/adaptive_streaming.metrics.json" > /dev/null
+
+echo "== validating JSON"
+python3 -m json.tool "$out_dir/adaptive_streaming.trace.json" > /dev/null
+python3 -m json.tool "$out_dir/adaptive_streaming.metrics.json" > /dev/null
+
+echo "== queue-depth sweep trace -> $out_dir/queue_depth.trace.json"
+"$build_dir/bench/ablation_queue_depth" --jobs 0 \
+  --trace "$out_dir/queue_depth.trace.json" > /dev/null
+python3 -m json.tool "$out_dir/queue_depth.trace.json" > /dev/null
+
+# Note: tracing rides a GIOP service context, so --trace adds real bytes
+# to every twoway (DESIGN.md §7) — the determinism comparison therefore
+# runs trace-free on both sides.
+echo "== metrics determinism: ablation_queue_depth --jobs 1 vs --jobs 4"
+"$build_dir/bench/ablation_queue_depth" --jobs 1 \
+  --metrics "$out_dir/queue_depth.metrics.j1.json" > /dev/null
+"$build_dir/bench/ablation_queue_depth" --jobs 4 \
+  --metrics "$out_dir/queue_depth.metrics.j4.json" > /dev/null
+python3 -m json.tool "$out_dir/queue_depth.metrics.j1.json" > /dev/null
+cmp "$out_dir/queue_depth.metrics.j1.json" "$out_dir/queue_depth.metrics.j4.json"
+mv "$out_dir/queue_depth.metrics.j1.json" "$out_dir/queue_depth.metrics.json"
+rm -f "$out_dir/queue_depth.metrics.j4.json"
+
+echo "done; open the *.trace.json files in https://ui.perfetto.dev"

@@ -37,12 +37,35 @@ void Log::set_sink(Sink sink) {
   sink_storage() = std::move(sink);
 }
 
+namespace {
+thread_local std::string t_tag;
+}  // namespace
+
+void Log::set_thread_tag(std::string tag) { t_tag = std::move(tag); }
+
+const std::string& Log::thread_tag() { return t_tag; }
+
 void Log::write(LogLevel level, std::string_view msg) {
   if (!enabled(level)) return;
-  const std::lock_guard<std::mutex> lock(g_sink_mutex);
-  if (sink_storage()) {
-    sink_storage()(level, msg);
+  std::string tagged;
+  if (!t_tag.empty()) {
+    tagged.reserve(t_tag.size() + msg.size() + 3);
+    tagged.append("[").append(t_tag).append("] ").append(msg);
+    msg = tagged;
+  }
+  // Snapshot the sink, then call it unlocked: a sink may itself log or
+  // swap the sink without deadlocking, and slow sinks don't serialize
+  // unrelated threads beyond the copy.
+  Sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = sink_storage();
+  }
+  if (sink) {
+    sink(level, msg);
   } else {
+    // stderr writes stay serialized so interleaved shard lines don't shear.
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
     std::cerr << "[" << level_name(level) << "] " << msg << "\n";
   }
 }

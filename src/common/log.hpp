@@ -15,6 +15,11 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 
 /// Process-wide logging configuration. Intentionally the only mutable
 /// global in the library; defaults to Warn on stderr.
+///
+/// Thread safety: set_sink/write may race freely — write snapshots the sink
+/// under a mutex and invokes it outside the lock, so a sink that logs (or
+/// installs another sink) cannot deadlock. Parallel experiment shards call
+/// set_thread_tag("w<i>") so interleaved lines stay attributable.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
@@ -23,6 +28,11 @@ class Log {
   [[nodiscard]] static LogLevel level();
   static void set_sink(Sink sink);
   static void write(LogLevel level, std::string_view msg);
+
+  /// Tags every message written by the calling thread with "[tag] ".
+  /// Empty clears the tag. Thread-local; typically set once per worker.
+  static void set_thread_tag(std::string tag);
+  [[nodiscard]] static const std::string& thread_tag();
 
   [[nodiscard]] static bool enabled(LogLevel level) { return level >= Log::level(); }
 };

@@ -82,15 +82,26 @@ double Histogram::quantile(double q) const {
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
+    // Empty buckets never satisfy a quantile: q=0 should land in the first
+    // occupied bucket, not at the histogram's lower bound.
+    if (counts_[i] == 0) continue;
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {
-      const double frac =
-          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
       return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
     }
     cum = next;
   }
   return hi_;
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  return true;
 }
 
 RunningStats TimeSeries::stats_between(TimePoint from, TimePoint to) const {

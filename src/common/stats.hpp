@@ -58,6 +58,11 @@ class Histogram {
   /// Linear-interpolated quantile in [0, 1]; 0 when empty.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Merges another histogram with identical bounds and bucket count
+  /// (bucket-wise sum). Returns false (and leaves this unchanged) on a
+  /// layout mismatch.
+  bool merge(const Histogram& other);
+
  private:
   double lo_;
   double hi_;

@@ -41,21 +41,48 @@ ExperimentOptions parse_experiment_options(int& argc, char** argv) {
     const char* arg = argv[i];
     const char* value = nullptr;
     bool value_in_next = false;
+    std::string* path_target = nullptr;
     if (std::strncmp(arg, "--jobs=", 7) == 0) {
       value = arg + 7;
     } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
       value_in_next = true;
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
       value = arg + 2;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      value = arg + 8;
+      path_target = &opts.trace_path;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      value_in_next = true;
+      path_target = &opts.trace_path;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      value = arg + 10;
+      path_target = &opts.metrics_path;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      value_in_next = true;
+      path_target = &opts.metrics_path;
     } else {
       argv[out++] = argv[i];
       continue;
     }
     if (value_in_next) {
-      if (i + 1 >= argc) jobs_usage_error(arg);
+      if (i + 1 >= argc) {
+        if (path_target != nullptr) {
+          std::fprintf(stderr, "missing file argument after %s\n", arg);
+          std::exit(2);
+        }
+        jobs_usage_error(arg);
+      }
       value = argv[++i];
     }
-    if (!parse_jobs_value(value, opts.jobs)) jobs_usage_error(value);
+    if (path_target != nullptr) {
+      if (value == nullptr || *value == '\0') {
+        std::fprintf(stderr, "missing file argument after %s\n", arg);
+        std::exit(2);
+      }
+      *path_target = value;
+    } else if (!parse_jobs_value(value, opts.jobs)) {
+      jobs_usage_error(value);
+    }
   }
   argc = out;
   argv[argc] = nullptr;

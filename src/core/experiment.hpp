@@ -34,11 +34,18 @@ struct ExperimentOptions {
   unsigned jobs = 1;
   /// Print one '.' to stderr as each trial finishes (multi-trial runs only).
   bool progress = true;
+  /// Non-empty: drivers that support tracing write a Chrome trace-event
+  /// JSON (load in Perfetto / chrome://tracing) of an instrumented trial.
+  std::string trace_path;
+  /// Non-empty: drivers that support metrics write the per-trial + merged
+  /// metrics sidecar JSON here.
+  std::string metrics_path;
 };
 
-/// Parses and strips `--jobs N`, `--jobs=N`, `-jN` and `-j N` from an
-/// argv-style array (argc is updated). Unrecognised arguments are left in
-/// place; an unparsable jobs value prints an error and exits.
+/// Parses and strips `--jobs N`, `--jobs=N`, `-jN`, `-j N`,
+/// `--trace FILE`, `--trace=FILE`, `--metrics FILE` and `--metrics=FILE`
+/// from an argv-style array (argc is updated). Unrecognised arguments are
+/// left in place; an unparsable value prints an error and exits.
 ExperimentOptions parse_experiment_options(int& argc, char** argv);
 
 /// Decorrelates a per-trial seed from an experiment base seed and a trial

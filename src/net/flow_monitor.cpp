@@ -1,5 +1,8 @@
 #include "net/flow_monitor.hpp"
 
+#include <cmath>
+#include <string>
+
 namespace aqm::net {
 
 FlowMonitor::FlowMonitor(Network& net, NodeId node) : net_(net) {
@@ -7,8 +10,17 @@ FlowMonitor::FlowMonitor(Network& net, NodeId node) : net_(net) {
     auto& f = flows_[p.flow];
     ++f.count;
     f.bytes += p.size_bytes;
+    const double arrival_ms = net_.engine().now().seconds() * 1e3;
     const Duration latency = net_.engine().now() - p.sent_at;
-    f.latency_ms.add(net_.engine().now(), latency.millis());
+    const double transit_ms = latency.millis();
+    f.latency_ms.add(net_.engine().now(), transit_ms);
+    if (f.seen) {
+      f.interarrival_ms.add(arrival_ms - f.last_arrival_ms);
+      const double d = std::abs(transit_ms - f.last_transit_ms);
+      f.jitter_ms += (d - f.jitter_ms) / 16.0;
+    }
+    f.last_arrival_ms = arrival_ms;
+    f.last_transit_ms = transit_ms;
     if (f.seen && p.seq > f.next_seq) f.gaps += p.seq - f.next_seq;
     f.next_seq = p.seq + 1;
     f.seen = true;
@@ -34,6 +46,32 @@ std::uint64_t FlowMonitor::received_bytes(FlowId flow) const {
 std::uint64_t FlowMonitor::sequence_gaps(FlowId flow) const {
   const auto it = flows_.find(flow);
   return it == flows_.end() ? 0 : it->second.gaps;
+}
+
+std::uint64_t FlowMonitor::dropped(FlowId flow) const { return net_.flow(flow).dropped; }
+
+const RunningStats& FlowMonitor::interarrival_ms(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? empty_stats_ : it->second.interarrival_ms;
+}
+
+double FlowMonitor::jitter_ms(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0.0 : it->second.jitter_ms;
+}
+
+void FlowMonitor::export_metrics(obs::MetricsRegistry& reg,
+                                 std::string_view prefix) const {
+  for (const auto& [flow, f] : flows_) {
+    const std::string p = std::string(prefix) + ".flow" + std::to_string(flow);
+    reg.counter(p + ".received").set(f.count);
+    reg.counter(p + ".received_bytes").set(f.bytes);
+    reg.counter(p + ".sequence_gaps").set(f.gaps);
+    reg.counter(p + ".dropped").set(net_.flow(flow).dropped);
+    reg.gauge(p + ".jitter_ms").set(f.jitter_ms);
+    reg.stats(p + ".latency_ms").merge(f.latency_ms.stats());
+    reg.stats(p + ".interarrival_ms").merge(f.interarrival_ms);
+  }
 }
 
 void FlowMonitor::clear() { flows_.clear(); }

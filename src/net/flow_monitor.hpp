@@ -1,12 +1,20 @@
 // Receiver-side measurement: per-flow latency series and delivery counts.
 // Installs itself as the node's receiver; an optional downstream callback
 // lets application code still observe the packets.
+//
+// Besides latency, the monitor maintains the receiver-side quality signals
+// the paper's streaming experiments care about: inter-arrival statistics,
+// an RFC 3550-style smoothed jitter estimate, and (via the Network's
+// per-flow counters) drops. export_metrics() dumps everything into a
+// MetricsRegistry for the per-trial JSON sidecar.
 #pragma once
 
 #include <map>
+#include <string_view>
 
 #include "common/stats.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace aqm::net {
 
@@ -22,23 +30,40 @@ class FlowMonitor {
   [[nodiscard]] std::uint64_t received_bytes(FlowId flow) const;
   /// Gaps observed in the flow's sequence numbers (arrival-order estimate).
   [[nodiscard]] std::uint64_t sequence_gaps(FlowId flow) const;
+  /// Network-wide drops for the flow (queue/AQM discards at any hop).
+  [[nodiscard]] std::uint64_t dropped(FlowId flow) const;
+  /// Inter-arrival gap statistics (ms) between consecutive packets.
+  [[nodiscard]] const RunningStats& interarrival_ms(FlowId flow) const;
+  /// RFC 3550 §6.4.1 smoothed inter-arrival jitter estimate (ms):
+  /// J += (|D| - J) / 16, where D is the transit-time delta between
+  /// consecutive packets. 0 until two packets have arrived.
+  [[nodiscard]] double jitter_ms(FlowId flow) const;
+
+  /// Dumps per-flow counters and stats into a registry as
+  /// "<prefix>.flow<id>.received", ".dropped", ".latency_ms", etc.
+  void export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const;
 
   void clear();
 
  private:
   struct PerFlow {
     TimeSeries latency_ms;
+    RunningStats interarrival_ms;
     std::uint64_t count = 0;
     std::uint64_t bytes = 0;
     std::uint64_t gaps = 0;
     std::uint64_t next_seq = 0;
     bool seen = false;
+    double jitter_ms = 0.0;
+    double last_arrival_ms = 0.0;
+    double last_transit_ms = 0.0;
   };
 
   Network& net_;
   std::map<FlowId, PerFlow> flows_;
   Network::ReceiverFn downstream_;
   TimeSeries empty_series_;
+  RunningStats empty_stats_;
 };
 
 }  // namespace aqm::net

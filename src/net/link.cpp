@@ -25,11 +25,44 @@ Duration Link::transmission_time(std::uint32_t bytes) const {
   return Duration{static_cast<std::int64_t>(std::ceil(s * 1e9))};
 }
 
+obs::TraceRecorder* Link::net_tracer() {
+  obs::TraceRecorder* tr = engine_.tracer_for(obs::TraceCategory::Net);
+  if (tr != nullptr && trace_bound_ != tr) {
+    // First use (or recorder/name changed): bind this link's lane and hand
+    // the queue discipline the same lane for its internal decisions.
+    if (trace_name_.empty()) {
+      trace_name_ = "link:" + std::to_string(from_) + "->" + std::to_string(to_);
+    }
+    trace_track_ = tr->track(trace_name_);
+    qlen_name_ = tr->intern("qlen " + trace_name_);
+    queue_->set_tracer(tr, trace_track_);
+    trace_bound_ = tr;
+  }
+  return tr;
+}
+
+void Link::trace_qlen(obs::TraceRecorder* tr, TimePoint t) {
+  tr->counter(obs::TraceCategory::Net, qlen_name_, trace_track_, t,
+              static_cast<double>(queue_->packets()));
+}
+
 void Link::send(Packet p) {
+  obs::TraceRecorder* tr = net_tracer();
+  const std::uint64_t trace_id = p.trace;
+  const double flow = static_cast<double>(p.flow);
   if (!config_.coalesced_events) {
     if (auto rejected = queue_->enqueue(std::move(p), engine_.now())) {
+      if (tr != nullptr) {
+        tr->instant(obs::TraceCategory::Net, "drop", trace_track_, engine_.now(),
+                    rejected->trace, {{"flow", flow}});
+      }
       if (on_drop_) on_drop_(*rejected);
       return;
+    }
+    if (tr != nullptr) {
+      tr->instant(obs::TraceCategory::Net, "enqueue", trace_track_, engine_.now(),
+                  trace_id, {{"flow", flow}});
+      trace_qlen(tr, engine_.now());
     }
     if (!busy_) legacy_try_transmit();
     return;
@@ -40,8 +73,17 @@ void Link::send(Packet p) {
   // end-of-serialization event (which fired at avail_at_) did.
   pump();
   if (auto rejected = queue_->enqueue(std::move(p), engine_.now())) {
+    if (tr != nullptr) {
+      tr->instant(obs::TraceCategory::Net, "drop", trace_track_, engine_.now(),
+                  rejected->trace, {{"flow", flow}});
+    }
     if (on_drop_) on_drop_(*rejected);
     return;
+  }
+  if (tr != nullptr) {
+    tr->instant(obs::TraceCategory::Net, "enqueue", trace_track_, engine_.now(),
+                trace_id, {{"flow", flow}});
+    trace_qlen(tr, engine_.now());
   }
   // decision_pending_ false implies the transmitter is idle (any committed
   // transmission ending in the future keeps its decision pending), so the
@@ -106,6 +148,12 @@ void Link::start_tx(Packet p, TimePoint t) {
   tx_bytes_ += p.size_bytes;
   avail_at_ = t + tx;
   decision_pending_ = true;
+  if (obs::TraceRecorder* tr = net_tracer()) {
+    tr->complete(obs::TraceCategory::Net, "tx", trace_track_, t, tx, p.trace,
+                 {{"bytes", static_cast<double>(p.size_bytes)},
+                  {"flow", static_cast<double>(p.flow)}});
+    trace_qlen(tr, t);
+  }
   // The loss draw moves from the end of serialization to its commit; draws
   // still happen exactly once per transmission in transmission order, so
   // the (seed, packet) mapping matches the legacy sequence bit for bit.
@@ -114,12 +162,20 @@ void Link::start_tx(Packet p, TimePoint t) {
     // now (the drop hook only feeds counters, never timing).
     engine_.at(std::max(avail_at_, engine_.now()), [this, p = std::move(p)]() mutable {
       ++corrupted_;
+      if (obs::TraceRecorder* tr = net_tracer()) {
+        tr->instant(obs::TraceCategory::Net, "corrupt", trace_track_, engine_.now(),
+                    p.trace, {{"flow", static_cast<double>(p.flow)}});
+      }
       if (on_drop_) on_drop_(p);
       pump();
     });
   } else {
     engine_.at(avail_at_ + config_.propagation, [this, p = std::move(p)]() mutable {
       pump();
+      if (obs::TraceRecorder* tr = net_tracer()) {
+        tr->instant(obs::TraceCategory::Net, "deliver", trace_track_, engine_.now(),
+                    p.trace, {{"flow", static_cast<double>(p.flow)}});
+      }
       if (deliver_) deliver_(std::move(p));
     });
   }
@@ -150,6 +206,12 @@ void Link::legacy_try_transmit() {
   busy_ns_ += tx.ns();
   ++tx_packets_;
   tx_bytes_ += next->size_bytes;
+  if (obs::TraceRecorder* tr = net_tracer()) {
+    tr->complete(obs::TraceCategory::Net, "tx", trace_track_, engine_.now(), tx,
+                 next->trace, {{"bytes", static_cast<double>(next->size_bytes)},
+                               {"flow", static_cast<double>(next->flow)}});
+    trace_qlen(tr, engine_.now());
+  }
 
   // Store-and-forward: the head of the packet leaves now; the receiver has
   // it fully after transmission + propagation.
@@ -159,9 +221,17 @@ void Link::legacy_try_transmit() {
     // transmitter but never arrives intact.
     if (config_.loss_probability > 0.0 && loss_rng_.bernoulli(config_.loss_probability)) {
       ++corrupted_;
+      if (obs::TraceRecorder* tr = net_tracer()) {
+        tr->instant(obs::TraceCategory::Net, "corrupt", trace_track_, engine_.now(),
+                    p.trace, {{"flow", static_cast<double>(p.flow)}});
+      }
       if (on_drop_) on_drop_(p);
     } else {
       engine_.after(config_.propagation, [this, p = std::move(p)]() mutable {
+        if (obs::TraceRecorder* tr = net_tracer()) {
+          tr->instant(obs::TraceCategory::Net, "deliver", trace_track_, engine_.now(),
+                      p.trace, {{"flow", static_cast<double>(p.flow)}});
+        }
         if (deliver_) deliver_(std::move(p));
       });
     }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -73,6 +74,15 @@ class Link {
   /// Serialization time of a packet of the given size on this link.
   [[nodiscard]] Duration transmission_time(std::uint32_t bytes) const;
 
+  /// Observability: label for this link's trace lane (set by the Network
+  /// with node names; defaults to numeric ids). The engine's recorder is
+  /// resolved lazily at each instrumentation point, so a tracer attached
+  /// after topology construction still sees every hop.
+  void set_trace_name(std::string name) {
+    trace_name_ = std::move(name);
+    trace_bound_ = nullptr;  // re-resolve lane under the new name
+  }
+
   [[nodiscard]] std::uint64_t packets_transmitted() const { return tx_packets_; }
   [[nodiscard]] std::uint64_t bytes_transmitted() const { return tx_bytes_; }
   /// Fraction of elapsed time the transmitter has been busy.
@@ -87,6 +97,10 @@ class Link {
   void start_tx(Packet p, TimePoint t);
   // --- legacy path ---
   void legacy_try_transmit();
+  // --- observability ---
+  /// Engine recorder iff net tracing is on; binds the lane on first use.
+  [[nodiscard]] obs::TraceRecorder* net_tracer();
+  void trace_qlen(obs::TraceRecorder* tr, TimePoint t);
 
   sim::Engine& engine_;
   NodeId from_;
@@ -108,6 +122,11 @@ class Link {
   std::uint64_t corrupted_ = 0;
   std::int64_t busy_ns_ = 0;
   Rng loss_rng_;
+
+  std::string trace_name_;
+  obs::TraceRecorder* trace_bound_ = nullptr;  // recorder the lane is bound to
+  std::uint16_t trace_track_ = 0;
+  const char* qlen_name_ = nullptr;  // interned "qlen <link>" counter label
 };
 
 }  // namespace aqm::net

@@ -27,6 +27,7 @@ Link& Network::add_link(NodeId from, NodeId to, LinkConfig config,
   if (!queue) queue = default_queue();
   auto link = std::make_unique<Link>(engine_, from, to, config, std::move(queue));
   Link& ref = *link;
+  ref.set_trace_name("link:" + node_name(from) + "->" + node_name(to));
   ref.set_delivery([this, to](Packet&& p) { deliver_local(to, std::move(p)); });
   ref.set_drop_hook([this](const Packet& p) { on_drop(p); });
   links_[{from, to}] = std::move(link);
@@ -193,6 +194,19 @@ std::vector<NodeId> Network::path(NodeId from, NodeId dst) const {
 const FlowCounters& Network::flow(FlowId id) const {
   const auto it = flows_.find(id);
   return it == flows_.end() ? no_counters_ : it->second;
+}
+
+void Network::export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const {
+  const std::string p(prefix);
+  const auto emit = [&reg](const std::string& base, const FlowCounters& c) {
+    reg.counter(base + ".sent").set(c.sent);
+    reg.counter(base + ".delivered").set(c.delivered);
+    reg.counter(base + ".dropped").set(c.dropped);
+    reg.counter(base + ".sent_bytes").set(c.sent_bytes);
+    reg.counter(base + ".delivered_bytes").set(c.delivered_bytes);
+  };
+  emit(p + ".total", totals_);
+  for (const auto& [id, c] : flows_) emit(p + ".flow" + std::to_string(id), c);
 }
 
 }  // namespace aqm::net

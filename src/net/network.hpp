@@ -22,6 +22,7 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/queue.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace aqm::net {
@@ -82,6 +83,10 @@ class Network {
 
   [[nodiscard]] const FlowCounters& flow(FlowId id) const;
   [[nodiscard]] const FlowCounters& totals() const { return totals_; }
+
+  /// Dumps totals and per-flow delivery counters into a registry as
+  /// "<prefix>.total.sent", "<prefix>.flow<id>.dropped", etc.
+  void export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const;
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
 

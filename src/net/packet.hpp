@@ -45,6 +45,7 @@ struct Packet {
   FlowId flow = kNoFlow;
   std::uint64_t seq = 0;       // per-flow sequence number, set by the sender
   TimePoint sent_at{};         // stamped by Network::send
+  std::uint64_t trace = 0;     // causal trace id (0 = untraced); see obs/trace.hpp
   PacketKind kind = PacketKind::Data;
   PacketPayload payload;       // opaque application payload (e.g. GIOP fragment)
 };

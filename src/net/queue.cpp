@@ -159,6 +159,12 @@ std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
         it->second.q.push_back(std::move(p));
         return std::nullopt;
       }
+      // Non-conforming: demoted to best effort below.
+      if (obs::TraceRecorder* tr = tracer()) {
+        tr->instant(obs::TraceCategory::Net, "intserv.demote", trace_track(), now,
+                    p.trace, {{"flow", static_cast<double>(p.flow)},
+                              {"bytes", static_cast<double>(p.size_bytes)}});
+      }
     } else {
       // Shaping: a packet larger than the bucket depth could never conform
       // and would wedge the flow queue; treat it as non-conformable.

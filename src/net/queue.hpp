@@ -20,6 +20,7 @@
 #include "net/dscp.hpp"
 #include "net/packet.hpp"
 #include "net/token_bucket.hpp"
+#include "obs/trace.hpp"
 
 namespace aqm::net {
 
@@ -55,7 +56,23 @@ class Queue {
 
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
+  /// Observability wiring (done by the owning Link): lets disciplines with
+  /// internal decisions (RED marks/early drops, IntServ policing) record
+  /// instants on the link's trace lane. The discipline itself stays free of
+  /// any engine dependency — it only ever sees the recorder pointer.
+  void set_tracer(obs::TraceRecorder* tracer, std::uint16_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
  protected:
+  /// Non-null iff a recorder is attached and wants net events.
+  [[nodiscard]] obs::TraceRecorder* tracer() const {
+    return tracer_ != nullptr && tracer_->wants(obs::TraceCategory::Net) ? tracer_
+                                                                         : nullptr;
+  }
+  [[nodiscard]] std::uint16_t trace_track() const { return trace_track_; }
+
   void count_enqueue(const Packet& p) {
     ++stats_.enqueued;
     stats_.enqueued_bytes += p.size_bytes;
@@ -68,6 +85,8 @@ class Queue {
 
  private:
   QueueStats stats_;
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::uint16_t trace_track_ = 0;
 };
 
 /// Plain FIFO with a packet-count capacity.

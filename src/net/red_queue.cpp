@@ -34,7 +34,7 @@ bool RedQueue::congestion_signal() {
   return false;
 }
 
-std::optional<Packet> RedQueue::enqueue(Packet p, TimePoint /*now*/) {
+std::optional<Packet> RedQueue::enqueue(Packet p, TimePoint now) {
   avg_ = (1.0 - config_.weight) * avg_ +
          config_.weight * static_cast<double>(q_.size());
 
@@ -47,8 +47,16 @@ std::optional<Packet> RedQueue::enqueue(Packet p, TimePoint /*now*/) {
       p.ecn = Ecn::CongestionExperienced;
       ++marked_;
       // marked packets are still enqueued
+      if (obs::TraceRecorder* tr = tracer()) {
+        tr->instant(obs::TraceCategory::Net, "red.mark", trace_track(), now, p.trace,
+                    {{"avg", avg_}, {"flow", static_cast<double>(p.flow)}});
+      }
     } else {
       ++early_dropped_;
+      if (obs::TraceRecorder* tr = tracer()) {
+        tr->instant(obs::TraceCategory::Net, "red.early_drop", trace_track(), now,
+                    p.trace, {{"avg", avg_}, {"flow", static_cast<double>(p.flow)}});
+      }
       count_drop(p);
       return p;
     }

@@ -118,12 +118,25 @@ Status<std::string> RsvpAgent::install_on_link(NodeId neighbor, FlowId flow,
   const double budget = link->config().bandwidth_bps * link->config().reservable_fraction;
   // On a modify, the flow's old rate is replaced rather than added.
   const double already = q->reserved_rate_bps() - q->flow_rate_bps(flow);
+  obs::TraceRecorder* tr = net_.engine().tracer_for(obs::TraceCategory::Net);
   if (already + spec.rate_bps > budget) {
+    if (tr != nullptr) {
+      tr->instant(obs::TraceCategory::Net, "rsvp.reject",
+                  tr->track("rsvp:" + net_.node_name(node_)), net_.engine().now(),
+                  tr->current(),
+                  {{"flow", static_cast<double>(flow)}, {"rate_bps", spec.rate_bps}});
+    }
     return Status<std::string>::err("admission denied on link " +
                                     net_.node_name(node_) + "->" +
                                     net_.node_name(neighbor));
   }
   q->install_reservation(flow, spec.rate_bps, spec.bucket_bytes, net_.engine().now());
+  if (tr != nullptr) {
+    tr->instant(obs::TraceCategory::Net, "rsvp.admit",
+                tr->track("rsvp:" + net_.node_name(node_)), net_.engine().now(),
+                tr->current(),
+                {{"flow", static_cast<double>(flow)}, {"rate_bps", spec.rate_bps}});
+  }
   return {};
 }
 

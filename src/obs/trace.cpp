@@ -1,0 +1,192 @@
+#include "obs/trace.hpp"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace aqm::obs {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::Engine: return "engine";
+    case TraceCategory::Net: return "net";
+    case TraceCategory::Orb: return "orb";
+    case TraceCategory::Os: return "os";
+    case TraceCategory::Quo: return "quo";
+    case TraceCategory::App: return "app";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::uint32_t categories) : categories_(categories) {}
+
+std::uint16_t TraceRecorder::track(std::string_view name) {
+  const auto it = track_index_.find(name);
+  if (it != track_index_.end()) return it->second;
+  assert(track_names_.size() < 0xffff && "track id space exhausted");
+  const auto idx = static_cast<std::uint16_t>(track_names_.size());
+  track_names_.emplace_back(name);
+  track_index_.emplace(std::string(name), idx);
+  return idx;
+}
+
+const char* TraceRecorder::intern(std::string_view s) {
+  const auto it = intern_index_.find(s);
+  if (it != intern_index_.end()) return it->second;
+  interned_.push_back(std::make_unique<std::string>(s));
+  const char* p = interned_.back()->c_str();
+  intern_index_.emplace(std::string(s), p);
+  return p;
+}
+
+void TraceRecorder::push(TraceCategory cat, TracePhase phase, const char* name,
+                         std::uint16_t track, std::int64_t ts_ns, std::int64_t dur_ns,
+                         std::uint64_t id, std::initializer_list<TraceArg> args) {
+  if (!wants(cat)) return;
+  if (chunks_.empty() || chunks_[active_]->n == kChunkEvents) {
+    if (!chunks_.empty() && active_ + 1 < chunks_.size()) {
+      ++active_;  // recycled chunk from a previous clear()
+    } else {
+      chunks_.push_back(std::make_unique<Chunk>());
+      active_ = chunks_.size() - 1;
+    }
+  }
+  Chunk& c = *chunks_[active_];
+  TraceEvent& e = c.ev[c.n++];
+  ++total_;
+  e.name = name;
+  e.phase = phase;
+  e.track = track;
+  e.cat = cat;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.id = id;
+  e.argc = 0;
+  for (const TraceArg& a : args) {
+    if (e.argc == e.args.size()) break;
+    e.args[e.argc++] = a;
+  }
+}
+
+void TraceRecorder::clear() {
+  for (auto& chunk : chunks_) chunk->n = 0;
+  active_ = 0;
+  total_ = 0;
+  current_ = 0;
+}
+
+namespace {
+
+/// JSON-escapes into `out` (names/labels are ASCII identifiers in
+/// practice, but stay safe on arbitrary input).
+void escape(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+const char* phase_code(TracePhase p) {
+  switch (p) {
+    case TracePhase::Complete: return "X";
+    case TracePhase::Instant: return "i";
+    case TracePhase::AsyncBegin: return "b";
+    case TracePhase::AsyncEnd: return "e";
+    case TracePhase::Counter: return "C";
+  }
+  return "i";
+}
+
+/// Chrome timestamps are microseconds; emit with nanosecond precision.
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  std::string line;
+  line.reserve(256);
+  os << "{\"traceEvents\":[\n";
+  os << R"({"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"aqm-sim"}})";
+  for (std::size_t t = 0; t < track_names_.size(); ++t) {
+    line.clear();
+    line += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    line += std::to_string(t);
+    line += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    escape(line, track_names_[t]);
+    line += "\"}}";
+    os << line;
+  }
+  for_each([&](const TraceEvent& e) {
+    line.clear();
+    line += ",\n{\"ph\":\"";
+    line += phase_code(e.phase);
+    line += "\",\"pid\":1,\"tid\":";
+    line += std::to_string(e.track);
+    line += ",\"ts\":";
+    append_us(line, e.ts_ns);
+    if (e.phase == TracePhase::Complete) {
+      line += ",\"dur\":";
+      append_us(line, e.dur_ns);
+    }
+    line += ",\"cat\":\"";
+    line += to_string(e.cat);
+    line += "\",\"name\":\"";
+    escape(line, e.name != nullptr ? e.name : "?");
+    line += "\"";
+    if (e.phase == TracePhase::Instant) line += ",\"s\":\"t\"";
+    if (e.id != 0 || e.phase == TracePhase::AsyncBegin || e.phase == TracePhase::AsyncEnd) {
+      line += ",\"id\":\"";
+      line += std::to_string(e.id);
+      line += "\"";
+    }
+    if (e.argc > 0) {
+      line += ",\"args\":{";
+      for (std::uint8_t i = 0; i < e.argc; ++i) {
+        if (i > 0) line += ",";
+        line += "\"";
+        escape(line, e.args[i].key);
+        line += "\":";
+        append_double(line, e.args[i].value);
+      }
+      line += "}";
+    }
+    line += "}";
+    os << line;
+  });
+  os << "\n]}\n";
+}
+
+bool TraceRecorder::write_chrome_json_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_chrome_json(os);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace aqm::obs

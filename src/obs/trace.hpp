@@ -1,0 +1,205 @@
+// Causal tracing for the simulation: a pooled recorder of spans and
+// instant events stamped with simulation time, exported as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Design constraints, in order:
+//  * ~Free when disabled. Every instrumentation point is guarded by a
+//    single pointer test (Engine::tracer_for returns nullptr unless a
+//    recorder is attached AND wants the category), and the whole layer
+//    compiles out with -DAQM_OBS_ENABLED=0.
+//  * Allocation-free steady state when enabled. Events are 64-byte PODs
+//    appended into recycled fixed-size chunks; names are `const char*`
+//    (string literals or strings interned once per distinct label).
+//  * Deterministic. Trace ids come from a per-recorder counter, tracks
+//    from first-registration order, so the same trial produces the same
+//    trace bytes on every run.
+//
+// Causality model: an end-to-end request allocates one trace id. The ORB
+// propagates it in a GIOP service context (next to the RT-CORBA priority
+// context, exactly how the paper propagates priority end-to-end) and
+// stamps it on every network packet the request fragments into. Each
+// layer records its events with that id, so Perfetto groups the client
+// send, per-hop enqueue/dequeue/drop, server dispatch and downstream QuO
+// reaction into one async track.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+#ifndef AQM_OBS_ENABLED
+#define AQM_OBS_ENABLED 1
+#endif
+
+namespace aqm::obs {
+
+/// Bitmask categories; one bit per instrumented layer.
+enum class TraceCategory : std::uint32_t {
+  Engine = 1u << 0,  // sim::Engine event dispatch
+  Net = 1u << 1,     // links, queues, RED, token buckets, RSVP
+  Orb = 1u << 2,     // request send/dispatch/reply, marshal, transport
+  Os = 1u << 3,      // CPU reserves, priority changes
+  Quo = 1u << 4,     // contract region transitions, syscond updates
+  App = 1u << 5,     // driver/example-level annotations
+};
+inline constexpr std::uint32_t kAllCategories = 0xffffffffu;
+/// Everything except the (very chatty) per-event engine dispatch lane.
+inline constexpr std::uint32_t kDefaultCategories =
+    kAllCategories & ~static_cast<std::uint32_t>(TraceCategory::Engine);
+
+[[nodiscard]] const char* to_string(TraceCategory c);
+
+enum class TracePhase : std::uint8_t {
+  Complete,    // "X": span with explicit duration
+  Instant,     // "i"
+  AsyncBegin,  // "b": nestable async span, correlated by (category, id)
+  AsyncEnd,    // "e"
+  Counter,     // "C": sampled value, rendered as a track graph
+};
+
+/// Numeric key/value attached to an event. Keys are static or interned
+/// strings; values are doubles (counters, queue depths, rates, ids).
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+struct TraceEvent {
+  const char* name = nullptr;  // static or interned; never owned here
+  TracePhase phase = TracePhase::Instant;
+  std::uint8_t argc = 0;
+  std::uint16_t track = 0;  // lane index (Chrome "tid"), see TraceRecorder::track
+  TraceCategory cat = TraceCategory::Engine;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;  // Complete only
+  std::uint64_t id = 0;     // correlation id (0 = none)
+  std::array<TraceArg, 2> args{};
+};
+
+/// Records trace events into pooled chunk storage. Single-threaded, like
+/// the engine it observes; one recorder per trial keeps shard-parallel
+/// sweeps trivially race-free.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::uint32_t categories = kDefaultCategories);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // --- configuration --------------------------------------------------------
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_categories(std::uint32_t mask) { categories_ = mask; }
+  [[nodiscard]] std::uint32_t categories() const { return categories_; }
+  [[nodiscard]] bool wants(TraceCategory c) const {
+    return enabled_ && (categories_ & static_cast<std::uint32_t>(c)) != 0;
+  }
+
+  // --- identity -------------------------------------------------------------
+
+  /// Allocates a fresh correlation id (per-recorder monotonic counter).
+  [[nodiscard]] std::uint64_t next_id() { return ++last_id_; }
+
+  /// Ambient causal context: the trace id of the request currently being
+  /// processed (set around servant dispatch), so downstream effects that
+  /// fire synchronously — QuO contract transitions, syscond updates —
+  /// chain to their cause without plumbing an id through every signature.
+  void set_current(std::uint64_t id) { current_ = id; }
+  [[nodiscard]] std::uint64_t current() const { return current_; }
+
+  /// Returns a stable lane index for a named track (Chrome "tid"). The
+  /// same name always maps to the same index within one recorder.
+  [[nodiscard]] std::uint16_t track(std::string_view name);
+
+  /// Interns a dynamic string, returning a pointer that stays valid for
+  /// the recorder's lifetime. Cold path: intended for labels built once
+  /// (operation names, contract transitions), not per-event text.
+  [[nodiscard]] const char* intern(std::string_view s);
+
+  // --- recording ------------------------------------------------------------
+  // Callers are expected to have checked wants(cat) already (the macros /
+  // Engine::tracer_for pattern does); these still no-op when disabled so
+  // misuse cannot crash.
+
+  void instant(TraceCategory cat, const char* name, std::uint16_t track, TimePoint t,
+               std::uint64_t id = 0, std::initializer_list<TraceArg> args = {}) {
+    push(cat, TracePhase::Instant, name, track, t.ns(), 0, id, args);
+  }
+  void complete(TraceCategory cat, const char* name, std::uint16_t track, TimePoint start,
+                Duration dur, std::uint64_t id = 0,
+                std::initializer_list<TraceArg> args = {}) {
+    push(cat, TracePhase::Complete, name, track, start.ns(), dur.ns(), id, args);
+  }
+  void async_begin(TraceCategory cat, const char* name, std::uint16_t track, TimePoint t,
+                   std::uint64_t id, std::initializer_list<TraceArg> args = {}) {
+    push(cat, TracePhase::AsyncBegin, name, track, t.ns(), 0, id, args);
+  }
+  void async_end(TraceCategory cat, const char* name, std::uint16_t track, TimePoint t,
+                 std::uint64_t id, std::initializer_list<TraceArg> args = {}) {
+    push(cat, TracePhase::AsyncEnd, name, track, t.ns(), 0, id, args);
+  }
+  void counter(TraceCategory cat, const char* name, std::uint16_t track, TimePoint t,
+               double value) {
+    push(cat, TracePhase::Counter, name, track, t.ns(), 0, 0, {{"value", value}});
+  }
+
+  // --- inspection / export --------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] std::size_t track_count() const { return track_names_.size(); }
+
+  /// Invokes fn(const TraceEvent&) over all events in record order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& chunk : chunks_) {
+      for (std::size_t i = 0; i < chunk->n; ++i) fn(chunk->ev[i]);
+    }
+  }
+
+  /// Drops all events but keeps chunk storage, track registry and interned
+  /// strings, so a reused recorder stays allocation-free.
+  void clear();
+
+  /// Writes the whole trace as Chrome trace-event JSON ({"traceEvents":
+  /// [...]}) with process/thread metadata naming the tracks.
+  void write_chrome_json(std::ostream& os) const;
+  /// Convenience: write_chrome_json to a file; false on I/O failure.
+  bool write_chrome_json_file(const std::string& path) const;
+
+ private:
+  static constexpr std::size_t kChunkEvents = 2048;
+  struct Chunk {
+    std::size_t n = 0;
+    std::array<TraceEvent, kChunkEvents> ev;
+  };
+
+  void push(TraceCategory cat, TracePhase phase, const char* name, std::uint16_t track,
+            std::int64_t ts_ns, std::int64_t dur_ns, std::uint64_t id,
+            std::initializer_list<TraceArg> args);
+
+  bool enabled_ = true;
+  std::uint32_t categories_ = kDefaultCategories;
+  std::uint64_t last_id_ = 0;
+  std::uint64_t current_ = 0;
+  std::size_t total_ = 0;
+  std::size_t active_ = 0;  // chunk currently being filled
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::string> track_names_;
+  std::map<std::string, std::uint16_t, std::less<>> track_index_;
+  // Interned strings held by unique_ptr so c_str() pointers stay stable
+  // while the vector grows.
+  std::vector<std::unique_ptr<std::string>> interned_;
+  std::map<std::string, const char*, std::less<>> intern_index_;
+};
+
+}  // namespace aqm::obs

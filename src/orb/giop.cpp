@@ -159,4 +159,19 @@ std::optional<TimePoint> find_timestamp(const std::vector<ServiceContext>& conte
   return std::nullopt;
 }
 
+ServiceContext make_trace_context(std::uint64_t trace_id) {
+  CdrWriter w;
+  w.write_u64(trace_id);
+  return ServiceContext{kTraceContextId, w.take()};
+}
+
+std::optional<std::uint64_t> find_trace(const std::vector<ServiceContext>& contexts) {
+  for (const auto& c : contexts) {
+    if (c.id != kTraceContextId) continue;
+    CdrReader r(c.data);
+    return r.read_u64();
+  }
+  return std::nullopt;
+}
+
 }  // namespace aqm::orb

@@ -42,6 +42,9 @@ struct ServiceContext {
 inline constexpr std::uint32_t kRtCorbaPriorityContextId = 21;
 /// Vendor context: simulation send timestamp for latency measurement.
 inline constexpr std::uint32_t kTimestampContextId = 0x41514D01;
+/// Vendor context: causal trace id, propagated end-to-end exactly like the
+/// RT-CORBA priority so every hop of a request shares one trace.
+inline constexpr std::uint32_t kTraceContextId = 0x41514D02;
 
 struct RequestHeader {
   std::uint32_t request_id = 0;
@@ -87,6 +90,10 @@ void encode_reply(const ReplyHeader& header, std::span<const std::uint8_t> body,
 
 [[nodiscard]] ServiceContext make_timestamp_context(TimePoint t);
 [[nodiscard]] std::optional<TimePoint> find_timestamp(
+    const std::vector<ServiceContext>& contexts);
+
+[[nodiscard]] ServiceContext make_trace_context(std::uint64_t trace_id);
+[[nodiscard]] std::optional<std::uint64_t> find_trace(
     const std::vector<ServiceContext>& contexts);
 
 }  // namespace aqm::orb

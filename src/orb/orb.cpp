@@ -64,6 +64,27 @@ net::Dscp OrbEndpoint::dscp_for(const ObjectRef& ref, CorbaPriority priority) co
   return dscp_mappings_.to_dscp(priority);
 }
 
+obs::TraceRecorder* OrbEndpoint::orb_tracer() {
+  obs::TraceRecorder* tr = engine().tracer_for(obs::TraceCategory::Orb);
+  if (tr != nullptr && obs_bound_ != tr) {
+    obs_track_ = tr->track("orb:" + net_.node_name(node()));
+    obs_bound_ = tr;
+  }
+  return tr;
+}
+
+void OrbEndpoint::export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.counter(p + ".requests_sent").set(stats_.requests_sent);
+  reg.counter(p + ".requests_dispatched").set(stats_.requests_dispatched);
+  reg.counter(p + ".replies_ok").set(stats_.replies_ok);
+  reg.counter(p + ".replies_error").set(stats_.replies_error);
+  reg.counter(p + ".timeouts").set(stats_.timeouts);
+  reg.counter(p + ".dispatch_rejected").set(stats_.dispatch_rejected);
+  reg.counter(p + ".collocated_calls").set(stats_.collocated_calls);
+  reg.counter(p + ".messages_expired").set(transport_.messages_expired());
+}
+
 void OrbEndpoint::invoke(const ObjectRef& ref, const std::string& operation,
                          std::vector<std::uint8_t> body, InvokeOptions options,
                          ResponseCallback cb) {
@@ -78,11 +99,25 @@ void OrbEndpoint::invoke(const ObjectRef& ref, const std::string& operation,
   const os::Priority native = priority_mappings_.to_native(priority);
   const Duration cost = marshal_cost(body.size() + operation.size() + 64);
 
+  // A traced request gets one end-to-end id here; it rides in a GIOP
+  // service context (next to the RT-CORBA priority) and on every fragment
+  // packet, so all layers chain their events to this call.
+  std::uint64_t trace_id = 0;
+  const char* span_name = nullptr;
+  if (obs::TraceRecorder* tr = orb_tracer()) {
+    trace_id = tr->next_id();
+    span_name = tr->intern("call " + operation);
+    tr->async_begin(obs::TraceCategory::Orb, span_name, obs_track_, engine().now(),
+                    trace_id,
+                    {{"request_id", static_cast<double>(request_id)},
+                     {"priority", static_cast<double>(priority)}});
+  }
+
   // Marshal on the client CPU at the request's native priority, then ship.
   cpu_.submit_for(
       cost, native,
       [this, ref, operation, body = std::move(body), options, cb = std::move(cb),
-       priority, request_id]() mutable {
+       priority, request_id, trace_id, span_name]() mutable {
         RequestHeader header;
         header.request_id = request_id;
         header.response_expected = !options.oneway;
@@ -90,6 +125,7 @@ void OrbEndpoint::invoke(const ObjectRef& ref, const std::string& operation,
         header.operation = operation;
         header.contexts.push_back(make_priority_context(priority));
         header.contexts.push_back(make_timestamp_context(engine().now()));
+        if (trace_id != 0) header.contexts.push_back(make_trace_context(trace_id));
 
         auto buf = pool_.acquire();
         encode_request(header, body, *buf);
@@ -98,20 +134,40 @@ void OrbEndpoint::invoke(const ObjectRef& ref, const std::string& operation,
         ++stats_.requests_sent;
         const bool collocated = ref.node == node();
         if (collocated) ++stats_.collocated_calls;
+        if (obs::TraceRecorder* tr = orb_tracer()) {
+          tr->instant(obs::TraceCategory::Orb, "send", obs_track_, engine().now(),
+                      trace_id, {{"bytes", static_cast<double>(bytes->size())}});
+        }
 
         if (!options.oneway) {
           PendingRequest pending;
           pending.cb = std::move(cb);
           pending.priority = priority;
+          pending.trace = trace_id;
+          pending.span_name = span_name;
           pending.timeout = engine().after(options.timeout, [this, request_id] {
             const auto it = pending_.find(request_id);
             if (it == pending_.end()) return;
             auto callback = std::move(it->second.cb);
+            const std::uint64_t trace = it->second.trace;
+            const char* span = it->second.span_name;
             pending_.erase(it);
             ++stats_.timeouts;
+            if (trace != 0 && span != nullptr) {
+              if (obs::TraceRecorder* tr = orb_tracer()) {
+                tr->async_end(obs::TraceCategory::Orb, span, obs_track_, engine().now(),
+                              trace, {{"timeout", 1.0}});
+              }
+            }
             callback(CompletionStatus::Timeout, {});
           });
           pending_.emplace(request_id, std::move(pending));
+        } else if (trace_id != 0 && span_name != nullptr) {
+          // Oneways have no reply; the client span closes at the send.
+          if (obs::TraceRecorder* tr = orb_tracer()) {
+            tr->async_end(obs::TraceCategory::Orb, span_name, obs_track_,
+                          engine().now(), trace_id);
+          }
         }
 
         if (collocated) {
@@ -121,7 +177,7 @@ void OrbEndpoint::invoke(const ObjectRef& ref, const std::string& operation,
           on_message(node(), std::move(bytes));
         } else {
           transport_.send_message(ref.node, std::move(bytes), dscp_for(ref, priority),
-                                  options.flow);
+                                  options.flow, trace_id);
         }
       });
 }
@@ -175,6 +231,7 @@ void OrbEndpoint::handle_request(net::NodeId src, GiopMessage msg, std::size_t w
   req->client = src;
   req->priority = priority;
   req->client_send_time = find_timestamp(header.contexts);
+  const std::uint64_t trace = find_trace(header.contexts).value_or(0);
 
   const Duration cost = demarshal_cost(wire_size) + servant->cpu_cost(*req);
   const bool response_expected = header.response_expected;
@@ -185,20 +242,32 @@ void OrbEndpoint::handle_request(net::NodeId src, GiopMessage msg, std::size_t w
   // if a deferred replier races an exception reply.
   auto replied = std::make_shared<bool>(false);
   if (response_expected) {
-    req->replier = [this, src, request_id, priority,
+    req->replier = [this, src, request_id, priority, trace,
                     replied](std::vector<std::uint8_t> reply_body) {
       if (*replied) return;
       *replied = true;
       send_reply(src, request_id, ReplyStatus::NoException, std::move(reply_body),
-                 priority);
+                 priority, trace);
     };
   }
 
   const bool accepted = poa->thread_pool().dispatch(
       priority, cost,
-      [this, servant, req, response_expected, request_id, src, replied] {
+      [this, servant, req, response_expected, request_id, src, replied, trace] {
         ++stats_.requests_dispatched;
         req->handled_at = engine().now();
+        obs::TraceRecorder* tr = orb_tracer();
+        if (tr != nullptr) {
+          tr->instant(obs::TraceCategory::Orb, "dispatch", obs_track_, engine().now(),
+                      trace,
+                      {{"request_id", static_cast<double>(request_id)},
+                       {"priority", static_cast<double>(req->priority)}});
+          // Make the request's trace ambient while the servant runs, so
+          // downstream effects (syscond updates, contract transitions,
+          // reservations) chain their events to this request.
+          tr->set_current(trace);
+        }
+        if (trace != 0) last_dispatch_trace_ = trace;
         ReplyStatus status = ReplyStatus::NoException;
         std::vector<std::uint8_t> reply_body;
         try {
@@ -214,6 +283,7 @@ void OrbEndpoint::handle_request(net::NodeId src, GiopMessage msg, std::size_t w
           status = ReplyStatus::SystemException;
           reply_body = encode_error_body(CompletionStatus::SystemError);
         }
+        if (tr != nullptr) tr->set_current(0);
         if (!response_expected) return;
         if (status == ReplyStatus::NoException) {
           if (!req->deferred()) req->replier(std::move(reply_body));
@@ -221,39 +291,51 @@ void OrbEndpoint::handle_request(net::NodeId src, GiopMessage msg, std::size_t w
         } else if (!*replied) {
           // Exceptions answer immediately, deferred or not.
           *replied = true;
-          send_reply(src, request_id, status, std::move(reply_body), req->priority);
+          send_reply(src, request_id, status, std::move(reply_body), req->priority,
+                     trace);
         }
       });
 
   if (!accepted) {
     ++stats_.dispatch_rejected;
+    if (obs::TraceRecorder* tr = orb_tracer()) {
+      tr->instant(obs::TraceCategory::Orb, "dispatch.reject", obs_track_,
+                  engine().now(), trace,
+                  {{"priority", static_cast<double>(priority)}});
+    }
     if (response_expected) {
       send_reply(src, request_id, ReplyStatus::SystemException,
-                 encode_error_body(CompletionStatus::Transient), priority);
+                 encode_error_body(CompletionStatus::Transient), priority, trace);
     }
   }
 }
 
 void OrbEndpoint::send_reply(net::NodeId client, std::uint32_t request_id,
                              ReplyStatus status, std::vector<std::uint8_t> body,
-                             CorbaPriority priority) {
+                             CorbaPriority priority, std::uint64_t trace) {
   const os::Priority native = priority_mappings_.to_native(priority);
   const Duration cost = marshal_cost(body.size() + 32);
-  cpu_.submit_for(cost, native,
-                  [this, client, request_id, status, body = std::move(body), priority] {
-                    ReplyHeader header;
-                    header.request_id = request_id;
-                    header.status = status;
-                    header.contexts.push_back(make_priority_context(priority));
-                    header.contexts.push_back(make_timestamp_context(engine().now()));
-                    auto buf = pool_.acquire();
-                    encode_reply(header, body, *buf);
-                    pool_.note_message_size(buf->size());
-                    MessageBuffer bytes = CdrBufferPool::freeze(std::move(buf));
-                    // Replies inherit the priority-derived DSCP.
-                    transport_.send_message(client, std::move(bytes),
-                                            dscp_mappings_.to_dscp(priority));
-                  });
+  cpu_.submit_for(
+      cost, native,
+      [this, client, request_id, status, body = std::move(body), priority, trace] {
+        ReplyHeader header;
+        header.request_id = request_id;
+        header.status = status;
+        header.contexts.push_back(make_priority_context(priority));
+        header.contexts.push_back(make_timestamp_context(engine().now()));
+        if (trace != 0) header.contexts.push_back(make_trace_context(trace));
+        auto buf = pool_.acquire();
+        encode_reply(header, body, *buf);
+        pool_.note_message_size(buf->size());
+        MessageBuffer bytes = CdrBufferPool::freeze(std::move(buf));
+        if (obs::TraceRecorder* tr = orb_tracer()) {
+          tr->instant(obs::TraceCategory::Orb, "reply.send", obs_track_, engine().now(),
+                      trace, {{"bytes", static_cast<double>(bytes->size())}});
+        }
+        // Replies inherit the priority-derived DSCP.
+        transport_.send_message(client, std::move(bytes),
+                                dscp_mappings_.to_dscp(priority), net::kNoFlow, trace);
+      });
 }
 
 void OrbEndpoint::handle_reply(GiopMessage msg, std::size_t wire_size) {
@@ -266,9 +348,24 @@ void OrbEndpoint::handle_reply(GiopMessage msg, std::size_t wire_size) {
   const os::Priority native = priority_mappings_.to_native(pending.priority);
   const Duration cost = demarshal_cost(wire_size);
   const ReplyStatus status = msg.reply.status;
+  if (obs::TraceRecorder* tr = orb_tracer()) {
+    tr->instant(obs::TraceCategory::Orb, "reply.recv", obs_track_, engine().now(),
+                pending.trace, {{"bytes", static_cast<double>(wire_size)}});
+  }
   cpu_.submit_for(cost, native,
-                  [this, cb = std::move(pending.cb), status,
-                   body = std::move(msg.body)]() mutable {
+                  [this, cb = std::move(pending.cb), status, trace = pending.trace,
+                   span = pending.span_name, body = std::move(msg.body)]() mutable {
+                    // The client call span closes once the reply is
+                    // demarshaled — end-to-end latency as the app sees it.
+                    if (trace != 0 && span != nullptr) {
+                      if (obs::TraceRecorder* tr = orb_tracer()) {
+                        tr->async_end(obs::TraceCategory::Orb, span, obs_track_,
+                                      engine().now(), trace,
+                                      {{"ok", status == ReplyStatus::NoException
+                                                  ? 1.0
+                                                  : 0.0}});
+                      }
+                    }
                     if (status == ReplyStatus::NoException) {
                       ++stats_.replies_ok;
                       cb(CompletionStatus::Ok, std::move(body));

@@ -25,6 +25,7 @@
 
 #include "common/time.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "orb/exceptions.hpp"
 #include "orb/giop.hpp"
 #include "orb/poa.hpp"
@@ -115,18 +116,34 @@ class OrbEndpoint {
   /// Encode-buffer pool shared by this endpoint's request and reply paths.
   [[nodiscard]] CdrBufferPool& buffer_pool() { return pool_; }
 
+  /// Trace id of the most recently dispatched (server-side) request. Lets
+  /// application code executing downstream of a dispatch — QuO measurement
+  /// probes, adaptation callbacks — chain its events to the causing
+  /// request. 0 when no traced request has been dispatched.
+  [[nodiscard]] std::uint64_t last_dispatch_trace() const { return last_dispatch_trace_; }
+
+  /// Dumps the endpoint's counters into a registry under
+  /// "<prefix>.requests_sent" etc.
+  void export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const;
+
  private:
   struct PendingRequest {
     ResponseCallback cb;
     CorbaPriority priority;
     sim::EventId timeout{};
+    std::uint64_t trace = 0;
+    const char* span_name = nullptr;  // interned "call <op>" for the async end
   };
 
   void on_message(net::NodeId src, MessageBuffer msg);
   void handle_request(net::NodeId src, GiopMessage msg, std::size_t wire_size);
   void handle_reply(GiopMessage msg, std::size_t wire_size);
   void send_reply(net::NodeId client, std::uint32_t request_id, ReplyStatus status,
-                  std::vector<std::uint8_t> body, CorbaPriority priority);
+                  std::vector<std::uint8_t> body, CorbaPriority priority,
+                  std::uint64_t trace = 0);
+  /// Engine recorder iff orb tracing is on; binds the "orb:<node>" lane on
+  /// first use.
+  [[nodiscard]] obs::TraceRecorder* orb_tracer();
   [[nodiscard]] net::Dscp dscp_for(const ObjectRef& ref, CorbaPriority priority) const;
   [[nodiscard]] Duration marshal_cost(std::size_t bytes) const;
   [[nodiscard]] Duration demarshal_cost(std::size_t bytes) const;
@@ -143,6 +160,9 @@ class OrbEndpoint {
   std::map<std::uint32_t, PendingRequest> pending_;
   std::uint32_t next_request_id_ = 1;
   OrbStats stats_;
+  obs::TraceRecorder* obs_bound_ = nullptr;
+  std::uint16_t obs_track_ = 0;
+  std::uint64_t last_dispatch_trace_ = 0;
 };
 
 /// Client-side proxy bound to one object reference. Carries per-binding

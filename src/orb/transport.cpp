@@ -16,7 +16,7 @@ GiopTransport::GiopTransport(net::Network& net, net::NodeId node, TransportConfi
 }
 
 void GiopTransport::send_message(net::NodeId dst, MessageBuffer msg, net::Dscp dscp,
-                                 net::FlowId flow) {
+                                 net::FlowId flow, std::uint64_t trace) {
   assert(msg != nullptr && !msg->empty());
   const std::uint32_t payload_mtu = config_.mtu - config_.packet_overhead;
   const auto total = static_cast<std::uint32_t>(msg->size());
@@ -34,9 +34,19 @@ void GiopTransport::send_message(net::NodeId dst, MessageBuffer msg, net::Dscp d
     p.ecn = config_.ecn_capable ? net::Ecn::Capable : net::Ecn::NotCapable;
     p.flow = flow;
     p.seq = flow_seq_[flow]++;
+    p.trace = trace;
     p.payload = GiopFragment{message_id, i, count, offset, length, msg};
     net_.send(node_, std::move(p));
   }
+}
+
+obs::TraceRecorder* GiopTransport::tracer() {
+  obs::TraceRecorder* tr = net_.engine().tracer_for(obs::TraceCategory::Orb);
+  if (tr != nullptr && obs_bound_ != tr) {
+    obs_track_ = tr->track("giop:" + net_.node_name(node_));
+    obs_bound_ = tr;
+  }
+  return tr;
 }
 
 std::uint64_t GiopTransport::ce_marks(net::FlowId flow) const {
@@ -48,7 +58,13 @@ void GiopTransport::on_packet(net::Packet&& p) {
   if (!p.payload.has_value()) return;  // not a GIOP fragment (ignore)
   const auto* frag = p.payload.get<GiopFragment>();
   if (frag == nullptr) return;
-  if (p.ecn == net::Ecn::CongestionExperienced) ++ce_marks_[p.flow];
+  if (p.ecn == net::Ecn::CongestionExperienced) {
+    ++ce_marks_[p.flow];
+    if (obs::TraceRecorder* tr = tracer()) {
+      tr->instant(obs::TraceCategory::Orb, "ce.mark", obs_track_, net_.engine().now(),
+                  p.trace, {{"flow", static_cast<double>(p.flow)}});
+    }
+  }
 
   if (frag->count == 1) {
     ++delivered_;
@@ -63,6 +79,7 @@ void GiopTransport::on_packet(net::Packet&& p) {
     r.expected = frag->count;
     r.seen.assign(frag->count, false);
     r.data = frag->data;
+    r.trace = p.trace;
     r.expiry = net_.engine().after(
         config_.reassembly_timeout,
         [this, src = p.src, id = frag->message_id] { expire(src, id); });
@@ -84,8 +101,15 @@ void GiopTransport::on_packet(net::Packet&& p) {
 void GiopTransport::expire(net::NodeId src, std::uint64_t message_id) {
   const auto it = reassembly_.find({src, message_id});
   if (it == reassembly_.end()) return;
+  const std::uint64_t trace = it->second.trace;
+  const std::uint32_t missing = it->second.expected - it->second.arrived;
   reassembly_.erase(it);
   ++expired_;
+  if (obs::TraceRecorder* tr = tracer()) {
+    tr->instant(obs::TraceCategory::Orb, "reassembly.expire", obs_track_,
+                net_.engine().now(), trace,
+                {{"missing", static_cast<double>(missing)}});
+  }
 }
 
 }  // namespace aqm::orb

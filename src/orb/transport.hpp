@@ -14,6 +14,7 @@
 
 #include "common/time.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "orb/buffer_pool.hpp"  // MessageBuffer
 #include "sim/engine.hpp"
 
@@ -52,8 +53,10 @@ class GiopTransport {
   void set_message_handler(MessageHandler handler) { handler_ = std::move(handler); }
 
   /// Sends a message to `dst`, stamped with the given DSCP and flow id.
+  /// A nonzero `trace` rides on every fragment so per-hop network events
+  /// chain to the originating request.
   void send_message(net::NodeId dst, MessageBuffer msg, net::Dscp dscp,
-                    net::FlowId flow = net::kNoFlow);
+                    net::FlowId flow = net::kNoFlow, std::uint64_t trace = 0);
 
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
@@ -70,10 +73,14 @@ class GiopTransport {
     std::vector<bool> seen;
     MessageBuffer data;
     sim::EventId expiry{};
+    std::uint64_t trace = 0;
   };
 
   void on_packet(net::Packet&& p);
   void expire(net::NodeId src, std::uint64_t message_id);
+  /// Engine recorder iff ORB tracing is on; binds the "giop:<node>" lane on
+  /// first use.
+  [[nodiscard]] obs::TraceRecorder* tracer();
 
   net::Network& net_;
   net::NodeId node_;
@@ -86,6 +93,8 @@ class GiopTransport {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t expired_ = 0;
+  obs::TraceRecorder* obs_bound_ = nullptr;
+  std::uint16_t obs_track_ = 0;
 };
 
 }  // namespace aqm::orb

@@ -73,10 +73,25 @@ bool Cpu::cancel(JobId id) {
   return true;
 }
 
+obs::TraceRecorder* Cpu::os_tracer() {
+  obs::TraceRecorder* tr = engine_.tracer_for(obs::TraceCategory::Os);
+  if (tr != nullptr && obs_bound_ != tr) {
+    obs_track_ = tr->track("cpu:" + name_);
+    obs_bound_ = tr;
+  }
+  return tr;
+}
+
 bool Cpu::set_base_priority(JobId id, Priority priority) {
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   if (it->second.base_priority == priority) return true;
+  if (obs::TraceRecorder* tr = os_tracer()) {
+    tr->instant(obs::TraceCategory::Os, "priority.change", obs_track_, engine_.now(),
+                tr->current(),
+                {{"from", static_cast<double>(it->second.base_priority)},
+                 {"to", static_cast<double>(priority)}});
+  }
   it->second.base_priority = priority;
   reschedule();
   return true;
@@ -105,6 +120,11 @@ Result<ReserveId> Cpu::create_reserve(const ReserveSpec& spec) {
   reserves_.emplace(id, std::move(r));
   AQM_DEBUG() << "cpu " << name_ << ": reserve " << id << " admitted ("
               << spec.compute.millis() << "ms/" << spec.period.millis() << "ms)";
+  if (obs::TraceRecorder* tr = os_tracer()) {
+    tr->instant(obs::TraceCategory::Os, "reserve.admit", obs_track_, engine_.now(),
+                tr->current(),
+                {{"compute_ms", spec.compute.millis()}, {"period_ms", spec.period.millis()}});
+  }
   reschedule();
   return id;
 }
@@ -162,6 +182,15 @@ double Cpu::utilization() const {
   return static_cast<double>(busy_time().ns()) / static_cast<double>(elapsed);
 }
 
+void Cpu::export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.gauge(p + ".utilization").set(utilization());
+  reg.gauge(p + ".reserved_utilization").set(reserved_utilization());
+  reg.counter(p + ".busy_ns").set(static_cast<std::uint64_t>(busy_time().ns()));
+  reg.counter(p + ".reserves").set(reserves_.size());
+  reg.counter(p + ".jobs_pending").set(jobs_.size());
+}
+
 std::optional<Priority> Cpu::running_priority() const {
   if (!running_) return std::nullopt;
   const auto it = jobs_.find(*running_);
@@ -205,6 +234,14 @@ void Cpu::charge_running() {
     const auto rit = reserves_.find(job.reserve);
     if (rit != reserves_.end()) {
       rit->second.budget = std::max(Duration::zero(), rit->second.budget - elapsed);
+      if (rit->second.budget == Duration::zero()) {
+        if (obs::TraceRecorder* tr = os_tracer()) {
+          tr->instant(obs::TraceCategory::Os, "reserve.deplete", obs_track_,
+                      engine_.now(), 0,
+                      {{"reserve", static_cast<double>(job.reserve)},
+                       {"hard", rit->second.spec.hard ? 1.0 : 0.0}});
+        }
+      }
     }
   }
   if (trace_enabled_) {
@@ -227,11 +264,17 @@ void Cpu::clear_pending_events() {
 
 void Cpu::roll_periods() {
   const TimePoint now = engine_.now();
+  obs::TraceRecorder* tr = os_tracer();
   for (auto& [id, r] : reserves_) {
     if (now < r.period_start + r.spec.period) continue;
     const std::int64_t k = (now - r.period_start).ns() / r.spec.period.ns();
     r.period_start = r.period_start + r.spec.period * k;
     r.budget = r.spec.compute;  // unused budget does not accumulate
+    if (tr != nullptr) {
+      tr->instant(obs::TraceCategory::Os, "reserve.replenish", obs_track_, now, 0,
+                  {{"reserve", static_cast<double>(id)},
+                   {"budget_ms", r.budget.millis()}});
+    }
   }
 }
 

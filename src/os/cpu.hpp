@@ -33,6 +33,7 @@
 
 #include "common/result.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 #include "os/priority.hpp"
 #include "sim/engine.hpp"
 
@@ -122,6 +123,10 @@ class Cpu {
   /// Effective priority currently executing, if any.
   [[nodiscard]] std::optional<Priority> running_priority() const;
 
+  /// Dumps utilization/busy-time counters into a registry under
+  /// "<prefix>.utilization" etc.
+  void export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const;
+
   // --- run trace (for tests) ------------------------------------------------
 
   struct RunSlice {
@@ -162,6 +167,10 @@ class Cpu {
   [[nodiscard]] std::optional<Priority> effective_priority(const Job& job) const;
   [[nodiscard]] bool is_boosted(const Job& job) const;
 
+  /// Engine recorder iff os tracing is on; binds the "cpu:<name>" lane on
+  /// first use.
+  [[nodiscard]] obs::TraceRecorder* os_tracer();
+
   void charge_running();            // account CPU time of running job up to now()
   void reschedule();                // pick next job, arm completion/limit events
   void complete(JobId id);          // finish a job, fire callback
@@ -189,6 +198,8 @@ class Cpu {
   std::int64_t busy_ns_ = 0;
   bool trace_enabled_ = false;
   std::vector<RunSlice> trace_;
+  obs::TraceRecorder* obs_bound_ = nullptr;
+  std::uint16_t obs_track_ = 0;
 };
 
 }  // namespace aqm::os

@@ -27,6 +27,7 @@ Contract& Contract::on_transition(const std::string& from, const std::string& to
 }
 
 Contract& Contract::observe(SysCond& cond) {
+  cond.bind_engine(engine_);
   cond.subscribe([this] { eval(); });
   return *this;
 }
@@ -57,6 +58,27 @@ const std::string& Contract::eval() {
     history_.emplace_back(engine_.now(), current_);
     AQM_DEBUG() << "contract " << name_ << ": region '" << from << "' -> '" << current_
                 << "' at " << engine_.now().seconds() << "s";
+    if (obs::TraceRecorder* tr = engine_.tracer_for(obs::TraceCategory::Quo)) {
+      if (obs_bound_ != tr) {
+        obs_track_ = tr->track("quo:" + name_);
+        obs_bound_ = tr;
+        region_span_ = 0;
+      }
+      const TimePoint now = engine_.now();
+      // The active region renders as a nestable async span; the transition
+      // itself is an instant correlated (by id) with the request/measurement
+      // that caused this evaluation, closing the causal chain end to end.
+      if (region_span_ != 0) {
+        tr->async_end(obs::TraceCategory::Quo, tr->intern("region " + from), obs_track_,
+                      now, region_span_);
+      }
+      region_span_ = tr->next_id();
+      tr->async_begin(obs::TraceCategory::Quo, tr->intern("region " + current_),
+                      obs_track_, now, region_span_);
+      tr->instant(obs::TraceCategory::Quo,
+                  tr->intern("transition " + from + "->" + current_), obs_track_, now,
+                  tr->current());
+    }
     const auto [tb, te] = transition_callbacks_.equal_range({from, current_});
     for (auto it = tb; it != te; ++it) it->second();
     const auto [eb, ee] = enter_callbacks_.equal_range(current_);

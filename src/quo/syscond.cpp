@@ -12,7 +12,9 @@ RateSysCond::RateSysCond(sim::Engine& engine, std::string name, Duration window)
           last_notified_ = v;
           notify();
         }
-      }) {}
+      }) {
+  bind_engine(engine);
+}
 
 void RateSysCond::prune(TimePoint now) const {
   while (!events_.empty() && events_.front().first + window_ < now) events_.pop_front();

@@ -13,6 +13,7 @@
 //   * LambdaSysCond   — pull-through facade over any component getter.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -38,17 +39,36 @@ class SysCond {
   /// Contracts subscribe to re-evaluate when the condition changes.
   void subscribe(Listener listener) { listeners_.push_back(std::move(listener)); }
 
+  /// Observability: gives the condition a clock to stamp update instants
+  /// with. Called by Contract::observe (and RateSysCond's constructor), so
+  /// any observed condition traces automatically when a recorder is
+  /// attached to the engine.
+  void bind_engine(const sim::Engine& engine) { clock_ = &engine; }
+
  protected:
   explicit SysCond(std::string name) : name_(std::move(name)) {}
 
   /// Implementations call this when their value changes.
   void notify() {
+    if (clock_ != nullptr) {
+      if (obs::TraceRecorder* tr = clock_->tracer_for(obs::TraceCategory::Quo)) {
+        if (obs_bound_ != tr) {
+          obs_track_ = tr->track("quo:syscond");
+          obs_bound_ = tr;
+        }
+        tr->instant(obs::TraceCategory::Quo, name_.c_str(), obs_track_, clock_->now(),
+                    tr->current(), {{"value", value()}});
+      }
+    }
     for (const auto& l : listeners_) l();
   }
 
  private:
   std::string name_;
   std::vector<Listener> listeners_;
+  const sim::Engine* clock_ = nullptr;
+  obs::TraceRecorder* obs_bound_ = nullptr;
+  std::uint16_t obs_track_ = 0;
 };
 
 /// A directly settable condition (measurement pushed in, or control knob).

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/trace.hpp"
 
 namespace aqm::sim {
 
@@ -188,6 +189,36 @@ class Engine {
   /// Current simulation time.
   [[nodiscard]] TimePoint now() const { return now_; }
 
+  /// Attaches (or detaches, with nullptr) a trace recorder. The engine does
+  /// not own it; the caller keeps it alive for the run. Subsystems reach
+  /// their recorder through the engine so a trial needs exactly one wiring
+  /// point.
+  void set_tracer(obs::TraceRecorder* tracer) {
+#if AQM_OBS_ENABLED
+    tracer_ = tracer;
+    engine_track_ = tracer != nullptr ? tracer->track("engine") : 0;
+#else
+    (void)tracer;
+#endif
+  }
+  [[nodiscard]] obs::TraceRecorder* tracer() const {
+#if AQM_OBS_ENABLED
+    return tracer_;
+#else
+    return nullptr;
+#endif
+  }
+  /// The attached recorder iff it wants `cat`, else nullptr. This is THE
+  /// instrumentation guard: one pointer test when tracing is off.
+  [[nodiscard]] obs::TraceRecorder* tracer_for(obs::TraceCategory cat) const {
+#if AQM_OBS_ENABLED
+    return tracer_ != nullptr && tracer_->wants(cat) ? tracer_ : nullptr;
+#else
+    (void)cat;
+    return nullptr;
+#endif
+  }
+
   /// Schedules a handler at an absolute time (must be >= now()). The
   /// callable is constructed directly in its slab slot (no intermediate
   /// handler moves).
@@ -244,6 +275,12 @@ class Engine {
       now_ = TimePoint{top.time_ns};
       ++executed_;
       --live_;
+#if AQM_OBS_ENABLED
+      if (obs::TraceRecorder* tr = tracer_for(obs::TraceCategory::Engine)) {
+        tr->instant(obs::TraceCategory::Engine, "dispatch", engine_track_, now_, 0,
+                    {{"pending", static_cast<double>(live_)}});
+      }
+#endif
       // Move the handler out before invoking: the handler may schedule new
       // events, growing the slab and invalidating references into it. This
       // also lets the slot be recycled by the handler itself.
@@ -370,6 +407,10 @@ class Engine {
   bool peek_next_time(TimePoint& t);
 
   TimePoint now_ = TimePoint::zero();
+#if AQM_OBS_ENABLED
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::uint16_t engine_track_ = 0;
+#endif
   std::uint64_t next_order_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/log.hpp"
 
 namespace aqm::sim {
 
@@ -29,7 +32,10 @@ void ParallelRunner::run(std::size_t n,
   // would be discarded by the rethrow anyway, so finish fast.
   std::atomic<bool> abort{false};
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t w) {
+    // Tag this worker's log lines so interleaved shard output stays
+    // attributable when trials log concurrently.
+    Log::set_thread_tag("w" + std::to_string(w));
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
       const std::size_t i = ticket.fetch_add(1, std::memory_order_relaxed);
@@ -50,7 +56,7 @@ void ParallelRunner::run(std::size_t n,
   const std::size_t workers = std::min<std::size_t>(jobs_, n);
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -87,6 +87,65 @@ TEST(Histogram, QuantileInterpolation) {
   EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
 }
 
+TEST(RunningStats, MergeEmptyIntoEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  const Histogram h(0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileSingleSample) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(4.5);  // lands in bucket [4, 5)
+  // Every quantile of a one-sample histogram falls inside that bucket.
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_GE(h.quantile(q), 4.0);
+    EXPECT_LE(h.quantile(q), 5.0);
+  }
+}
+
+TEST(Histogram, QuantileOutOfRangeClamped) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_NEAR(h.quantile(2.0), 100.0, 1.0);
+}
+
+TEST(Histogram, MergeSumsBuckets) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.5);
+  b.add(1.5);
+  b.add(8.5);
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket(1), 2u);
+  EXPECT_EQ(a.bucket(8), 1u);
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(0.0, 10.0, 10);
+  a.add(5.0);
+  const Histogram other_bounds(0.0, 20.0, 10);
+  const Histogram other_buckets(0.0, 10.0, 20);
+  EXPECT_FALSE(a.merge(other_bounds));
+  EXPECT_FALSE(a.merge(other_buckets));
+  // A failed merge leaves the target untouched.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.bucket(5), 1u);
+}
+
 TEST(Histogram, BucketBounds) {
   Histogram h(10.0, 20.0, 5);
   EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);

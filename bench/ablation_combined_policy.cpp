@@ -55,9 +55,9 @@ int main(int argc, char** argv) {
       // priority via an explicit EF protocol property (so "dscp" does NOT
       // silently raise the thread priority too).
       cfg.diffserv_router = true;
-      cfg.sender1_priority = p.thread_prio ? 30'000 : 1'000;
-      cfg.sender2_priority = 1'000;
-      if (p.dscp) cfg.sender1_dscp = net::dscp::kEf;
+      cfg.sender1_policy.priority = p.thread_prio ? 30'000 : 1'000;
+      cfg.sender2_policy.priority = 1'000;
+      if (p.dscp) cfg.sender1_policy.explicit_dscp = net::dscp::kEf;
       cfg.cross_rate_bps = cross;
       cells.push_back({cross, &p});
       exp.add(std::string("cross-") + fmt(cross / 1e6, 0) + "-" + p.name, cfg.seed,

@@ -17,6 +17,7 @@
 
 #include "avstreams/stream.hpp"
 #include "common/table.hpp"
+#include "core/qos_session.hpp"
 #include "core/testbed.hpp"
 #include "media/video_sink.hpp"
 #include "media/video_source.hpp"
@@ -64,7 +65,11 @@ std::array<StreamRow, 4> run_case(bool priority_driven_reservations) {
         poa, "display" + std::to_string(i), microseconds(400),
         [stats](const media::VideoFrame& f) { stats->on_received(f); });
     s.binding = std::make_unique<av::StreamBinding>(bed.sender_orb, s.sink->ref(), s.flow);
-    s.binding->set_priority(s.priority);
+    // Per-stream CORBA priority as a declarative policy binding on the
+    // QoS-policy interceptor (rather than pinning the stub).
+    core::EndToEndQosPolicy stream_policy;
+    stream_policy.priority = s.priority;
+    core::QoSSession(bed.sender_orb, s.binding->stub()).apply(stream_policy);
     auto* binding = s.binding.get();
     s.source = std::make_unique<media::VideoSource>(
         bed.engine, gop, 30.0, [stats, binding](const media::VideoFrame& f) {

@@ -5,8 +5,8 @@
 #include <memory>
 
 #include "common/table.hpp"
+#include "core/qos_session.hpp"
 #include "orb/orb.hpp"
-#include "orb/rt/dscp_mapping.hpp"
 #include "orb/servant.hpp"
 #include "os/load_generator.hpp"
 #include "sim/engine.hpp"
@@ -15,16 +15,13 @@ namespace aqm::bench {
 
 PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) {
   core::PriorityTestbedParams params;
-  params.diffserv_bottleneck = cfg.diffserv_router || cfg.map_dscp;
+  params.diffserv_bottleneck = cfg.diffserv_router ||
+                               cfg.sender1_policy.map_priority_to_dscp ||
+                               cfg.sender2_policy.map_priority_to_dscp;
   params.cross_rate_bps = cfg.cross_rate_bps;
   params.router_queue_pkts = cfg.queue_pkts;
   params.cross_seed = cfg.cross_seed;
   core::PriorityTestbed bed(params);
-
-  if (cfg.map_dscp) {
-    bed.sender_orb.dscp_mappings().install(
-        std::make_unique<orb::rt::BandedDscpMapping>());
-  }
 
   PriorityScenarioResult result;
 
@@ -50,14 +47,15 @@ PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) 
   const orb::ObjectRef sink1 = make_sink("recv1", result.s1_latency_ms, result.s1_received);
   const orb::ObjectRef sink2 = make_sink("recv2", result.s2_latency_ms, result.s2_received);
 
+  // Each sender's QoS (priority, DSCP mapping, flow id) is declared once in
+  // its EndToEndQosPolicy and applied atomically through a QoSSession, which
+  // binds it on the client ORB's QoS-policy interceptor for this target.
   orb::ObjectStub stub1(bed.sender_orb, sink1);
-  stub1.set_flow(core::kFlowSender1);
-  stub1.set_priority(cfg.sender1_priority);
-  stub1.ref().protocol.dscp = cfg.sender1_dscp;
+  core::QoSSession session1(bed.sender_orb, stub1);
+  session1.apply(cfg.sender1_policy);
   orb::ObjectStub stub2(bed.sender_orb, sink2);
-  stub2.set_flow(core::kFlowSender2);
-  stub2.set_priority(cfg.sender2_priority);
-  stub2.ref().protocol.dscp = cfg.sender2_dscp;
+  core::QoSSession session2(bed.sender_orb, stub2);
+  session2.apply(cfg.sender2_policy);
 
   const auto interval =
       Duration{static_cast<std::int64_t>(std::llround(1e9 / cfg.messages_per_second))};

@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "net/dscp.hpp"
+#include "core/qos_policy.hpp"
 #include "core/testbed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -18,20 +19,27 @@
 
 namespace aqm::bench {
 
+/// Baseline per-sender policy: flow id for the classifier plus a low CORBA
+/// priority; drivers override the fields their figure varies.
+inline core::EndToEndQosPolicy default_sender_policy(net::FlowId flow) {
+  core::EndToEndQosPolicy policy;
+  policy.flow = flow;
+  policy.priority = 1000;
+  return policy;
+}
+
 struct PriorityScenarioConfig {
-  /// CORBA priorities of the two sender tasks.
-  orb::CorbaPriority sender1_priority = 1000;
-  orb::CorbaPriority sender2_priority = 1000;
+  /// Declarative per-sender QoS: each binding's priority, priority->DSCP
+  /// mapping, explicit DSCP, and flow id ride one EndToEndQosPolicy applied
+  /// through a QoSSession (i.e. the core QoS-policy interceptor) — the same
+  /// path applications use, replacing the former per-driver scatter of
+  /// stub/ORB mutations.
+  core::EndToEndQosPolicy sender1_policy = default_sender_policy(core::kFlowSender1);
+  core::EndToEndQosPolicy sender2_policy = default_sender_policy(core::kFlowSender2);
   /// Build the router with a DiffServ (strict-priority PHB) bottleneck
-  /// queue instead of plain drop-tail.
+  /// queue instead of plain drop-tail. Implied by either policy's
+  /// map_priority_to_dscp (the mapping needs a DiffServ PHB to matter).
   bool diffserv_router = false;
-  /// Install the banded CORBA-priority -> DSCP mapping on the sender ORB
-  /// (the paper's TAO enhancement). Needs diffserv_router for any effect.
-  bool map_dscp = false;
-  /// Explicit per-binding DSCPs via protocol properties (independent of
-  /// thread priorities) — lets experiments isolate network priority alone.
-  std::optional<net::Dscp> sender1_dscp;
-  std::optional<net::Dscp> sender2_dscp;
   /// Competing network traffic through the bottleneck (16 Mbps).
   bool cross_traffic = false;
   double cross_rate_bps = 16e6;
@@ -80,8 +88,8 @@ struct PriorityScenarioResult {
   [[nodiscard]] RunningStats s2_stats() const { return s2_latency_ms.stats(); }
 };
 
-/// Builds a PriorityTestbed (DiffServ bottleneck iff `cfg.map_dscp`) and
-/// runs the scenario to completion.
+/// Builds a PriorityTestbed (DiffServ bottleneck iff requested or implied
+/// by a priority->DSCP mapping policy) and runs the scenario to completion.
 PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg);
 
 /// Prints the per-second latency series of both senders side by side —

@@ -5,6 +5,7 @@
 #include "avstreams/rate_adaptation.hpp"
 #include "avstreams/stream.hpp"
 #include "common/log.hpp"
+#include "core/qos_session.hpp"
 #include "core/testbed.hpp"
 #include "media/frame_filter.hpp"
 #include "media/video_source.hpp"
@@ -79,13 +80,18 @@ ReservationScenarioResult run_reservation_scenario(const ReservationScenarioConf
   });
 
   // --- reservations ------------------------------------------------------------
+  // The RSVP reservation is requested declaratively: an EndToEndQosPolicy
+  // whose network part the QoSSession signals through the network QoS
+  // manager's sender-side agent for the stream binding's flow.
+  core::QoSSession session(bed.sender_orb, binding.stub(), &bed.qos);
   if (cfg.reservation != ReservationLevel::None) {
-    binding.reserve(bed.qos.agent(bed.sender_node),
-                    net::FlowSpec{reserved_rate, 40'000}, [](Status<std::string> s) {
-                      if (!s.ok()) {
-                        AQM_WARN() << "reservation failed: " << s.error();
-                      }
-                    });
+    core::EndToEndQosPolicy policy;
+    policy.network_reservation = net::FlowSpec{reserved_rate, 40'000};
+    session.apply(policy, [](Status<std::string> s) {
+      if (!s.ok()) {
+        AQM_WARN() << "reservation failed: " << s.error();
+      }
+    });
   }
 
   // --- schedule the run ----------------------------------------------------------

@@ -71,20 +71,22 @@ HopObservation run_propagation(orb::CorbaPriority corba) {
 
   std::optional<orb::CorbaPriority> relay_saw;
   orb::Poa& relay_poa = middle.create_poa("relay");
+  orb::ObjectStub backend_stub(middle, backend_ref);
   const orb::ObjectRef relay_ref = relay_poa.activate_object(
       "hop", std::make_shared<orb::FunctionServant>(
                  microseconds(200), [&](orb::ServerRequest& req) {
                    relay_saw = req.priority;
-                   orb::InvokeOptions opts;
-                   opts.oneway = true;
-                   opts.priority = req.priority;  // RTCurrent pattern
-                   middle.invoke(backend_ref, "forward", req.body, opts);
+                   // RTCurrent pattern: re-assert the received priority on
+                   // the outgoing binding before forwarding.
+                   backend_stub.set_priority(req.priority);
+                   backend_stub.oneway("forward", req.body);
                  }));
 
+  // The client leg rides the ambient client priority (no per-binding pin),
+  // exercising the stub -> interceptor-pipeline default path.
   client.set_client_priority(corba);
-  orb::InvokeOptions opts;
-  opts.oneway = true;
-  client.invoke(relay_ref, "send", std::vector<std::uint8_t>(256), opts);
+  orb::ObjectStub relay_stub(client, relay_ref);
+  relay_stub.oneway("send", std::vector<std::uint8_t>(256));
   engine.run();
 
   HopObservation obs;

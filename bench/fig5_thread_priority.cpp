@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
 
   PriorityScenarioConfig base;
   base.duration = seconds(30);
-  base.sender1_priority = 30'000;  // maps to high native thread priority
-  base.sender2_priority = 1'000;   // maps to low native thread priority
+  base.sender1_policy.priority = 30'000;  // maps to high native thread priority
+  base.sender2_policy.priority = 1'000;   // maps to low native thread priority
   base.cpu_load = true;            // load lands between the two
 
   PriorityScenarioConfig congested = base;

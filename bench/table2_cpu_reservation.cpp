@@ -21,6 +21,7 @@
 #include "common/table.hpp"
 #include "core/cpu_reservation_manager.hpp"
 #include "core/experiment.hpp"
+#include "core/qos_session.hpp"
 #include "core/testbed.hpp"
 #include "imgproc/edge.hpp"
 #include "imgproc/ppm.hpp"
@@ -47,40 +48,17 @@ RunResult run_condition(bool with_load, bool with_reserve, std::uint64_t load_se
   params.server_cpu.reserve_utilization_cap = 0.95;
   core::AtrTestbed bed(params);
 
-  // CPU reservation manager exposed over CORBA on the server host.
+  // CPU reservation manager exposed over CORBA on the server host. The ATR
+  // binding's stub is created up front so the reserve can be requested
+  // declaratively: a QoSSession applies an EndToEndQosPolicy whose
+  // server_cpu_reserve part rides the CORBA reservation manager.
   orb::Poa& mgmt_poa = bed.server_orb.create_poa("mgmt");
   core::CpuReservationManagerServer manager(mgmt_poa, bed.server_cpu);
   core::CpuReservationClient reserve_client(bed.client_orb, manager.ref());
 
-  os::ReserveId reserve = os::kNoReserve;
-  if (with_reserve) {
-    reserve_client.create_reserve(
-        {microseconds(47'500), milliseconds(50), true},
-        [&](Result<os::ReserveId> r) {
-          if (r.ok()) reserve = r.value();
-        });
-    bed.engine.run_until(bed.engine.now() + seconds(1));
-    if (reserve == os::kNoReserve) {
-      // Thrown (not exit()) so the parallel runner can surface the failure
-      // from a worker thread.
-      throw std::runtime_error("table2: CPU reserve creation failed");
-    }
-  }
-
-  std::unique_ptr<os::LoadGenerator> load;
-  if (with_load) {
-    os::LoadGenerator::Config cfg;
-    cfg.priority = kAtrPriority;  // vanilla-Linux-style timeshared contention
-    cfg.burst_mean = milliseconds(14);
-    cfg.interval_mean = milliseconds(55);
-    cfg.burst_jitter = 0.8;  // "variable and not sustained"
-    load = std::make_unique<os::LoadGenerator>(bed.engine, bed.server_cpu, cfg,
-                                               load_seed);
-    load->start();
-  }
-
   RunResult result;
   const std::size_t pixels = 400 * 250;
+  os::ReserveId reserve = os::kNoReserve;
 
   // ATR server: each image is a twoway request answered asynchronously
   // (AMI deferred reply) after the three detectors ran in sequence as CPU
@@ -111,11 +89,40 @@ RunResult run_condition(bool with_load, bool with_reserve, std::uint64_t load_se
         process_image(0, req.defer(), process_image);
       });
   const orb::ObjectRef atr_ref = atr_poa.activate_object("processor", atr_servant);
+  orb::ObjectStub atr_stub(bed.client_orb, atr_ref);
+  atr_stub.set_flow(core::kFlowImages);
+
+  // Declarative reserve: the policy's server_cpu_reserve part rides the
+  // CORBA reservation manager through a QoSSession on the ATR binding.
+  core::QoSSession session(bed.client_orb, atr_stub, nullptr, &reserve_client);
+  if (with_reserve) {
+    core::EndToEndQosPolicy policy;
+    policy.server_cpu_reserve = os::ReserveSpec{microseconds(47'500), milliseconds(50), true};
+    std::optional<bool> granted;
+    session.apply(policy, [&](Status<std::string> s) { granted = s.ok(); });
+    bed.engine.run_until(bed.engine.now() + seconds(1));
+    if (!granted.value_or(false) || !session.cpu_reserve_id()) {
+      // Thrown (not exit()) so the parallel runner can surface the failure
+      // from a worker thread.
+      throw std::runtime_error("table2: CPU reserve creation failed");
+    }
+    reserve = *session.cpu_reserve_id();
+  }
+
+  std::unique_ptr<os::LoadGenerator> load;
+  if (with_load) {
+    os::LoadGenerator::Config cfg;
+    cfg.priority = kAtrPriority;  // vanilla-Linux-style timeshared contention
+    cfg.burst_mean = milliseconds(14);
+    cfg.interval_mean = milliseconds(55);
+    cfg.burst_jitter = 0.8;  // "variable and not sustained"
+    load = std::make_unique<os::LoadGenerator>(bed.engine, bed.server_cpu, cfg,
+                                               load_seed);
+    load->start();
+  }
 
   // Client: send the next image when the previous one's reply arrives.
   int remaining = kImages;
-  orb::ObjectStub atr_stub(bed.client_orb, atr_ref);
-  atr_stub.set_flow(core::kFlowImages);
   std::uint64_t image_seed = 1;
   std::function<void()> send_next = [&] {
     if (remaining-- <= 0) return;

@@ -2,8 +2,9 @@
 # Runs the tracked microbenchmark suites, refreshes the BENCH_*.json
 # reports at the repo root, and compares each suite against its seed
 # baseline in bench/baselines/, failing loudly on a >15% throughput
-# regression. These files are committed: they are the PR-over-PR
-# performance record of the hot paths.
+# regression (3% for BM_InterceptorOverhead — the invocation-pipeline
+# refactor's hot-path budget). These files are committed: they are the
+# PR-over-PR performance record of the hot paths.
 #
 # Usage: scripts/run_bench.sh [build-dir] [min-time-seconds]
 #
@@ -16,7 +17,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 min_time="${2:-0.5}"
 
-for bin in micro_engine micro_cdr micro_substrate; do
+for bin in micro_engine micro_cdr micro_orb micro_substrate; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "benchmarks not built; run: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
     exit 1
@@ -31,6 +32,34 @@ run() {
 
 run "$build_dir/bench/micro_engine" "$repo_root/BENCH_engine.json"
 run "$build_dir/bench/micro_cdr" "$repo_root/BENCH_orb.json"
+# micro_orb shares suite "orb" with micro_cdr; merge its benchmarks into
+# BENCH_orb.json (first writer wins on any duplicated benchmark name).
+orb_tmp="$(mktemp)"
+trap 'rm -f "$orb_tmp"' EXIT
+run "$build_dir/bench/micro_orb" "$orb_tmp"
+python3 - "$repo_root/BENCH_orb.json" "$orb_tmp" <<'EOF'
+import json, sys
+dest_path, src_path = sys.argv[1], sys.argv[2]
+
+def entry_lines(path):
+    # One benchmark object per line in the reporter's output; keep the raw
+    # lines so the merged file matches the writer's formatting exactly.
+    out = []
+    for line in open(path).read().splitlines():
+        stripped = line.strip()
+        if stripped.startswith('{"name"'):
+            raw = line.rstrip().rstrip(",")
+            out.append((json.loads(raw.strip())["name"], raw))
+    return out
+
+entries = entry_lines(dest_path)
+seen = {name for name, _ in entries}
+entries += [(n, raw) for n, raw in entry_lines(src_path) if n not in seen]
+with open(dest_path, "w") as f:
+    f.write('{\n  "suite": "orb",\n  "benchmarks": [\n')
+    f.write(",\n".join(raw for _, raw in entries))
+    f.write("\n  ]\n}\n")
+EOF
 run "$build_dir/bench/micro_substrate" "$repo_root/BENCH_net.json"
 
 if [[ "${AQM_BENCH_NO_COMPARE:-0}" == "1" ]]; then
@@ -44,6 +73,18 @@ import json, pathlib, sys
 
 root = pathlib.Path(sys.argv[1])
 TOLERANCE = 0.15
+# The interceptor refactor promised the invocation hot path stays within
+# 3% of the recorded pre-refactor baseline; hold it to that.
+TIGHT = {"BM_InterceptorOverhead": 0.03}
+
+
+def tolerance_for(name):
+    for prefix, tol in TIGHT.items():
+        if name.startswith(prefix):
+            return tol
+    return TOLERANCE
+
+
 failures = []
 compared = 0
 
@@ -65,14 +106,15 @@ for current_path in sorted(root.glob("BENCH_*.json")):
         if "BM_ParallelSweep" in name:
             continue
         # Throughput must not regress by more than the tolerance.
+        tol = tolerance_for(name)
         base_ips = base.get("items_per_second", 0.0)
         if base_ips > 0:
             compared += 1
             cur_ips = cur.get("items_per_second", 0.0)
-            if cur_ips < base_ips * (1 - TOLERANCE):
+            if cur_ips < base_ips * (1 - tol):
                 failures.append(
                     f"{current_path.name}: {name} items/s {cur_ips:.3g} < "
-                    f"{(1-TOLERANCE):.0%} of baseline {base_ips:.3g}")
+                    f"{(1-tol):.0%} of baseline {base_ips:.3g}")
         # Tracked cost counters (e.g. events_per_packet) must not grow.
         for key, base_val in base.get("counters", {}).items():
             if key == "workers" or base_val <= 0:

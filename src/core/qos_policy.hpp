@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "net/dscp.hpp"
+#include "net/packet.hpp"
 #include "net/rsvp.hpp"
 #include "orb/types.hpp"
 #include "os/cpu.hpp"
@@ -14,6 +15,11 @@
 namespace aqm::core {
 
 struct EndToEndQosPolicy {
+  /// Network flow id classifying the binding's traffic. Applied to the
+  /// stub (and every invocation) by QoSSession / the QoS-policy
+  /// interceptor; reservations require one.
+  std::optional<net::FlowId> flow;
+
   // --- priority-based control (Sections 3.1, 3.2) ---------------------------
   /// CORBA priority for the binding (mapped to native thread priorities on
   /// both hosts via the priority-mapping managers).

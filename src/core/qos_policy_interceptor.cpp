@@ -1,0 +1,73 @@
+#include "core/qos_policy_interceptor.hpp"
+
+#include "orb/orb.hpp"
+
+namespace aqm::core {
+
+QosPolicyInterceptor& QosPolicyInterceptor::install(orb::OrbEndpoint& orb) {
+  if (QosPolicyInterceptor* existing = find(orb)) return *existing;
+  return static_cast<QosPolicyInterceptor&>(
+      orb.add_client_interceptor(std::make_unique<QosPolicyInterceptor>()));
+}
+
+QosPolicyInterceptor* QosPolicyInterceptor::find(orb::OrbEndpoint& orb) {
+  return static_cast<QosPolicyInterceptor*>(orb.find_client_interceptor(kName));
+}
+
+void QosPolicyInterceptor::bind(net::NodeId node, std::string object_key,
+                                EndToEndQosPolicy policy) {
+  Binding binding;
+  binding.policy = std::move(policy);
+  bindings_[node].insert_or_assign(std::move(object_key), std::move(binding));
+}
+
+void QosPolicyInterceptor::unbind(net::NodeId node, std::string_view object_key) {
+  const auto nit = bindings_.find(node);
+  if (nit == bindings_.end()) return;
+  const auto bit = nit->second.find(object_key);
+  if (bit == nit->second.end()) return;
+  nit->second.erase(bit);
+  if (nit->second.empty()) bindings_.erase(nit);
+}
+
+const QosPolicyInterceptor::Binding* QosPolicyInterceptor::lookup(
+    net::NodeId node, std::string_view object_key) const {
+  const auto nit = bindings_.find(node);
+  if (nit == bindings_.end()) return nullptr;
+  const auto bit = nit->second.find(object_key);
+  return bit == nit->second.end() ? nullptr : &bit->second;
+}
+
+const EndToEndQosPolicy* QosPolicyInterceptor::binding(net::NodeId node,
+                                                       std::string_view object_key) const {
+  const Binding* b = lookup(node, object_key);
+  return b == nullptr ? nullptr : &b->policy;
+}
+
+std::optional<net::Dscp> QosPolicyInterceptor::effective_dscp(
+    net::NodeId node, std::string_view object_key, orb::CorbaPriority priority) const {
+  const Binding* b = lookup(node, object_key);
+  if (b == nullptr) return std::nullopt;
+  if (b->policy.explicit_dscp) return *b->policy.explicit_dscp;
+  if (b->policy.map_priority_to_dscp) return b->banded.to_dscp(priority);
+  return std::nullopt;
+}
+
+orb::InterceptStatus QosPolicyInterceptor::establish(orb::ClientRequestContext& ctx) {
+  const Binding* b = lookup(ctx.ref->node, ctx.ref->object_key);
+  if (b == nullptr) return {};
+  const EndToEndQosPolicy& policy = b->policy;
+  // An explicit per-invocation priority (InvokeOptions / stub override)
+  // wins over the binding policy.
+  const bool caller_pinned = ctx.options != nullptr && ctx.options->priority.has_value();
+  if (policy.priority && !caller_pinned) ctx.priority = *policy.priority;
+  if (policy.explicit_dscp) {
+    ctx.dscp_override = *policy.explicit_dscp;
+  } else if (policy.map_priority_to_dscp) {
+    ctx.dscp_override = b->banded.to_dscp(ctx.priority);
+  }
+  if (policy.flow && ctx.flow == net::kNoFlow) ctx.flow = *policy.flow;
+  return {};
+}
+
+}  // namespace aqm::core

@@ -1,0 +1,70 @@
+// Client-side interceptor that applies EndToEndQosPolicy decisions to every
+// invocation of a bound object reference — the pipeline half of QoSSession.
+//
+// One instance is installed per client OrbEndpoint (find-or-install by
+// name) and holds the per-binding policies, keyed by (target node, object
+// key). In the establish phase it rewrites the invocation's QoS slots
+// atomically: priority (unless the caller pinned one), DSCP (explicit
+// override or a per-binding banded priority->DSCP mapping), and flow id.
+// Reservations stay in QoSSession::apply — they are per-binding signaling,
+// not per-invocation work.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/qos_policy.hpp"
+#include "orb/interceptor.hpp"
+#include "orb/rt/dscp_mapping.hpp"
+
+namespace aqm::orb {
+class OrbEndpoint;
+}  // namespace aqm::orb
+
+namespace aqm::core {
+
+class QosPolicyInterceptor final : public orb::ClientRequestInterceptor {
+ public:
+  static constexpr const char* kName = "core.qos_policy";
+
+  [[nodiscard]] const char* name() const override { return kName; }
+
+  /// Returns the endpoint's installed instance, registering one on first use.
+  static QosPolicyInterceptor& install(orb::OrbEndpoint& orb);
+  /// Returns the endpoint's instance, or nullptr when none was installed.
+  [[nodiscard]] static QosPolicyInterceptor* find(orb::OrbEndpoint& orb);
+
+  /// Binds (or replaces) the policy governing invocations of the given
+  /// target reference.
+  void bind(net::NodeId node, std::string object_key, EndToEndQosPolicy policy);
+  void unbind(net::NodeId node, std::string_view object_key);
+
+  /// The bound policy for a target, or nullptr.
+  [[nodiscard]] const EndToEndQosPolicy* binding(net::NodeId node,
+                                                 std::string_view object_key) const;
+  /// The DSCP override this interceptor would stamp on an invocation of
+  /// the target at `priority` (nullopt: fall through to the ORB mapping).
+  [[nodiscard]] std::optional<net::Dscp> effective_dscp(net::NodeId node,
+                                                        std::string_view object_key,
+                                                        orb::CorbaPriority priority) const;
+
+  orb::InterceptStatus establish(orb::ClientRequestContext& ctx) override;
+
+ private:
+  struct Binding {
+    EndToEndQosPolicy policy;
+    /// Per-binding priority->DSCP bands (used iff policy.map_priority_to_dscp),
+    /// so one binding's mapping never leaks onto other traffic of the ORB.
+    orb::rt::BandedDscpMapping banded;
+  };
+
+  [[nodiscard]] const Binding* lookup(net::NodeId node, std::string_view object_key) const;
+
+  // Nested maps with a transparent inner comparator: the establish-phase
+  // lookup takes a string_view and allocates nothing.
+  std::map<net::NodeId, std::map<std::string, Binding, std::less<>>> bindings_;
+};
+
+}  // namespace aqm::core

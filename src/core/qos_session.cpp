@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "common/log.hpp"
-#include "orb/rt/dscp_mapping.hpp"
+#include "core/qos_policy_interceptor.hpp"
 
 namespace aqm::core {
 
@@ -19,17 +19,13 @@ void QoSSession::apply(EndToEndQosPolicy policy, ApplyCallback cb) {
   pending_parts_ = 1;  // sentinel for the synchronous part
 
   // --- synchronous, priority-based mechanisms -------------------------------
-  if (policy_.priority) {
-    stub_.set_priority(*policy_.priority);
-  }
-  if (policy_.map_priority_to_dscp) {
-    client_orb_.dscp_mappings().install(std::make_unique<orb::rt::BandedDscpMapping>());
-  }
-  if (policy_.explicit_dscp) {
-    stub_.ref().protocol.dscp = *policy_.explicit_dscp;
-  } else if (!policy_.map_priority_to_dscp) {
-    stub_.ref().protocol.dscp.reset();
-  }
+  // Priority, DSCP, and flow apply per-invocation through the QoS-policy
+  // interceptor bound to this stub's target reference: one atomic binding
+  // replaces the old scatter of stub/ORB mutations (and a per-binding
+  // banded DSCP mapping no longer leaks onto the ORB's other traffic).
+  if (policy_.flow) stub_.set_flow(*policy_.flow);
+  QosPolicyInterceptor::install(client_orb_)
+      .bind(stub_.ref().node, stub_.ref().object_key, policy_);
 
   // --- asynchronous, reservation-based mechanisms ---------------------------
   if (policy_.network_reservation) {
@@ -94,6 +90,9 @@ void QoSSession::revoke() {
   if (cpu_reserve_ && cpu_client_ != nullptr) {
     cpu_client_->destroy_reserve(*cpu_reserve_);
     cpu_reserve_.reset();
+  }
+  if (QosPolicyInterceptor* icpt = QosPolicyInterceptor::find(client_orb_)) {
+    icpt->unbind(stub_.ref().node, stub_.ref().object_key);
   }
   stub_.clear_priority();
   stub_.ref().protocol.dscp.reset();

@@ -1,0 +1,27 @@
+// Flow classification hook for the middleware layers above the network.
+//
+// The ORB's invocation pipeline asks an installed classifier which network
+// flow an outbound GIOP message belongs to, right before it hands the bytes
+// to the transport. This is where RSVP/token-bucket classification plugs
+// in: a reservation manager can steer a binding's traffic into its reserved
+// flow (so the IntServ queues and token-bucket policers see it) without the
+// ORB or the application hard-coding flow ids per call site.
+#pragma once
+
+#include "net/dscp.hpp"
+#include "net/packet.hpp"
+
+namespace aqm::net {
+
+class FlowClassifier {
+ public:
+  virtual ~FlowClassifier() = default;
+
+  /// Maps an outbound message onto a flow. `requested` is the flow id the
+  /// caller asked for (binding/stub flow, kNoFlow when unset); classifiers
+  /// may honor, refine, or override it.
+  [[nodiscard]] virtual FlowId classify(NodeId src, NodeId dst, Dscp dscp,
+                                        FlowId requested) = 0;
+};
+
+}  // namespace aqm::net

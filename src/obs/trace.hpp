@@ -48,13 +48,16 @@ enum class TraceCategory : std::uint32_t {
   Net = 1u << 1,     // links, queues, RED, token buckets, RSVP
   Orb = 1u << 2,     // request send/dispatch/reply, marshal, transport
   Os = 1u << 3,      // CPU reserves, priority changes
-  Quo = 1u << 4,     // contract region transitions, syscond updates
-  App = 1u << 5,     // driver/example-level annotations
+  Quo = 1u << 4,       // contract region transitions, syscond updates
+  App = 1u << 5,       // driver/example-level annotations
+  Pipeline = 1u << 6,  // per-interceptor invocation pipeline stages
 };
 inline constexpr std::uint32_t kAllCategories = 0xffffffffu;
-/// Everything except the (very chatty) per-event engine dispatch lane.
+/// Everything except the two very chatty lanes: per-event engine dispatch
+/// and per-interceptor pipeline stages (opt in with kAllCategories).
 inline constexpr std::uint32_t kDefaultCategories =
-    kAllCategories & ~static_cast<std::uint32_t>(TraceCategory::Engine);
+    kAllCategories & ~(static_cast<std::uint32_t>(TraceCategory::Engine) |
+                       static_cast<std::uint32_t>(TraceCategory::Pipeline));
 
 [[nodiscard]] const char* to_string(TraceCategory c);
 

@@ -174,4 +174,19 @@ std::optional<std::uint64_t> find_trace(const std::vector<ServiceContext>& conte
   return std::nullopt;
 }
 
+ServiceContext make_deadline_context(TimePoint deadline) {
+  CdrWriter w;
+  w.write_i64(deadline.ns());
+  return ServiceContext{kDeadlineContextId, w.take()};
+}
+
+std::optional<TimePoint> find_deadline(const std::vector<ServiceContext>& contexts) {
+  for (const auto& c : contexts) {
+    if (c.id != kDeadlineContextId) continue;
+    CdrReader r(c.data);
+    return TimePoint{r.read_i64()};
+  }
+  return std::nullopt;
+}
+
 }  // namespace aqm::orb

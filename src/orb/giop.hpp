@@ -45,6 +45,10 @@ inline constexpr std::uint32_t kTimestampContextId = 0x41514D01;
 /// Vendor context: causal trace id, propagated end-to-end exactly like the
 /// RT-CORBA priority so every hop of a request shares one trace.
 inline constexpr std::uint32_t kTraceContextId = 0x41514D02;
+/// Vendor context: absolute end-to-end deadline (simulation clock). The
+/// server-side deadline interceptor drops requests that arrive expired
+/// before any servant work is spent on them.
+inline constexpr std::uint32_t kDeadlineContextId = 0x41514D03;
 
 struct RequestHeader {
   std::uint32_t request_id = 0;
@@ -94,6 +98,10 @@ void encode_reply(const ReplyHeader& header, std::span<const std::uint8_t> body,
 
 [[nodiscard]] ServiceContext make_trace_context(std::uint64_t trace_id);
 [[nodiscard]] std::optional<std::uint64_t> find_trace(
+    const std::vector<ServiceContext>& contexts);
+
+[[nodiscard]] ServiceContext make_deadline_context(TimePoint deadline);
+[[nodiscard]] std::optional<TimePoint> find_deadline(
     const std::vector<ServiceContext>& contexts);
 
 }  // namespace aqm::orb

@@ -1,18 +1,24 @@
 // The ORB endpoint: one per simulated host.
 //
-// Client side: invoke() marshals a GIOP request (costed on the host CPU at
-// the request's mapped native priority), stamps the RTCorbaPriority and
-// timestamp service contexts, maps the priority to a DSCP, and hands the
-// bytes to the transport. Twoway replies are matched by request id with a
-// timeout.
+// Client side: invoke() runs the client interceptor chain's establish
+// phase (QoS decisions: priority, DSCP, flow, deadline), marshals a GIOP
+// request (costed on the host CPU at the mapped native priority), runs the
+// send_request phase (service-context stamping, DSCP/flow classification),
+// and hands the bytes to the transport. Twoway replies are matched by
+// request id with a timeout; the receive_reply / receive_exception phases
+// run before the caller's callback (the deadline/retry interceptor may
+// re-issue the invocation instead of completing it).
 //
-// Server side: complete messages are demultiplexed to a POA/servant, then
-// dispatched into the POA's RT thread pool at the priority chosen by the
-// POA's priority model (CLIENT_PROPAGATED reads the service context,
-// SERVER_DECLARED uses the POA's declared priority). The request's CPU cost
-// (demux + demarshal + servant work) executes on the host CPU; the servant
-// handler runs at completion and, for twoways, the reply travels back with
-// the same priority/DSCP treatment.
+// Server side: complete messages are demultiplexed to a POA/servant, the
+// server chain's receive_request phase resolves QoS from the service
+// contexts (and may veto — e.g. the deadline interceptor drops expired
+// requests before any servant work), then the request is dispatched into
+// the POA's RT thread pool. For twoways the reply runs the send_reply
+// phase (context stamping, priority-derived DSCP) on its way out.
+//
+// All previously hard-wired QoS behaviors live in built-in interceptors
+// (see orb/interceptor.hpp); invoke/handle_request/send_reply are now
+// marshal + pipeline + transport.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "orb/exceptions.hpp"
 #include "orb/giop.hpp"
+#include "orb/interceptor.hpp"
 #include "orb/poa.hpp"
 #include "orb/rt/dscp_mapping.hpp"
 #include "orb/rt/priority_mapping.hpp"
@@ -36,6 +43,10 @@
 #include "orb/types.hpp"
 #include "os/cpu.hpp"
 #include "sim/engine.hpp"
+
+namespace aqm::net {
+class FlowClassifier;
+}  // namespace aqm::net
 
 namespace aqm::orb {
 
@@ -51,14 +62,8 @@ struct OrbConfig {
   TransportConfig transport{};
 };
 
-struct InvokeOptions {
-  bool oneway = false;
-  Duration timeout = seconds(2);
-  /// Overrides the ambient client priority / server-declared priority.
-  std::optional<CorbaPriority> priority;
-  /// Network flow id (for reservations and per-flow statistics).
-  net::FlowId flow = net::kNoFlow;
-};
+// InvokeOptions lives in orb/interceptor.hpp with the rest of the
+// per-invocation pipeline types (deadline/retry knobs included).
 
 struct OrbStats {
   std::uint64_t requests_sent = 0;
@@ -68,6 +73,11 @@ struct OrbStats {
   std::uint64_t timeouts = 0;
   std::uint64_t dispatch_rejected = 0;  // thread-pool queue overflows
   std::uint64_t collocated_calls = 0;   // requests that skipped the transport
+  // --- pipeline counters ---------------------------------------------------
+  std::uint64_t client_vetoed = 0;     // invocations short-circuited client-side
+  std::uint64_t server_vetoed = 0;     // requests rejected by the server chain
+  std::uint64_t deadline_dropped = 0;  // server vetoes for expired deadlines
+  std::uint64_t retries = 0;           // re-issued attempts (deadline/retry)
 };
 
 class OrbEndpoint {
@@ -90,6 +100,30 @@ class OrbEndpoint {
   /// RTCurrent: ambient CORBA priority of this endpoint's client calls.
   void set_client_priority(CorbaPriority p) { client_priority_ = p; }
   [[nodiscard]] CorbaPriority client_priority() const { return client_priority_; }
+
+  // --- invocation pipeline ------------------------------------------------------
+
+  /// Registers a client interceptor. User interceptors run BEFORE the
+  /// built-ins in the establish/send_request phases (their QoS decisions
+  /// feed the built-in stampers) and after them, in reverse registration
+  /// order, on the receive_reply/receive_exception path. Returns the
+  /// registered instance.
+  ClientRequestInterceptor& add_client_interceptor(
+      std::unique_ptr<ClientRequestInterceptor> icpt);
+  /// Registers a server interceptor. User interceptors run AFTER the
+  /// built-ins (they observe fully resolved requests) in every phase.
+  ServerRequestInterceptor& add_server_interceptor(
+      std::unique_ptr<ServerRequestInterceptor> icpt);
+  /// Finds a registered interceptor by name() (nullptr when absent).
+  [[nodiscard]] ClientRequestInterceptor* find_client_interceptor(std::string_view name);
+  [[nodiscard]] ServerRequestInterceptor* find_server_interceptor(std::string_view name);
+
+  /// Installs the flow classifier consulted by the built-in net.flow
+  /// interceptor (non-owning; nullptr uninstalls).
+  void set_flow_classifier(net::FlowClassifier* classifier) {
+    flow_classifier_ = classifier;
+  }
+  [[nodiscard]] net::FlowClassifier* flow_classifier() const { return flow_classifier_; }
 
   // --- server side -------------------------------------------------------------
 
@@ -127,13 +161,51 @@ class OrbEndpoint {
   void export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const;
 
  private:
+  /// Everything needed to re-issue an invocation; materialized only when
+  /// the invocation opted into retries, so the common path stays
+  /// allocation-free.
+  struct RetryState {
+    ObjectRef ref;
+    std::string operation;
+    std::vector<std::uint8_t> body;
+    InvokeOptions options;
+    int attempt = 1;
+    std::optional<TimePoint> deadline;
+  };
+
   struct PendingRequest {
     ResponseCallback cb;
     CorbaPriority priority;
     sim::EventId timeout{};
     std::uint64_t trace = 0;
     const char* span_name = nullptr;  // interned "call <op>" for the async end
+    int attempt = 1;
+    std::shared_ptr<RetryState> retry;  // null unless retries were requested
   };
+
+  template <typename T>
+  struct InterceptorEntry {
+    std::unique_ptr<T> icpt;
+    bool builtin = false;
+    std::uint64_t runs = 0;
+    std::uint64_t vetoes = 0;
+  };
+
+  void install_builtin_interceptors();
+  void invoke_internal(const ObjectRef& ref, const std::string& operation,
+                       std::vector<std::uint8_t> body, InvokeOptions options,
+                       ResponseCallback cb, int attempt,
+                       std::optional<TimePoint> deadline);
+  /// Runs receive_exception and either schedules a retry or completes `cb`.
+  void complete_exception(ResponseCallback cb, CompletionStatus status, int attempt,
+                          std::shared_ptr<RetryState> retry_state, std::uint64_t trace);
+
+  InterceptStatus run_client_establish(ClientRequestContext& ctx);
+  InterceptStatus run_client_send(ClientRequestContext& ctx);
+  void run_client_reply(ClientRequestContext& ctx);
+  void run_client_exception(ClientRequestContext& ctx);
+  InterceptStatus run_server_receive(ServerRequestContext& ctx);
+  InterceptStatus run_server_reply(ServerRequestContext& ctx);
 
   void on_message(net::NodeId src, MessageBuffer msg);
   void handle_request(net::NodeId src, GiopMessage msg, std::size_t wire_size);
@@ -144,7 +216,9 @@ class OrbEndpoint {
   /// Engine recorder iff orb tracing is on; binds the "orb:<node>" lane on
   /// first use.
   [[nodiscard]] obs::TraceRecorder* orb_tracer();
-  [[nodiscard]] net::Dscp dscp_for(const ObjectRef& ref, CorbaPriority priority) const;
+  /// Engine recorder iff the (chatty, off-by-default) per-interceptor
+  /// pipeline lane is enabled.
+  [[nodiscard]] obs::TraceRecorder* pipeline_tracer();
   [[nodiscard]] Duration marshal_cost(std::size_t bytes) const;
   [[nodiscard]] Duration demarshal_cost(std::size_t bytes) const;
 
@@ -160,6 +234,11 @@ class OrbEndpoint {
   std::map<std::uint32_t, PendingRequest> pending_;
   std::uint32_t next_request_id_ = 1;
   OrbStats stats_;
+  // Client chain: [user..., built-ins...]; server chain: [built-ins..., user...].
+  std::vector<InterceptorEntry<ClientRequestInterceptor>> client_chain_;
+  std::vector<InterceptorEntry<ServerRequestInterceptor>> server_chain_;
+  std::size_t client_user_count_ = 0;  // insertion point for user client interceptors
+  net::FlowClassifier* flow_classifier_ = nullptr;
   obs::TraceRecorder* obs_bound_ = nullptr;
   std::uint16_t obs_track_ = 0;
   std::uint64_t last_dispatch_trace_ = 0;
@@ -174,21 +253,37 @@ class ObjectStub {
 
   [[nodiscard]] const ObjectRef& ref() const { return ref_; }
   [[nodiscard]] ObjectRef& ref() { return ref_; }
+  [[nodiscard]] OrbEndpoint& orb() const { return *orb_; }
 
   void set_flow(net::FlowId flow) { flow_ = flow; }
   [[nodiscard]] net::FlowId flow() const { return flow_; }
   void set_priority(CorbaPriority p) { priority_ = p; }
   void clear_priority() { priority_.reset(); }
+  /// Per-binding end-to-end deadline applied to every invocation (the
+  /// server drops requests that arrive expired).
+  void set_deadline(Duration deadline) { deadline_ = deadline; }
+  void clear_deadline() { deadline_.reset(); }
+  /// Per-binding retry policy for twoway timeouts (bounded exponential
+  /// backoff, driven by the deadline/retry interceptor).
+  void set_retry(RetryPolicy retry) { retry_ = retry; }
 
   void oneway(const std::string& operation, std::vector<std::uint8_t> body);
   void twoway(const std::string& operation, std::vector<std::uint8_t> body,
               OrbEndpoint::ResponseCallback cb, Duration timeout = seconds(2));
 
  private:
+  /// Single funnel for both call styles: assembles the binding's
+  /// InvokeOptions (flow, priority, deadline, retry) exactly once.
+  void invoke_with_binding(const std::string& operation, std::vector<std::uint8_t> body,
+                           bool oneway, OrbEndpoint::ResponseCallback cb,
+                           Duration timeout);
+
   OrbEndpoint* orb_;
   ObjectRef ref_;
   net::FlowId flow_ = net::kNoFlow;
   std::optional<CorbaPriority> priority_;
+  std::optional<Duration> deadline_;
+  RetryPolicy retry_;
 };
 
 }  // namespace aqm::orb

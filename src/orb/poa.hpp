@@ -5,6 +5,7 @@
 // adapter: constant-time lookup independent of the number of servants.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -24,6 +25,14 @@ struct PoaPolicies {
   CorbaPriority server_priority = 0;
   /// Thread-pool lanes; a single default lane is created when empty.
   std::vector<rt::ThreadpoolLane> lanes;
+};
+
+/// Per-POA request accounting, maintained by the ORB's dispatch path and
+/// exported next to the endpoint-level totals.
+struct PoaDispatchStats {
+  std::uint64_t dispatched = 0;
+  std::uint64_t rejected = 0;    // thread-pool queue overflows
+  std::uint64_t collocated = 0;  // requests that arrived via the loopback
 };
 
 class Poa {
@@ -50,10 +59,14 @@ class Poa {
 
   [[nodiscard]] rt::ThreadPool& thread_pool() { return *pool_; }
 
+  [[nodiscard]] const PoaDispatchStats& dispatch_stats() const { return dispatch_stats_; }
+  [[nodiscard]] PoaDispatchStats& dispatch_stats() { return dispatch_stats_; }
+
  private:
   OrbEndpoint& orb_;
   std::string name_;
   PoaPolicies policies_;
+  PoaDispatchStats dispatch_stats_;
   std::unordered_map<std::string, std::shared_ptr<Servant>> servants_;
   std::unique_ptr<rt::ThreadPool> pool_;
 };

@@ -2,22 +2,79 @@
 
 namespace aqm::quo {
 
-void Delegate::oneway(const std::string& operation, std::vector<std::uint8_t> body) {
-  if (pre_ && pre_(operation, body) == CallAction::Drop) {
+DelegateInterceptor& DelegateInterceptor::install(orb::OrbEndpoint& orb) {
+  if (DelegateInterceptor* existing = find(orb)) return *existing;
+  return static_cast<DelegateInterceptor&>(
+      orb.add_client_interceptor(std::make_unique<DelegateInterceptor>()));
+}
+
+DelegateInterceptor* DelegateInterceptor::find(orb::OrbEndpoint& orb) {
+  return static_cast<DelegateInterceptor*>(orb.find_client_interceptor(kName));
+}
+
+void DelegateInterceptor::bind(net::NodeId node, std::string object_key,
+                               Delegate* delegate) {
+  bindings_[node].insert_or_assign(std::move(object_key), delegate);
+}
+
+void DelegateInterceptor::unbind(net::NodeId node, std::string_view object_key) {
+  const auto nit = bindings_.find(node);
+  if (nit == bindings_.end()) return;
+  const auto bit = nit->second.find(object_key);
+  if (bit == nit->second.end()) return;
+  nit->second.erase(bit);
+  if (nit->second.empty()) bindings_.erase(nit);
+}
+
+orb::InterceptStatus DelegateInterceptor::establish(orb::ClientRequestContext& ctx) {
+  const auto nit = bindings_.find(ctx.ref->node);
+  if (nit == bindings_.end()) return {};
+  const auto bit = nit->second.find(std::string_view(ctx.ref->object_key));
+  if (bit == nit->second.end()) return {};
+  return bit->second->run_establish(ctx);
+}
+
+Delegate::Delegate(orb::ObjectStub stub) : stub_(std::move(stub)) {
+  DelegateInterceptor::install(stub_.orb())
+      .bind(stub_.ref().node, stub_.ref().object_key, this);
+}
+
+Delegate::~Delegate() {
+  if (DelegateInterceptor* icpt = DelegateInterceptor::find(stub_.orb())) {
+    icpt->unbind(stub_.ref().node, stub_.ref().object_key);
+  }
+}
+
+void Delegate::gate_on_contract(Contract& contract, std::string allowed_region) {
+  gate_contract_ = &contract;
+  gate_region_ = std::move(allowed_region);
+}
+
+void Delegate::clear_contract_gate() {
+  gate_contract_ = nullptr;
+  gate_region_.clear();
+}
+
+orb::InterceptStatus Delegate::run_establish(orb::ClientRequestContext& ctx) {
+  if (gate_contract_ != nullptr && gate_contract_->current_region() != gate_region_) {
     ++dropped_;
-    return;
+    return orb::veto(orb::CompletionStatus::Transient);
+  }
+  if (pre_ && ctx.operation != nullptr && ctx.body != nullptr &&
+      pre_(*ctx.operation, *ctx.body) == CallAction::Drop) {
+    ++dropped_;
+    return orb::veto(orb::CompletionStatus::Transient);
   }
   ++forwarded_;
+  return {};
+}
+
+void Delegate::oneway(const std::string& operation, std::vector<std::uint8_t> body) {
   stub_.oneway(operation, std::move(body));
 }
 
 void Delegate::twoway(const std::string& operation, std::vector<std::uint8_t> body,
                       orb::OrbEndpoint::ResponseCallback cb, Duration timeout) {
-  if (pre_ && pre_(operation, body) == CallAction::Drop) {
-    ++dropped_;
-    return;
-  }
-  ++forwarded_;
   stub_.twoway(operation, std::move(body),
                [this, operation, cb = std::move(cb)](orb::CompletionStatus status,
                                                      std::vector<std::uint8_t> reply) {

@@ -7,6 +7,7 @@
 
 #include "core/cpu_reservation_manager.hpp"
 #include "core/network_qos_manager.hpp"
+#include "core/qos_policy_interceptor.hpp"
 #include "core/qos_session.hpp"
 #include "core/testbed.hpp"
 
@@ -108,7 +109,13 @@ TEST_F(SessionFixture, CombinedPolicyAppliesAllMechanisms) {
   EXPECT_TRUE(session.network_reserved());
   ASSERT_TRUE(session.cpu_reserve_id().has_value());
   EXPECT_TRUE(bed.receiver_cpu.has_reserve(*session.cpu_reserve_id()));
-  EXPECT_EQ(bed.sender_orb.dscp_mappings().to_dscp(28'000), net::dscp::kEf);
+  // The priority->DSCP mapping is bound per-target through the QoS-policy
+  // interceptor; the ORB's global mapping stays best-effort.
+  QosPolicyInterceptor* icpt = QosPolicyInterceptor::find(bed.sender_orb);
+  ASSERT_NE(icpt, nullptr);
+  EXPECT_EQ(icpt->effective_dscp(target.node, target.object_key, 28'000),
+            net::dscp::kEf);
+  EXPECT_EQ(bed.sender_orb.dscp_mappings().to_dscp(28'000), net::dscp::kBestEffort);
   // The bottleneck queue carries the stream reservation.
   auto* q = dynamic_cast<net::IntServQueue*>(
       &bed.network.link_between(bed.switch_node, bed.receiver_node)->queue());
@@ -146,7 +153,15 @@ TEST_F(SessionFixture, PriorityOnlyPolicyIsSynchronous) {
   // No simulation time needed: callback fires inline.
   ASSERT_TRUE(outcome.has_value());
   EXPECT_TRUE(*outcome);
-  EXPECT_EQ(stub->ref().protocol.dscp, net::dscp::kAf41);
+  QosPolicyInterceptor* icpt = QosPolicyInterceptor::find(bed.sender_orb);
+  ASSERT_NE(icpt, nullptr);
+  const EndToEndQosPolicy* bound = icpt->binding(target.node, target.object_key);
+  ASSERT_NE(bound, nullptr);
+  EXPECT_EQ(bound->priority, 15'000);
+  // The explicit DSCP wins at any priority, and the stub's protocol
+  // properties are no longer mutated behind the caller's back.
+  EXPECT_EQ(icpt->effective_dscp(target.node, target.object_key, 0), net::dscp::kAf41);
+  EXPECT_FALSE(stub->ref().protocol.dscp.has_value());
   EXPECT_TRUE(policy.uses_priorities());
   EXPECT_FALSE(policy.uses_reservations());
 }

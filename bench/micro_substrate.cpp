@@ -5,6 +5,7 @@
 // BENCH_net.json from PR to PR.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -52,6 +53,63 @@ void BM_CpuSchedulerThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2'000);
 }
 BENCHMARK(BM_CpuSchedulerThroughput);
+
+/// Scaling probe for the indexed scheduler: submit N mixed-priority jobs
+/// up front (Arg 0 = N), optionally spread across four CPU reserves that
+/// exhaust and replenish during the run (Arg 1), and drain the backlog.
+/// The point is the shape, not the absolute rate: per-job scheduling cost
+/// (ns_per_job) must stay roughly flat from 256 to 16384 pending jobs in
+/// the plain variant — the scan-everything scheduler was quadratic here.
+/// (The reserves variant is allowed to grow: each replenishment genuinely
+/// re-prioritizes every job attached to the reserve, so its per-job cost
+/// scales with attachment density by design.) CI asserts the plain-mode
+/// flatness; run_bench.sh gates items/s floors like every other suite.
+void BM_CpuSchedulerScaling(benchmark::State& state) {
+  const int n_jobs = static_cast<int>(state.range(0));
+  const bool with_reserves = state.range(1) != 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.reserve(1'024);
+    os::Cpu cpu(engine, "cpu");
+    std::array<os::ReserveId, 4> reserves{};
+    if (with_reserves) {
+      for (std::size_t r = 0; r < reserves.size(); ++r) {
+        // Small budgets over short periods: jobs overrun, hard reserves
+        // suspend and wake, soft ones demote — the expensive transitions.
+        const auto id = cpu.create_reserve(
+            {microseconds(200 + 100 * static_cast<std::int64_t>(r)),
+             milliseconds(2 + static_cast<std::int64_t>(r)),
+             /*hard=*/r % 2 == 0});
+        reserves[r] = id.ok() ? id.value() : os::kNoReserve;
+      }
+    }
+    int done = 0;
+    for (int i = 0; i < n_jobs; ++i) {
+      const os::ReserveId reserve =
+          with_reserves && i % 4 == 0 ? reserves[static_cast<std::size_t>(i / 4) % 4]
+                                      : os::kNoReserve;
+      cpu.submit_for(microseconds(20), i % 32, [&done] { ++done; }, reserve);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * n_jobs);
+  // Inverted rate scaled to nanoseconds per scheduled job (the 1e-9 keeps
+  // the value >> the JSON reporter's 6-decimal precision). The
+  // run_bench.sh gate fails if this grows >15% vs the recorded floor —
+  // i.e. if per-decision cost regresses toward job-count dependence.
+  state.counters["ns_per_job"] = benchmark::Counter(
+      1e-9 * static_cast<double>(n_jobs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(with_reserves ? "reserves" : "plain");
+}
+BENCHMARK(BM_CpuSchedulerScaling)
+    ->Args({256, 0})
+    ->Args({2048, 0})
+    ->Args({16384, 0})
+    ->Args({256, 1})
+    ->Args({2048, 1})
+    ->Args({16384, 1});
 
 void BM_PacketForwarding(benchmark::State& state) {
   for (auto _ : state) {

@@ -76,10 +76,16 @@ TOLERANCE = 0.15
 # The interceptor refactor promised the invocation hot path stays within
 # 3% of the recorded pre-refactor baseline; hold it to that.
 TIGHT = {"BM_InterceptorOverhead": 0.03}
+# The scheduler-scaling suite exists for the shape (ns_per_job roughly
+# flat from 256 to 16384 pending jobs — CI asserts that, self-relative,
+# per run), not for absolute floors: the per-iteration work is small
+# enough that single-machine noise swamps a 15% gate. Gate it loosely
+# and let BM_CpuSchedulerThroughput carry the scheduler throughput floor.
+LOOSE = {"BM_CpuSchedulerScaling": 0.40}
 
 
 def tolerance_for(name):
-    for prefix, tol in TIGHT.items():
+    for prefix, tol in {**TIGHT, **LOOSE}.items():
         if name.startswith(prefix):
             return tol
     return TOLERANCE
@@ -120,7 +126,7 @@ for current_path in sorted(root.glob("BENCH_*.json")):
             if key == "workers" or base_val <= 0:
                 continue
             cur_val = cur.get("counters", {}).get(key, 0.0)
-            if cur_val > base_val * (1 + TOLERANCE):
+            if cur_val > base_val * (1 + tol):
                 failures.append(
                     f"{current_path.name}: {name} counter {key} {cur_val:.3g} > "
                     f"{(1+TOLERANCE):.0%} of baseline {base_val:.3g}")

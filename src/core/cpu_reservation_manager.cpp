@@ -59,6 +59,12 @@ CpuReservationManagerServer::CpuReservationManagerServer(orb::Poa& poa, os::Cpu&
           req.reply_body = w.take();
           return;
         }
+        if (req.operation == kQueryUtilizationOp) {
+          orb::CdrWriter w;
+          w.write_f64(cpu.reserved_utilization());
+          req.reply_body = w.take();
+          return;
+        }
         throw orb::BadParam("unknown reservation-manager operation: " + req.operation);
       });
   ref_ = poa.activate_object(kCpuReserveManagerObjectId, std::move(servant));
@@ -94,6 +100,25 @@ void CpuReservationClient::destroy_reserve(os::ReserveId id, DestroyCallback cb,
                [cb = std::move(cb)](orb::CompletionStatus status,
                                     std::vector<std::uint8_t>) {
                  if (cb) cb(status == orb::CompletionStatus::Ok);
+               },
+               timeout);
+}
+
+void CpuReservationClient::query_utilization(UtilizationCallback cb, Duration timeout) {
+  stub_.twoway(kQueryUtilizationOp, {},
+               [cb = std::move(cb)](orb::CompletionStatus status,
+                                    std::vector<std::uint8_t> body) {
+                 if (status != orb::CompletionStatus::Ok) {
+                   cb(Result<double>::err(std::string("rpc failed: ") +
+                                          orb::to_string(status)));
+                   return;
+                 }
+                 try {
+                   orb::CdrReader r(body);
+                   cb(Result<double>{r.read_f64()});
+                 } catch (const orb::MarshalError& e) {
+                   cb(Result<double>::err(e.what()));
+                 }
                },
                timeout);
 }

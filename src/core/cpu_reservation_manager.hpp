@@ -24,6 +24,7 @@ namespace aqm::core {
 inline constexpr const char* kCpuReserveManagerObjectId = "cpu_reserve_manager";
 inline constexpr const char* kCreateReserveOp = "create_reserve";
 inline constexpr const char* kDestroyReserveOp = "destroy_reserve";
+inline constexpr const char* kQueryUtilizationOp = "query_utilization";
 
 /// Host-local agent: activates the manager servant in `poa` and forwards
 /// reservation requests to the host's resource kernel (os::Cpu).
@@ -42,6 +43,7 @@ class CpuReservationClient {
  public:
   using CreateCallback = std::function<void(Result<os::ReserveId>)>;
   using DestroyCallback = std::function<void(bool ok)>;
+  using UtilizationCallback = std::function<void(Result<double>)>;
 
   CpuReservationClient(orb::OrbEndpoint& orb, orb::ObjectRef manager);
 
@@ -52,6 +54,12 @@ class CpuReservationClient {
 
   void destroy_reserve(os::ReserveId id, DestroyCallback cb = nullptr,
                        Duration timeout = seconds(2));
+
+  /// Asks the remote host for its admitted reserve utilization, sum(C/T).
+  /// Admission planners poll this before placing work; the server answers
+  /// from the kernel's incrementally-maintained sum, so the query costs
+  /// O(1) regardless of how many reserves the host carries.
+  void query_utilization(UtilizationCallback cb, Duration timeout = seconds(2));
 
  private:
   orb::ObjectStub stub_;

@@ -15,12 +15,24 @@ void SchedulingService::declare(ActivitySpec spec) {
   assert(spec.period > Duration::zero());
   assert(spec.cost > Duration::zero());
   assert(spec.cost <= spec.period);
+  const double util = utilization_of(spec);
+  const bool replacing = activities_.count(spec.name) > 0;
   activities_[spec.name] = std::move(spec);
+  if (replacing) {
+    recompute_utilization();  // old term drops out; re-sum, don't subtract
+  } else {
+    util_sum_ += util;
+  }
 }
 
 void SchedulingService::remove(const std::string& name) {
-  activities_.erase(name);
+  if (activities_.erase(name) > 0) recompute_utilization();
   assigned_.erase(name);
+}
+
+void SchedulingService::recompute_utilization() {
+  util_sum_ = 0.0;
+  for (const auto& [name, spec] : activities_) util_sum_ += utilization_of(spec);
 }
 
 std::vector<const ActivitySpec*> SchedulingService::rm_order() const {
@@ -87,14 +99,6 @@ std::optional<orb::CorbaPriority> SchedulingService::priority_of(
   const auto it = assigned_.find(name);
   if (it == assigned_.end()) return std::nullopt;
   return it->second;
-}
-
-double SchedulingService::total_utilization() const {
-  double u = 0.0;
-  for (const auto& [name, spec] : activities_) {
-    u += static_cast<double>(spec.cost.ns()) / static_cast<double>(spec.period.ns());
-  }
-  return u;
 }
 
 double SchedulingService::liu_layland_bound(std::size_t n) {

@@ -59,8 +59,10 @@ class SchedulingService {
 
   // --- schedulability analysis ---------------------------------------------------
 
-  /// Sum of cost/period over all declared activities.
-  [[nodiscard]] double total_utilization() const;
+  /// Sum of cost/period over all declared activities. O(1): maintained
+  /// incrementally — added on declare, recomputed in name order on remove
+  /// or replace so rounding error never accumulates across churn.
+  [[nodiscard]] double total_utilization() const { return util_sum_; }
 
   /// Liu & Layland bound n(2^(1/n) - 1): sufficient, not necessary.
   [[nodiscard]] static double liu_layland_bound(std::size_t n);
@@ -79,9 +81,15 @@ class SchedulingService {
   [[nodiscard]] static std::optional<Duration> response_time(
       const ActivitySpec& task, const std::vector<const ActivitySpec*>& higher);
 
+  [[nodiscard]] static double utilization_of(const ActivitySpec& spec) {
+    return static_cast<double>(spec.cost.ns()) / static_cast<double>(spec.period.ns());
+  }
+  void recompute_utilization();
+
   Config config_;
   std::map<std::string, ActivitySpec> activities_;
   std::map<std::string, orb::CorbaPriority> assigned_;
+  double util_sum_ = 0.0;
 };
 
 }  // namespace aqm::core

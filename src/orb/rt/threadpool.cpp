@@ -22,11 +22,13 @@ ThreadPool::ThreadPool(os::Cpu& cpu, const PriorityMappingManager& mapping,
 
 std::size_t ThreadPool::lane_for(CorbaPriority priority) const {
   // Highest lane priority <= request priority; lowest lane as fallback.
-  std::size_t chosen = 0;
-  for (std::size_t i = 0; i < lanes_.size(); ++i) {
-    if (lanes_[i].spec.lane_priority <= priority) chosen = i;
-  }
-  return chosen;
+  // Lanes are sorted ascending by priority at construction, so this is a
+  // binary search: first lane above the request, then step back one.
+  const auto above = std::upper_bound(
+      lanes_.begin(), lanes_.end(), priority,
+      [](CorbaPriority p, const Lane& lane) { return p < lane.spec.lane_priority; });
+  if (above == lanes_.begin()) return 0;
+  return static_cast<std::size_t>(above - lanes_.begin()) - 1;
 }
 
 bool ThreadPool::dispatch(CorbaPriority priority, Duration cpu_cost,

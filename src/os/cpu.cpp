@@ -40,6 +40,44 @@ std::uint64_t Cpu::cycles_for(Duration cpu_time) const {
   return mul_div_ceil(static_cast<std::uint64_t>(cpu_time.ns()), config_.hz, 1'000'000'000ULL);
 }
 
+// --- ready-queue index ------------------------------------------------------
+
+void Cpu::ready_insert(Job& job) {
+  assert(!job.in_ready);
+  const auto ep = effective_priority(job);
+  if (!ep) return;  // hard reserve with exhausted budget: suspended
+  ready_[*ep].emplace(job.queue_rank, job.id);
+  job.ready_level = *ep;
+  job.in_ready = true;
+  ++ready_count_;
+}
+
+void Cpu::ready_remove(Job& job) {
+  if (!job.in_ready) return;
+  const auto lit = ready_.find(job.ready_level);
+  assert(lit != ready_.end());
+  lit->second.erase(job.queue_rank);
+  if (lit->second.empty()) ready_.erase(lit);
+  job.in_ready = false;
+  --ready_count_;
+}
+
+void Cpu::reindex_attached(ReserveId id) {
+  const auto ait = attached_.find(id);
+  if (ait == attached_.end()) return;
+  for (const JobId jid : ait->second) {
+    const auto it = jobs_.find(jid);
+    assert(it != jobs_.end());
+    reindex_job(it->second);
+  }
+}
+
+void Cpu::push_wake(const Reserve& r) {
+  wake_heap_.push({boundary_of(r).ns(), r.id});
+}
+
+// --- job submission ---------------------------------------------------------
+
 JobId Cpu::submit(std::uint64_t cycles, Priority priority, std::function<void()> on_complete,
                   ReserveId reserve) {
   const JobId id = next_job_id_++;
@@ -50,7 +88,23 @@ JobId Cpu::submit(std::uint64_t cycles, Priority priority, std::function<void()>
   job.reserve = reserve;
   job.on_complete = std::move(on_complete);
   job.queue_rank = next_rank_++;
-  jobs_.emplace(id, std::move(job));
+  const auto [it, inserted] = jobs_.emplace(id, std::move(job));
+  assert(inserted);
+  (void)inserted;
+  if (indexed()) {
+    if (reserve != kNoReserve) {
+      auto& members = attached_[reserve];
+      const bool first = members.empty();
+      members.insert(id);
+      if (first) {
+        // First attached job: the wake heap may hold no live entry for this
+        // reserve (entries go stale when the set drains), so seed one.
+        const auto rit = reserves_.find(reserve);
+        if (rit != reserves_.end()) push_wake(rit->second);
+      }
+    }
+    ready_insert(it->second);
+  }
   reschedule();
   return id;
 }
@@ -67,6 +121,16 @@ bool Cpu::cancel(JobId id) {
     charge_running();
     clear_pending_events();
     running_.reset();
+  }
+  if (indexed()) {
+    ready_remove(it->second);
+    if (it->second.reserve != kNoReserve) {
+      const auto ait = attached_.find(it->second.reserve);
+      if (ait != attached_.end()) {
+        ait->second.erase(id);
+        if (ait->second.empty()) attached_.erase(ait);
+      }
+    }
   }
   jobs_.erase(it);
   reschedule();
@@ -93,6 +157,7 @@ bool Cpu::set_base_priority(JobId id, Priority priority) {
                  {"to", static_cast<double>(priority)}});
   }
   it->second.base_priority = priority;
+  if (indexed()) reindex_job(it->second);
   reschedule();
   return true;
 }
@@ -102,6 +167,8 @@ std::optional<Priority> Cpu::base_priority(JobId id) const {
   if (it == jobs_.end()) return std::nullopt;
   return it->second.base_priority;
 }
+
+// --- reserves ---------------------------------------------------------------
 
 Result<ReserveId> Cpu::create_reserve(const ReserveSpec& spec) {
   if (spec.compute <= Duration::zero() || spec.period <= Duration::zero() ||
@@ -117,13 +184,26 @@ Result<ReserveId> Cpu::create_reserve(const ReserveSpec& spec) {
   r.spec = spec;
   r.budget = spec.compute;  // starts with a full budget
   r.period_start = engine_.now();
-  reserves_.emplace(id, std::move(r));
+  const auto [rit, inserted] = reserves_.emplace(id, std::move(r));
+  assert(inserted);
+  (void)inserted;
+  reserved_util_sum_ += spec.utilization();
   AQM_DEBUG() << "cpu " << name_ << ": reserve " << id << " admitted ("
               << spec.compute.millis() << "ms/" << spec.period.millis() << "ms)";
   if (obs::TraceRecorder* tr = os_tracer()) {
     tr->instant(obs::TraceCategory::Os, "reserve.admit", obs_track_, engine_.now(),
                 tr->current(),
                 {{"compute_ms", spec.compute.millis()}, {"period_ms", spec.period.millis()}});
+  }
+  if (indexed()) {
+    replenish_heap_.push({boundary_of(rit->second).ns(), id});
+    const auto ait = attached_.find(id);
+    if (ait != attached_.end() && !ait->second.empty()) {
+      // Jobs submitted against this id before the reserve existed attach
+      // now (the legacy scheduler resolves the reserve lazily on scan).
+      push_wake(rit->second);
+      reindex_attached(id);
+    }
   }
   reschedule();
   return id;
@@ -133,8 +213,16 @@ void Cpu::destroy_reserve(ReserveId id) {
   const auto it = reserves_.find(id);
   if (it == reserves_.end()) return;
   reserves_.erase(it);
-  // Jobs that referenced the reserve fall back to base priority via
-  // effective_priority()'s lookup failure.
+  // Recompute in id order rather than subtracting: bit-identical to a fresh
+  // summation, so float drift can never skew admission. Destroys are rare
+  // control-plane events; admissions stay O(1).
+  reserved_util_sum_ = 0.0;
+  for (const auto& [rid, r] : reserves_) reserved_util_sum_ += r.spec.utilization();
+  if (indexed()) {
+    // Jobs that referenced the reserve fall back to base priority; heap
+    // entries for the dead id are skipped lazily.
+    reindex_attached(id);
+  }
   reschedule();
 }
 
@@ -165,9 +253,25 @@ Duration Cpu::reserve_budget(ReserveId id) const {
 }
 
 double Cpu::reserved_utilization() const {
-  double u = 0.0;
-  for (const auto& [id, r] : reserves_) u += r.spec.utilization();
-  return u;
+  if (config_.legacy_scan) {
+    double u = 0.0;
+    for (const auto& [id, r] : reserves_) u += r.spec.utilization();
+    return u;
+  }
+  return reserved_util_sum_;
+}
+
+// --- introspection ----------------------------------------------------------
+
+std::size_t Cpu::runnable_count() const {
+  if (config_.legacy_scan) {
+    std::size_t n = 0;
+    for (const auto& [id, job] : jobs_) {
+      if (effective_priority(job)) ++n;
+    }
+    return n;
+  }
+  return ready_count_;
 }
 
 Duration Cpu::busy_time() const {
@@ -189,6 +293,7 @@ void Cpu::export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) con
   reg.counter(p + ".busy_ns").set(static_cast<std::uint64_t>(busy_time().ns()));
   reg.counter(p + ".reserves").set(reserves_.size());
   reg.counter(p + ".jobs_pending").set(jobs_.size());
+  reg.counter(p + ".jobs_runnable").set(runnable_count());
 }
 
 std::optional<Priority> Cpu::running_priority() const {
@@ -214,6 +319,8 @@ bool Cpu::is_boosted(const Job& job) const {
   const auto it = reserves_.find(job.reserve);
   return it != reserves_.end() && it->second.budget > Duration::zero();
 }
+
+// --- scheduling core --------------------------------------------------------
 
 void Cpu::charge_running() {
   if (!running_) return;
@@ -241,6 +348,9 @@ void Cpu::charge_running() {
                       {{"reserve", static_cast<double>(job.reserve)},
                        {"hard", rit->second.spec.hard ? 1.0 : 0.0}});
         }
+        // Boost state flipped: attached jobs drop out of the boost band
+        // (hard: out of the ready index entirely until replenishment).
+        if (indexed()) reindex_attached(job.reserve);
       }
     }
   }
@@ -264,12 +374,53 @@ void Cpu::clear_pending_events() {
 
 void Cpu::roll_periods() {
   const TimePoint now = engine_.now();
+  if (config_.legacy_scan) {
+    obs::TraceRecorder* tr = os_tracer();
+    for (auto& [id, r] : reserves_) {
+      if (now < r.period_start + r.spec.period) continue;
+      const std::int64_t k = (now - r.period_start).ns() / r.spec.period.ns();
+      r.period_start = r.period_start + r.spec.period * k;
+      r.budget = r.spec.compute;  // unused budget does not accumulate
+      if (tr != nullptr) {
+        tr->instant(obs::TraceCategory::Os, "reserve.replenish", obs_track_, now, 0,
+                    {{"reserve", static_cast<double>(id)},
+                     {"budget_ms", r.budget.millis()}});
+      }
+    }
+    return;
+  }
+
+  // Indexed: pop due boundaries off the min-heap; the common case (nothing
+  // due) is a single comparison and touches neither reserves nor the tracer.
+  if (replenish_heap_.empty() || replenish_heap_.top().first > now.ns()) return;
+  std::vector<ReserveId> due;
+  while (!replenish_heap_.empty() && replenish_heap_.top().first <= now.ns()) {
+    const auto [at_ns, id] = replenish_heap_.top();
+    replenish_heap_.pop();
+    const auto it = reserves_.find(id);
+    if (it == reserves_.end()) continue;                  // destroyed: stale
+    if (boundary_of(it->second).ns() != at_ns) continue;  // boundary moved: stale
+    due.push_back(id);
+  }
+  if (due.empty()) return;
+  // Replenish in id order so the emitted trace instants match the legacy
+  // reserves_-iteration order byte for byte.
+  std::sort(due.begin(), due.end());
   obs::TraceRecorder* tr = os_tracer();
-  for (auto& [id, r] : reserves_) {
-    if (now < r.period_start + r.spec.period) continue;
+  for (const ReserveId id : due) {
+    Reserve& r = reserves_.find(id)->second;
     const std::int64_t k = (now - r.period_start).ns() / r.spec.period.ns();
     r.period_start = r.period_start + r.spec.period * k;
+    const bool was_exhausted = r.budget == Duration::zero();
     r.budget = r.spec.compute;  // unused budget does not accumulate
+    replenish_heap_.push({boundary_of(r).ns(), id});
+    const auto ait = attached_.find(id);
+    const bool has_jobs = ait != attached_.end() && !ait->second.empty();
+    if (has_jobs) {
+      push_wake(r);
+      // Suspended (hard) and demoted (soft) jobs re-enter the boost band.
+      if (was_exhausted) reindex_attached(id);
+    }
     if (tr != nullptr) {
       tr->instant(obs::TraceCategory::Os, "reserve.replenish", obs_track_, now, 0,
                   {{"reserve", static_cast<double>(id)},
@@ -282,18 +433,43 @@ void Cpu::arm_reserve_wake() {
   // Wake the scheduler at the next period boundary of any reserve that has
   // jobs attached, so suspended jobs resume and budgets refresh on time.
   // Idle reserves arm nothing, which keeps the event queue drainable.
-  TimePoint next = TimePoint::max();
-  for (const auto& [jid, job] : jobs_) {
-    if (job.reserve == kNoReserve) continue;
-    const auto rit = reserves_.find(job.reserve);
-    if (rit == reserves_.end()) continue;
-    next = std::min(next, rit->second.period_start + rit->second.spec.period);
+  if (config_.legacy_scan) {
+    TimePoint next = TimePoint::max();
+    for (const auto& [jid, job] : jobs_) {
+      if (job.reserve == kNoReserve) continue;
+      const auto rit = reserves_.find(job.reserve);
+      if (rit == reserves_.end()) continue;
+      next = std::min(next, rit->second.period_start + rit->second.spec.period);
+    }
+    if (next == TimePoint::max()) return;
+    reserve_wake_event_ = engine_.at(next, [this] {
+      reserve_wake_event_ = sim::EventId{};
+      reschedule();
+    });
+    return;
   }
-  if (next == TimePoint::max()) return;
-  reserve_wake_event_ = engine_.at(next, [this] {
-    reserve_wake_event_ = sim::EventId{};
-    reschedule();
-  });
+
+  // Indexed: the earliest live wake-heap entry IS the next boundary of an
+  // attached reserve (entries are pushed on first attach and on every
+  // replenish while attached, and a live entry is never popped as stale).
+  while (!wake_heap_.empty()) {
+    const auto [at_ns, id] = wake_heap_.top();
+    const auto rit = reserves_.find(id);
+    bool live = rit != reserves_.end() && boundary_of(rit->second).ns() == at_ns;
+    if (live) {
+      const auto ait = attached_.find(id);
+      live = ait != attached_.end() && !ait->second.empty();
+    }
+    if (!live) {
+      wake_heap_.pop();
+      continue;
+    }
+    reserve_wake_event_ = engine_.at(TimePoint{at_ns}, [this] {
+      reserve_wake_event_ = sim::EventId{};
+      reschedule();
+    });
+    return;
+  }
 }
 
 void Cpu::reschedule() {
@@ -305,17 +481,27 @@ void Cpu::reschedule() {
   arm_reserve_wake();
 
   // Pick the runnable job with the highest effective priority; FIFO within
-  // a level (smallest queue_rank first). jobs_ is an ordered map, so the
-  // scan is deterministic.
-  const Job* best = nullptr;
+  // a level (smallest queue_rank first).
+  Job* best = nullptr;
   Priority best_prio = 0;
-  for (const auto& [id, job] : jobs_) {
-    const auto ep = effective_priority(job);
-    if (!ep) continue;
-    if (best == nullptr || *ep > best_prio ||
-        (*ep == best_prio && job.queue_rank < best->queue_rank)) {
-      best = &job;
-      best_prio = *ep;
+  if (indexed()) {
+    if (!ready_.empty()) {
+      const auto& [level, queue] = *ready_.begin();
+      assert(!queue.empty());
+      best = &jobs_.find(queue.begin()->second)->second;
+      best_prio = level;
+    }
+  } else {
+    // Legacy oracle: scan every job. The comparison is a strict total order
+    // ((effective priority, unique rank)), so iteration order is irrelevant.
+    for (auto& [id, job] : jobs_) {
+      const auto ep = effective_priority(job);
+      if (!ep) continue;
+      if (best == nullptr || *ep > best_prio ||
+          (*ep == best_prio && job.queue_rank < best->queue_rank)) {
+        best = &job;
+        best_prio = *ep;
+      }
     }
   }
   if (best == nullptr) return;  // idle
@@ -333,14 +519,22 @@ void Cpu::reschedule() {
     limit = reserves_.at(best->reserve).budget;
   }
   if (config_.quantum < Duration::max()) {
-    for (const auto& [id, job] : jobs_) {
-      if (id == best->id) continue;
-      const auto ep = effective_priority(job);
-      if (ep && *ep == best_prio) {
-        limit = std::min(limit, config_.quantum);
-        break;
+    bool has_peer = false;
+    if (indexed()) {
+      // The running job sits at the front of its level queue; any second
+      // entry is an equal-effective-priority peer.
+      has_peer = ready_.begin()->second.size() > 1;
+    } else {
+      for (const auto& [id, job] : jobs_) {
+        if (id == best->id) continue;
+        const auto ep = effective_priority(job);
+        if (ep && *ep == best_prio) {
+          has_peer = true;
+          break;
+        }
       }
     }
+    if (has_peer) limit = std::min(limit, config_.quantum);
   }
 
   if (to_completion <= limit) {
@@ -354,7 +548,15 @@ void Cpu::reschedule() {
       // after charge_running() updates the reserve.
       if (running_) {
         const auto it = jobs_.find(*running_);
-        if (it != jobs_.end()) it->second.queue_rank = next_rank_++;
+        if (it != jobs_.end()) {
+          if (indexed()) {
+            ready_remove(it->second);
+            it->second.queue_rank = next_rank_++;
+            ready_insert(it->second);
+          } else {
+            it->second.queue_rank = next_rank_++;
+          }
+        }
       }
       reschedule();
     });
@@ -375,6 +577,16 @@ void Cpu::complete(JobId id) {
   // charge_running() can leave a sub-nanosecond residue of cycles.
   it->second.cycles_remaining = 0;
   auto on_complete = std::move(it->second.on_complete);
+  if (indexed()) {
+    ready_remove(it->second);
+    if (it->second.reserve != kNoReserve) {
+      const auto ait = attached_.find(it->second.reserve);
+      if (ait != attached_.end()) {
+        ait->second.erase(id);
+        if (ait->second.empty()) attached_.erase(ait);
+      }
+    }
+  }
   jobs_.erase(it);
 
   reschedule();

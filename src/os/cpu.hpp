@@ -18,6 +18,15 @@
 //    every `period`.
 //  * Reserve admission control enforces sum(C_i/T_i) <= utilization cap.
 //
+// Scheduling decisions are indexed, not scanned (DESIGN.md §9): runnable
+// jobs live in per-effective-priority-level FIFO queues under an ordered
+// occupied-level index, reserves keep a membership index of their attached
+// jobs, and period boundaries sit in lazily-invalidated min-heaps — so
+// submit/complete/cancel cost is independent of the number of pending jobs.
+// The original scan-everything implementation is kept verbatim behind
+// Config::legacy_scan as a differential oracle (tests/test_cpu_sched_diff
+// drives both through randomized workloads and asserts identical traces).
+//
 // The scheduler records an optional run trace (contiguous slices of which
 // job ran at what effective priority) that property tests use to check the
 // "no lower-priority job runs while a higher-priority job is runnable"
@@ -28,7 +37,11 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <queue>
+#include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -58,6 +71,11 @@ struct CpuConfig {
   std::uint64_t hz = 1'000'000'000;       // 1 GHz, like the paper's testbed
   Duration quantum = milliseconds(10);    // round-robin slice within a priority
   double reserve_utilization_cap = 0.9;   // admission bound for sum(C/T)
+  /// Differential oracle: when true every scheduling decision rescans all
+  /// jobs and reserves (the original O(n) implementation). Identical
+  /// observable behavior to the indexed scheduler; exists so randomized
+  /// tests can diff the two (same pattern as LinkConfig::coalesced_events).
+  bool legacy_scan = false;
 };
 
 class Cpu {
@@ -104,7 +122,9 @@ class Cpu {
   /// Remaining budget in the current period (zero for unknown reserves).
   [[nodiscard]] Duration reserve_budget(ReserveId id) const;
 
-  /// Sum of C/T over all live reserves.
+  /// Sum of C/T over all live reserves. O(1): the sum is maintained
+  /// incrementally on create/destroy (legacy_scan mode recomputes, as the
+  /// original did; the two are bit-identical — see DESIGN.md §9).
   [[nodiscard]] double reserved_utilization() const;
 
   // --- introspection --------------------------------------------------------
@@ -113,6 +133,9 @@ class Cpu {
   [[nodiscard]] std::uint64_t hz() const { return config_.hz; }
   [[nodiscard]] bool idle() const { return !running_.has_value(); }
   [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  /// Jobs runnable right now (pending jobs minus hard-reserve-suspended
+  /// ones). O(1) for the indexed scheduler, O(n) under legacy_scan.
+  [[nodiscard]] std::size_t runnable_count() const;
   /// Total CPU time spent executing jobs so far.
   [[nodiscard]] Duration busy_time() const;
   /// busy_time / elapsed simulated time (0 if no time has elapsed).
@@ -148,6 +171,10 @@ class Cpu {
     ReserveId reserve = kNoReserve;
     std::function<void()> on_complete;
     std::uint64_t queue_rank = 0;  // FIFO order within a priority level
+    // Indexed-scheduler placement: which ready-queue level holds the job
+    // (meaningless while !in_ready; hard-suspended jobs are in no queue).
+    Priority ready_level = 0;
+    bool in_ready = false;
   };
 
   struct Reserve {
@@ -168,8 +195,34 @@ class Cpu {
   [[nodiscard]] bool is_boosted(const Job& job) const;
 
   /// Engine recorder iff os tracing is on; binds the "cpu:<name>" lane on
-  /// first use.
+  /// first use and caches the binding per recorder. The indexed hot path
+  /// only resolves it when an instant is actually emitted.
   [[nodiscard]] obs::TraceRecorder* os_tracer();
+
+  [[nodiscard]] bool indexed() const { return !config_.legacy_scan; }
+
+  // --- ready-queue index (indexed mode only) --------------------------------
+  /// FIFO within a level: queue_rank -> job. Ranks are globally unique and
+  /// monotonically assigned, so map order == arrival order; reserve state
+  /// transitions re-insert jobs at their existing rank, which keeps the
+  /// legacy "smallest rank first" tie-break exact even when a demoted job
+  /// lands between jobs that were already queued at that level.
+  using LevelQueue = std::map<std::uint64_t, JobId>;
+
+  void ready_insert(Job& job);   // no-op (stays out) when not runnable
+  void ready_remove(Job& job);   // no-op when not in a queue
+  void reindex_job(Job& job) {
+    ready_remove(job);
+    ready_insert(job);
+  }
+  /// Recomputes queue placement of every job attached to `id` after a
+  /// boost-state transition (exhaust/replenish/create/destroy).
+  void reindex_attached(ReserveId id);
+
+  [[nodiscard]] static TimePoint boundary_of(const Reserve& r) {
+    return r.period_start + r.spec.period;
+  }
+  void push_wake(const Reserve& r);
 
   void charge_running();            // account CPU time of running job up to now()
   void reschedule();                // pick next job, arm completion/limit events
@@ -182,11 +235,38 @@ class Cpu {
   std::string name_;
   Config config_;
 
-  std::map<JobId, Job> jobs_;       // ordered map: deterministic iteration
-  std::map<ReserveId, Reserve> reserves_;
+  // Job/reserve ids are handed out sequentially and never iterated on the
+  // decision path (the legacy scan's pick is a strict total order on
+  // (effective priority, rank), so even its result is hash-order-proof).
+  std::unordered_map<JobId, Job> jobs_;
+  std::map<ReserveId, Reserve> reserves_;  // ordered: id-order replenish traces
   JobId next_job_id_ = 1;
   ReserveId next_reserve_id_ = 1;
   std::uint64_t next_rank_ = 1;
+
+  // --- indexed-scheduler state (maintained iff !config_.legacy_scan) -------
+  /// Occupied effective-priority levels, highest first; levels are erased
+  /// when empty so begin() is always the level to run.
+  std::map<Priority, LevelQueue, std::greater<Priority>> ready_;
+  std::size_t ready_count_ = 0;
+  /// Live jobs referencing each reserve id — including ids with no live
+  /// reserve (a job may be submitted against a reserve created later; the
+  /// legacy scheduler resolves the reserve lazily, so must we).
+  std::map<ReserveId, std::set<JobId>> attached_;
+  /// Lazily-invalidated min-heaps of (period boundary ns, reserve id). An
+  /// entry is stale when the reserve is gone or its boundary moved on; the
+  /// wake heap additionally requires attached jobs. Exactly one live
+  /// replenish entry exists per reserve (pushed on create and on each
+  /// replenish); wake entries are pushed on first attach and on replenish.
+  using BoundaryHeap =
+      std::priority_queue<std::pair<std::int64_t, ReserveId>,
+                          std::vector<std::pair<std::int64_t, ReserveId>>,
+                          std::greater<>>;
+  BoundaryHeap replenish_heap_;
+  BoundaryHeap wake_heap_;
+  /// Incremental sum(C/T): += on create; recomputed in id order on destroy
+  /// so the value stays bit-identical to a from-scratch summation.
+  double reserved_util_sum_ = 0.0;
 
   std::optional<JobId> running_;
   bool running_boosted_ = false;

@@ -53,6 +53,36 @@ TEST_F(AtrFixture, RemoteReserveAdmissionFailureReported) {
   EXPECT_NE(second->error().find("admission denied"), std::string::npos);
 }
 
+TEST_F(AtrFixture, RemoteUtilizationQueryTracksAdmittedReserves) {
+  std::optional<Result<double>> util;
+  client.query_utilization([&](Result<double> r) { util = std::move(r); });
+  bed.engine.run();
+  ASSERT_TRUE(util && util->ok());
+  EXPECT_DOUBLE_EQ(util->value(), 0.0);
+
+  client.create_reserve({milliseconds(20), milliseconds(100), true},
+                        [](Result<os::ReserveId> r) { ASSERT_TRUE(r.ok()); });
+  std::optional<os::ReserveId> second;
+  client.create_reserve({milliseconds(30), milliseconds(200), false},
+                        [&](Result<os::ReserveId> r) {
+                          ASSERT_TRUE(r.ok());
+                          second = r.value();
+                        });
+  util.reset();
+  client.query_utilization([&](Result<double> r) { util = std::move(r); });
+  bed.engine.run();
+  ASSERT_TRUE(util && util->ok());
+  EXPECT_NEAR(util->value(), 0.2 + 0.15, 1e-12);
+
+  ASSERT_TRUE(second);
+  client.destroy_reserve(*second);
+  util.reset();
+  client.query_utilization([&](Result<double> r) { util = std::move(r); });
+  bed.engine.run();
+  ASSERT_TRUE(util && util->ok());
+  EXPECT_NEAR(util->value(), 0.2, 1e-12);
+}
+
 TEST_F(AtrFixture, RemoteDestroyReleasesReserve) {
   std::optional<os::ReserveId> id;
   client.create_reserve({milliseconds(50), milliseconds(100), true},

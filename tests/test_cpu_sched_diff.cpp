@@ -1,0 +1,479 @@
+// Differential suite for the indexed CPU scheduler (DESIGN.md §9).
+//
+// The indexed scheduler (per-level ready queues, reserve membership index,
+// period-boundary heaps) must be observably indistinguishable from the
+// original scan-everything implementation, which is kept verbatim behind
+// CpuConfig::legacy_scan as the oracle. Every test here builds one
+// deterministic operation script, replays it against both schedulers in
+// separate engines, and asserts byte-identical run traces, completion
+// orders, and sampled state probes — the same new-vs-oracle pattern the
+// link layer uses for LinkConfig::coalesced_events.
+#include "os/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace aqm::os {
+namespace {
+
+// --- operation scripts ------------------------------------------------------
+
+struct Op {
+  enum class Kind {
+    Submit,         // cycles, priority, reserve_slot (-1 = none, -2 = future id)
+    Cancel,         // job_slot
+    SetPriority,    // job_slot, priority
+    CreateReserve,  // compute/period/hard
+    DestroyReserve, // reserve_slot
+    Probe,          // sample utilization/runnable/busy counters
+  };
+  Kind kind;
+  TimePoint at;
+  std::uint64_t cycles = 0;
+  Priority priority = 0;
+  int job_slot = -1;
+  int reserve_slot = -1;
+  ReserveId raw_reserve = kNoReserve;  // for Submit against a not-yet-created id
+  Duration compute;
+  Duration period;
+  bool hard = true;
+};
+
+struct Outcome {
+  std::vector<Cpu::RunSlice> trace;
+  // (time ns, job id) per completion, in callback order.
+  std::vector<std::pair<std::int64_t, JobId>> completions;
+  std::vector<std::string> probes;
+  std::vector<ReserveId> reserves_created;
+  std::int64_t final_busy_ns = 0;
+  std::int64_t end_time_ns = 0;
+  std::size_t leftover_jobs = 0;
+};
+
+/// Replays `script` on a fresh engine+cpu and records everything observable.
+Outcome run_script(const std::vector<Op>& script, const CpuConfig& base_config,
+                   bool legacy) {
+  CpuConfig config = base_config;
+  config.legacy_scan = legacy;
+
+  sim::Engine engine;
+  Cpu cpu(engine, "diff", config);
+  cpu.enable_trace(true);
+
+  Outcome out;
+  std::vector<JobId> submitted;    // by submit order; slots index into this
+  std::vector<ReserveId> created;  // successful creations only
+
+  for (const Op& op : script) {
+    engine.at(op.at, [&, op] {
+      switch (op.kind) {
+        case Op::Kind::Submit: {
+          ReserveId reserve = kNoReserve;
+          if (op.raw_reserve != kNoReserve) {
+            reserve = op.raw_reserve;  // may not exist (yet): legacy contract
+          } else if (op.reserve_slot >= 0 && !created.empty()) {
+            reserve = created[static_cast<std::size_t>(op.reserve_slot) % created.size()];
+          }
+          const JobId id = cpu.submit(
+              op.cycles, op.priority,
+              [&out, &engine, id_slot = submitted.size()]() mutable {
+                // Job ids are sequential and identical across runs; record
+                // the slot so the comparison is structural.
+                out.completions.emplace_back(engine.now().ns(),
+                                             static_cast<JobId>(id_slot));
+              },
+              reserve);
+          submitted.push_back(id);
+          break;
+        }
+        case Op::Kind::Cancel:
+          if (!submitted.empty()) {
+            cpu.cancel(submitted[static_cast<std::size_t>(op.job_slot) % submitted.size()]);
+          }
+          break;
+        case Op::Kind::SetPriority:
+          if (!submitted.empty()) {
+            cpu.set_base_priority(
+                submitted[static_cast<std::size_t>(op.job_slot) % submitted.size()],
+                op.priority);
+          }
+          break;
+        case Op::Kind::CreateReserve: {
+          const auto r = cpu.create_reserve({op.compute, op.period, op.hard});
+          if (r.ok()) created.push_back(r.value());
+          break;
+        }
+        case Op::Kind::DestroyReserve:
+          if (!created.empty()) {
+            cpu.destroy_reserve(
+                created[static_cast<std::size_t>(op.reserve_slot) % created.size()]);
+          }
+          break;
+        case Op::Kind::Probe: {
+          std::ostringstream s;
+          s << engine.now().ns() << ":util=" << cpu.reserved_utilization()
+            << ":runnable=" << cpu.runnable_count() << ":jobs=" << cpu.job_count()
+            << ":busy=" << cpu.busy_time().ns();
+          for (const ReserveId r : created) {
+            s << ":b" << r << "=" << cpu.reserve_budget(r).ns();
+          }
+          out.probes.push_back(s.str());
+          break;
+        }
+      }
+    });
+  }
+
+  engine.run();
+  out.trace = cpu.trace();
+  out.reserves_created = created;
+  out.final_busy_ns = cpu.busy_time().ns();
+  out.end_time_ns = engine.now().ns();
+  out.leftover_jobs = cpu.job_count();
+  return out;
+}
+
+void expect_identical(const Outcome& indexed, const Outcome& legacy,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(indexed.reserves_created, legacy.reserves_created);
+  EXPECT_EQ(indexed.completions, legacy.completions);
+  EXPECT_EQ(indexed.probes, legacy.probes);
+  EXPECT_EQ(indexed.final_busy_ns, legacy.final_busy_ns);
+  EXPECT_EQ(indexed.end_time_ns, legacy.end_time_ns);
+  EXPECT_EQ(indexed.leftover_jobs, legacy.leftover_jobs);
+
+  ASSERT_EQ(indexed.trace.size(), legacy.trace.size());
+  for (std::size_t i = 0; i < indexed.trace.size(); ++i) {
+    const auto& a = indexed.trace[i];
+    const auto& b = legacy.trace[i];
+    ASSERT_TRUE(a.job == b.job && a.effective_priority == b.effective_priority &&
+                a.reserve == b.reserve && a.boosted == b.boosted &&
+                a.start == b.start && a.end == b.end)
+        << "run-trace slice " << i << " diverges: job " << a.job << "/" << b.job
+        << " ep " << a.effective_priority << "/" << b.effective_priority
+        << " start " << a.start.ns() << "/" << b.start.ns() << " end "
+        << a.end.ns() << "/" << b.end.ns();
+  }
+}
+
+void run_diff(const std::vector<Op>& script, const CpuConfig& config,
+              const std::string& label, std::size_t min_slices = 10) {
+  const Outcome indexed = run_script(script, config, /*legacy=*/false);
+  const Outcome legacy = run_script(script, config, /*legacy=*/true);
+  // Guard against a vacuous pass: every script must actually run work.
+  EXPECT_GE(indexed.trace.size(), min_slices) << label << ": workload too trivial";
+  expect_identical(indexed, legacy, label);
+}
+
+/// Randomized script generator. Times, costs and priorities are drawn from a
+/// seeded engine so every case is reproducible from its seed.
+std::vector<Op> random_script(std::uint64_t seed, bool with_reserves,
+                              int n_ops, std::int64_t horizon_ns) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> when(0, horizon_ns);
+  std::uniform_int_distribution<std::uint64_t> cost(50'000, 4'000'000);  // 50µs..4ms @1GHz
+  std::uniform_int_distribution<int> prio(0, 5);   // few levels: force FIFO ties
+  std::uniform_int_distribution<int> slot(0, 63);
+  std::uniform_int_distribution<int> pct(0, 99);
+
+  std::vector<Op> script;
+  script.reserve(static_cast<std::size_t>(n_ops));
+  if (with_reserves) {
+    // A couple of reserves exist from t=0 so early submits can attach.
+    for (int i = 0; i < 2; ++i) {
+      Op op;
+      op.kind = Op::Kind::CreateReserve;
+      op.at = TimePoint::zero();
+      op.compute = microseconds(300 + 200 * i);
+      op.period = milliseconds(2 + i);
+      op.hard = i % 2 == 0;
+      script.push_back(op);
+    }
+  }
+  for (int i = 0; i < n_ops; ++i) {
+    Op op;
+    op.at = TimePoint{when(rng)};
+    const int roll = pct(rng);
+    if (roll < 55) {
+      op.kind = Op::Kind::Submit;
+      op.cycles = cost(rng);
+      op.priority = prio(rng);
+      if (with_reserves) {
+        const int attach = pct(rng);
+        if (attach < 40) {
+          op.reserve_slot = slot(rng);  // existing reserve (round-robin)
+        } else if (attach < 45) {
+          // A reserve id that may only come into existence later — the
+          // legacy scheduler resolves lazily, so attachment must "wake up"
+          // when the id is eventually created.
+          op.raw_reserve = static_cast<ReserveId>(1 + slot(rng) % 8);
+        }
+      }
+    } else if (roll < 70) {
+      op.kind = Op::Kind::Cancel;
+      op.job_slot = slot(rng);
+    } else if (roll < 82) {
+      op.kind = Op::Kind::SetPriority;
+      op.job_slot = slot(rng);
+      op.priority = prio(rng);
+    } else if (roll < 88 && with_reserves) {
+      op.kind = Op::Kind::CreateReserve;
+      op.compute = microseconds(100 + 100 * (slot(rng) % 8));
+      op.period = milliseconds(1 + slot(rng) % 5);
+      op.hard = pct(rng) < 50;
+    } else if (roll < 92 && with_reserves) {
+      op.kind = Op::Kind::DestroyReserve;
+      op.reserve_slot = slot(rng);
+    } else {
+      op.kind = Op::Kind::Probe;
+    }
+    script.push_back(op);
+  }
+  // Stable sort by time keeps same-instant ops in generation order, so both
+  // replays schedule them identically.
+  std::stable_sort(script.begin(), script.end(),
+                   [](const Op& a, const Op& b) { return a.at < b.at; });
+  return script;
+}
+
+CpuConfig quantum_config(Duration quantum) {
+  CpuConfig cfg;
+  cfg.quantum = quantum;
+  return cfg;
+}
+
+// --- randomized differential cases ------------------------------------------
+
+TEST(CpuSchedDiff, RandomChurnNoReserves) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto script =
+        random_script(seed, /*with_reserves=*/false, 220, milliseconds(60).ns());
+    run_diff(script, quantum_config(microseconds(300)),
+             "no-reserves seed " + std::to_string(seed));
+  }
+}
+
+TEST(CpuSchedDiff, RandomChurnWithReserves) {
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    const auto script =
+        random_script(seed, /*with_reserves=*/true, 220, milliseconds(60).ns());
+    run_diff(script, quantum_config(microseconds(500)),
+             "reserves seed " + std::to_string(seed));
+  }
+}
+
+TEST(CpuSchedDiff, RandomChurnFifoNoQuantum) {
+  CpuConfig cfg;
+  cfg.quantum = Duration::max() - Duration{1};  // run-to-completion
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    const auto script =
+        random_script(seed, /*with_reserves=*/true, 180, milliseconds(50).ns());
+    run_diff(script, cfg, "fifo seed " + std::to_string(seed));
+  }
+}
+
+// --- directed corner cases ----------------------------------------------------
+
+TEST(CpuSchedDiff, ReserveExhaustionAndReplenishment) {
+  // Hard + soft reserves starved against saturating competition: exercises
+  // suspension, fall-back-to-base, boundary wakes and multi-period skips.
+  std::vector<Op> script;
+  auto add = [&script](Op op) { script.push_back(op); };
+
+  Op hard;
+  hard.kind = Op::Kind::CreateReserve;
+  hard.at = TimePoint::zero();
+  hard.compute = microseconds(400);
+  hard.period = milliseconds(2);
+  hard.hard = true;
+  add(hard);
+
+  Op soft = hard;
+  soft.compute = microseconds(250);
+  soft.period = milliseconds(3);
+  soft.hard = false;
+  add(soft);
+
+  // Saturating background load at a mid priority.
+  for (int i = 0; i < 10; ++i) {
+    Op op;
+    op.kind = Op::Kind::Submit;
+    op.at = TimePoint{milliseconds(i).ns()};
+    op.cycles = 3'000'000;  // 3ms
+    op.priority = 3;
+    add(op);
+  }
+  // Reserved work that overruns its budget repeatedly.
+  for (int i = 0; i < 6; ++i) {
+    Op op;
+    op.kind = Op::Kind::Submit;
+    op.at = TimePoint{(milliseconds(1) * i).ns()};
+    op.cycles = 1'500'000;  // 1.5ms >> per-period budget
+    op.priority = 1;
+    op.reserve_slot = i % 2;
+    add(op);
+  }
+  for (int i = 0; i < 8; ++i) {
+    Op probe;
+    probe.kind = Op::Kind::Probe;
+    probe.at = TimePoint{(milliseconds(3) * i).ns()};
+    add(probe);
+  }
+  std::stable_sort(script.begin(), script.end(),
+                   [](const Op& a, const Op& b) { return a.at < b.at; });
+  run_diff(script, quantum_config(microseconds(500)), "exhaustion");
+}
+
+TEST(CpuSchedDiff, SubmitAgainstFutureReserveId) {
+  // A job can name a reserve id that is only created later; both schedulers
+  // must boost it the instant the reserve appears.
+  std::vector<Op> script;
+
+  Op early;
+  early.kind = Op::Kind::Submit;
+  early.at = TimePoint::zero();
+  early.cycles = 4'000'000;  // 4ms
+  early.priority = 1;
+  early.raw_reserve = 1;  // id 1 does not exist yet
+  script.push_back(early);
+
+  Op competitor;
+  competitor.kind = Op::Kind::Submit;
+  competitor.at = TimePoint::zero();
+  competitor.cycles = 4'000'000;
+  competitor.priority = 200;  // outranks the orphan job until the boost
+  script.push_back(competitor);
+
+  Op create;
+  create.kind = Op::Kind::CreateReserve;  // becomes id 1
+  create.at = TimePoint{milliseconds(1).ns()};
+  create.compute = milliseconds(5);
+  create.period = milliseconds(10);
+  create.hard = true;
+  script.push_back(create);
+
+  Op probe;
+  probe.kind = Op::Kind::Probe;
+  probe.at = TimePoint{milliseconds(2).ns()};
+  script.push_back(probe);
+
+  const Outcome indexed = run_script(script, quantum_config(milliseconds(10)), false);
+  const Outcome legacy = run_script(script, quantum_config(milliseconds(10)), true);
+  expect_identical(indexed, legacy, "future-reserve-id");
+
+  // Semantic check, not just parity: after the reserve appears at 1ms the
+  // orphan job preempts the priority-200 competitor (boost band).
+  ASSERT_GE(indexed.trace.size(), 3u);
+  EXPECT_EQ(indexed.trace[0].job, 2u);  // competitor runs first
+  EXPECT_EQ(indexed.trace[1].job, 1u);  // boosted orphan takes over at 1ms
+  EXPECT_TRUE(indexed.trace[1].boosted);
+  EXPECT_EQ(indexed.trace[1].start.ns(), milliseconds(1).ns());
+}
+
+TEST(CpuSchedDiff, QuantumRotationParity) {
+  // Many equal-priority jobs under a small quantum: the rotation rank churn
+  // must stay in lockstep between the two ready-queue representations.
+  std::vector<Op> script;
+  for (int i = 0; i < 24; ++i) {
+    Op op;
+    op.kind = Op::Kind::Submit;
+    op.at = TimePoint{(microseconds(40) * i).ns()};
+    op.cycles = 900'000 + 37'000 * i;  // slightly uneven: varied finish order
+    op.priority = i % 2;               // two contended levels
+    script.push_back(op);
+  }
+  run_diff(script, quantum_config(microseconds(150)), "rotation");
+}
+
+TEST(CpuSchedDiff, DestroyReserveMidBoost) {
+  std::vector<Op> script;
+
+  Op create;
+  create.kind = Op::Kind::CreateReserve;
+  create.at = TimePoint::zero();
+  create.compute = milliseconds(4);
+  create.period = milliseconds(8);
+  create.hard = true;
+  script.push_back(create);
+
+  Op reserved;
+  reserved.kind = Op::Kind::Submit;
+  reserved.at = TimePoint::zero();
+  reserved.cycles = 5'000'000;
+  reserved.priority = 1;
+  reserved.reserve_slot = 0;
+  script.push_back(reserved);
+
+  Op normal;
+  normal.kind = Op::Kind::Submit;
+  normal.at = TimePoint::zero();
+  normal.cycles = 2'000'000;
+  normal.priority = 100;
+  script.push_back(normal);
+
+  Op destroy;
+  destroy.kind = Op::Kind::DestroyReserve;
+  destroy.at = TimePoint{milliseconds(1).ns()};
+  destroy.reserve_slot = 0;
+  script.push_back(destroy);
+
+  run_diff(script, quantum_config(milliseconds(10)), "destroy-mid-boost",
+           /*min_slices=*/3);
+}
+
+// --- incremental accounting ---------------------------------------------------
+
+TEST(CpuSchedDiff, IncrementalUtilizationMatchesRecomputation) {
+  // Create/destroy churn: the incrementally maintained sum must stay
+  // bit-identical to the legacy fresh summation (same admission decisions).
+  sim::Engine e_idx;
+  sim::Engine e_leg;
+  CpuConfig legacy_cfg;
+  legacy_cfg.legacy_scan = true;
+  Cpu indexed(e_idx, "idx");
+  Cpu legacy(e_leg, "leg", legacy_cfg);
+
+  std::mt19937_64 rng(7);
+  std::vector<ReserveId> live;
+  for (int i = 0; i < 200; ++i) {
+    if (live.empty() || rng() % 3 != 0) {
+      ReserveSpec spec;
+      spec.compute = microseconds(100 + static_cast<std::int64_t>(rng() % 900));
+      spec.period = milliseconds(10 + static_cast<std::int64_t>(rng() % 90));
+      spec.hard = rng() % 2 == 0;
+      const auto a = indexed.create_reserve(spec);
+      const auto b = legacy.create_reserve(spec);
+      ASSERT_EQ(a.ok(), b.ok()) << "admission diverged at step " << i;
+      if (a.ok()) {
+        ASSERT_EQ(a.value(), b.value());
+        live.push_back(a.value());
+      }
+    } else {
+      const std::size_t pick = rng() % live.size();
+      indexed.destroy_reserve(live[pick]);
+      legacy.destroy_reserve(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    // Bit-identical, not merely close: admission compares against the cap
+    // with exact floating-point values.
+    ASSERT_EQ(indexed.reserved_utilization(), legacy.reserved_utilization())
+        << "utilization diverged at step " << i;
+  }
+  for (const ReserveId id : live) {
+    indexed.destroy_reserve(id);
+    legacy.destroy_reserve(id);
+  }
+  EXPECT_EQ(indexed.reserved_utilization(), 0.0);
+  EXPECT_EQ(legacy.reserved_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace aqm::os

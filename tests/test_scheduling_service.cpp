@@ -123,6 +123,24 @@ TEST(SchedulingService, RemoveMakesSetFeasibleAgain) {
   EXPECT_EQ(svc.activity_count(), 1u);
 }
 
+TEST(SchedulingService, UtilizationStaysExactThroughChurn) {
+  // The sum is maintained incrementally; interleaved declare/remove/replace
+  // cycles must land on exactly the same values as a fresh service would.
+  SchedulingService svc;
+  for (int round = 0; round < 50; ++round) {
+    svc.declare(task("a", milliseconds(100), milliseconds(20 + round % 3)));
+    svc.declare(task("b", milliseconds(250), milliseconds(50)));
+    svc.declare(task("a", milliseconds(100), milliseconds(25)));  // replace
+    svc.remove("b");
+    svc.remove("missing");  // no-op must not disturb the sum
+  }
+  SchedulingService fresh;
+  fresh.declare(task("a", milliseconds(100), milliseconds(25)));
+  EXPECT_EQ(svc.total_utilization(), fresh.total_utilization());
+  svc.remove("a");
+  EXPECT_EQ(svc.total_utilization(), 0.0);
+}
+
 TEST(SchedulingService, RedeclareReplacesSpec) {
   SchedulingService svc;
   svc.declare(task("t", milliseconds(100), milliseconds(90)));

@@ -29,40 +29,40 @@ FlowMonitor::FlowMonitor(Network& net, NodeId node) : net_(net) {
 }
 
 const TimeSeries& FlowMonitor::latency_series(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? empty_series_ : it->second.latency_ms;
+  const PerFlow* f = flows_.find(flow);
+  return f == nullptr ? empty_series_ : f->latency_ms;
 }
 
 std::uint64_t FlowMonitor::received(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? 0 : it->second.count;
+  const PerFlow* f = flows_.find(flow);
+  return f == nullptr ? 0 : f->count;
 }
 
 std::uint64_t FlowMonitor::received_bytes(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? 0 : it->second.bytes;
+  const PerFlow* f = flows_.find(flow);
+  return f == nullptr ? 0 : f->bytes;
 }
 
 std::uint64_t FlowMonitor::sequence_gaps(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? 0 : it->second.gaps;
+  const PerFlow* f = flows_.find(flow);
+  return f == nullptr ? 0 : f->gaps;
 }
 
 std::uint64_t FlowMonitor::dropped(FlowId flow) const { return net_.flow(flow).dropped; }
 
 const RunningStats& FlowMonitor::interarrival_ms(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? empty_stats_ : it->second.interarrival_ms;
+  const PerFlow* f = flows_.find(flow);
+  return f == nullptr ? empty_stats_ : f->interarrival_ms;
 }
 
 double FlowMonitor::jitter_ms(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? 0.0 : it->second.jitter_ms;
+  const PerFlow* f = flows_.find(flow);
+  return f == nullptr ? 0.0 : f->jitter_ms;
 }
 
 void FlowMonitor::export_metrics(obs::MetricsRegistry& reg,
                                  std::string_view prefix) const {
-  for (const auto& [flow, f] : flows_) {
+  flows_.for_each_ordered([&](FlowId flow, const PerFlow& f) {
     const std::string p = std::string(prefix) + ".flow" + std::to_string(flow);
     reg.counter(p + ".received").set(f.count);
     reg.counter(p + ".received_bytes").set(f.bytes);
@@ -71,7 +71,7 @@ void FlowMonitor::export_metrics(obs::MetricsRegistry& reg,
     reg.gauge(p + ".jitter_ms").set(f.jitter_ms);
     reg.stats(p + ".latency_ms").merge(f.latency_ms.stats());
     reg.stats(p + ".interarrival_ms").merge(f.interarrival_ms);
-  }
+  });
 }
 
 void FlowMonitor::clear() { flows_.clear(); }

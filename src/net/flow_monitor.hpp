@@ -9,10 +9,11 @@
 // MetricsRegistry for the per-trial JSON sidecar.
 #pragma once
 
-#include <map>
 #include <string_view>
+#include <vector>
 
 #include "common/stats.hpp"
+#include "net/flow_table.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 
@@ -39,8 +40,15 @@ class FlowMonitor {
   /// consecutive packets. 0 until two packets have arrived.
   [[nodiscard]] double jitter_ms(FlowId flow) const;
 
+  /// Sorted snapshot of the observed FlowIds (ascending). This is the ONLY
+  /// iteration surface the monitor offers: the backing table is hashed, so
+  /// consumers that enumerate flows (metrics export, experiment tables) go
+  /// through this to stay deterministic and --jobs-invariant.
+  [[nodiscard]] std::vector<FlowId> observed_flows() const { return flows_.sorted_ids(); }
+
   /// Dumps per-flow counters and stats into a registry as
   /// "<prefix>.flow<id>.received", ".dropped", ".latency_ms", etc.
+  /// Emission is in ascending FlowId order (via observed_flows()).
   void export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const;
 
   void clear();
@@ -60,7 +68,9 @@ class FlowMonitor {
   };
 
   Network& net_;
-  std::map<FlowId, PerFlow> flows_;
+  /// Hashed flat table (DESIGN.md §10): the per-packet receiver does one
+  /// hash probe instead of an O(log n) tree walk at high fan-in.
+  FlowMap<PerFlow> flows_;
   Network::ReceiverFn downstream_;
   TimeSeries empty_series_;
   RunningStats empty_stats_;

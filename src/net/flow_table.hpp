@@ -1,0 +1,104 @@
+// Flat per-flow state storage for million-flow worlds (DESIGN.md §10).
+//
+// FlowMap<T> replaces the ordered std::map<FlowId, T> tables that used to
+// back the network layer's per-flow state. Lookup is a hashed FlowId ->
+// dense-slot index; the T values live contiguously in a slot arena that is
+// recycled through a free list, so steady-state insert/erase churn performs
+// no per-entry heap allocation and the per-packet hot path costs one hash
+// probe instead of an O(log n) tree walk.
+//
+// Determinism rule: hash-table iteration order is unspecified, so FlowMap
+// never exposes it. Any consumer that iterates (metrics export, admission
+// re-sums, service scans) must go through sorted_ids()/for_each_ordered(),
+// which materialize the ascending-FlowId order the old std::map gave for
+// free. That keeps every emitted byte `--jobs`-invariant and identical to
+// the legacy containers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace aqm::net {
+
+template <typename T>
+class FlowMap {
+ public:
+  /// Returns the entry for `id`, default-constructing it on first use.
+  /// References are invalidated by subsequent inserts (slot arena growth).
+  T& operator[](FlowId id) {
+    const auto [it, inserted] = index_.try_emplace(id, 0);
+    if (inserted) {
+      if (free_.empty()) {
+        it->second = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+      } else {
+        it->second = free_.back();
+        free_.pop_back();
+        slots_[it->second] = T{};
+      }
+    }
+    return slots_[it->second];
+  }
+
+  [[nodiscard]] T* find(FlowId id) {
+    const auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &slots_[it->second];
+  }
+  [[nodiscard]] const T* find(FlowId id) const {
+    const auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &slots_[it->second];
+  }
+  [[nodiscard]] bool contains(FlowId id) const { return index_.count(id) > 0; }
+
+  /// Releases the entry (its slot is recycled; the stored value is reset
+  /// immediately so owned resources are freed now, not at reuse time).
+  bool erase(FlowId id) {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    slots_[it->second] = T{};
+    free_.push_back(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] bool empty() const { return index_.empty(); }
+
+  void clear() {
+    index_.clear();
+    slots_.clear();
+    free_.clear();
+  }
+
+  void reserve(std::size_t n) {
+    index_.reserve(n);
+    slots_.reserve(n);
+  }
+
+  /// Sorted snapshot of the live FlowIds (ascending) — the deterministic
+  /// iteration order every emitter must use.
+  [[nodiscard]] std::vector<FlowId> sorted_ids() const {
+    std::vector<FlowId> ids;
+    ids.reserve(index_.size());
+    for (const auto& [id, slot] : index_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// Calls fn(id, value) for every entry in ascending FlowId order.
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) const {
+    for (const FlowId id : sorted_ids()) fn(id, slots_[index_.at(id)]);
+  }
+
+ private:
+  std::unordered_map<FlowId, std::uint32_t> index_;
+  std::vector<T> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace aqm::net

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 
@@ -30,7 +31,7 @@ Link& Network::add_link(NodeId from, NodeId to, LinkConfig config,
   ref.set_trace_name("link:" + node_name(from) + "->" + node_name(to));
   ref.set_delivery([this, to](Packet&& p) { deliver_local(to, std::move(p)); });
   ref.set_drop_hook([this](const Packet& p) { on_drop(p); });
-  links_[{from, to}] = std::move(link);
+  links_[link_key(from, to)] = std::move(link);
   routes_dirty_ = true;
   return ref;
 }
@@ -47,12 +48,12 @@ const std::string& Network::node_name(NodeId id) const {
 }
 
 Link* Network::link_between(NodeId from, NodeId to) {
-  const auto it = links_.find({from, to});
+  const auto it = links_.find(link_key(from, to));
   return it == links_.end() ? nullptr : it->second.get();
 }
 
 const Link* Network::link_between(NodeId from, NodeId to) const {
-  const auto it = links_.find({from, to});
+  const auto it = links_.find(link_key(from, to));
   return it == links_.end() ? nullptr : it->second.get();
 }
 
@@ -135,9 +136,16 @@ void Network::ensure_routes() const {
   const auto n = nodes_.size();
   next_hop_table_.assign(n * n, kInvalidNode);
 
-  // Adjacency from the link map.
+  // Adjacency from the hashed link table. The table's iteration order is
+  // unspecified, so sort each neighbor list: BFS then visits neighbors in
+  // ascending NodeId exactly as the old ordered (from,to) map produced,
+  // keeping tie-broken shortest paths byte-identical.
   std::vector<std::vector<NodeId>> adj(n);
-  for (const auto& [key, link] : links_) adj[static_cast<std::size_t>(key.first)].push_back(key.second);
+  for (const auto& [key, link] : links_) {
+    adj[static_cast<std::size_t>(key >> 32)].push_back(
+        static_cast<NodeId>(static_cast<std::uint32_t>(key)));
+  }
+  for (auto& neighbors : adj) std::sort(neighbors.begin(), neighbors.end());
 
   // BFS from every destination over reversed edges would be cheaper, but
   // topologies here are tiny; do a BFS per source.
@@ -192,8 +200,8 @@ std::vector<NodeId> Network::path(NodeId from, NodeId dst) const {
 }
 
 const FlowCounters& Network::flow(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? no_counters_ : it->second;
+  const FlowCounters* c = flows_.find(id);
+  return c == nullptr ? no_counters_ : *c;
 }
 
 void Network::export_metrics(obs::MetricsRegistry& reg, std::string_view prefix) const {
@@ -206,7 +214,8 @@ void Network::export_metrics(obs::MetricsRegistry& reg, std::string_view prefix)
     reg.counter(base + ".delivered_bytes").set(c.delivered_bytes);
   };
   emit(p + ".total", totals_);
-  for (const auto& [id, c] : flows_) emit(p + ".flow" + std::to_string(id), c);
+  flows_.for_each_ordered(
+      [&](FlowId id, const FlowCounters& c) { emit(p + ".flow" + std::to_string(id), c); });
 }
 
 }  // namespace aqm::net

@@ -11,14 +11,16 @@
 // delivered to the destination node's receiver.
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
+#include "net/flow_table.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/queue.hpp"
@@ -102,15 +104,26 @@ class Network {
   void ensure_routes() const;
   void on_drop(const Packet& p);
 
+  /// Directed-edge key for the hashed link table.
+  [[nodiscard]] static std::uint64_t link_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
   sim::Engine& engine_;
   std::vector<Node> nodes_;
-  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  /// Hashed adjacency: (from,to) key -> link. Never iterated for anything
+  /// order-sensitive — ensure_routes() sorts the per-node neighbor lists it
+  /// derives, so routes stay identical to the old ordered-map build.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
 
   // next_hop_[from * n + dst]; kInvalidNode when unreachable. Rebuilt lazily.
   mutable std::vector<NodeId> next_hop_table_;
   mutable bool routes_dirty_ = true;
 
-  mutable std::map<FlowId, FlowCounters> flows_;
+  /// Per-flow counters in a flat indexed table (DESIGN.md §10); export goes
+  /// through for_each_ordered so metric lines stay ascending-FlowId.
+  mutable FlowMap<FlowCounters> flows_;
   FlowCounters totals_;
   FlowCounters no_counters_{};
 };

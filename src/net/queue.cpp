@@ -1,6 +1,7 @@
 #include "net/queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace aqm::net {
@@ -55,20 +56,23 @@ std::optional<Packet> DiffServQueue::enqueue(Packet p, TimePoint /*now*/) {
   bytes_ += p.size_bytes;
   ++packets_;
   classes_[cls].push_back(std::move(p));
+  occupied_classes_ |= 1u << cls;
   return std::nullopt;
 }
 
 std::optional<Packet> DiffServQueue::dequeue(TimePoint /*now*/) {
-  for (auto& cls : classes_) {
-    if (cls.empty()) continue;
-    Packet p = std::move(cls.front());
-    cls.pop_front();
-    bytes_ -= p.size_bytes;
-    --packets_;
-    count_dequeue();
-    return p;
-  }
-  return std::nullopt;
+  if (occupied_classes_ == 0) return std::nullopt;
+  // Lowest set bit == highest-priority occupied class: identical pick to
+  // the class-order scan, without visiting the empty classes above it.
+  const auto cls = static_cast<std::size_t>(std::countr_zero(occupied_classes_));
+  auto& q = classes_[cls];
+  Packet p = std::move(q.front());
+  q.pop_front();
+  if (q.empty()) occupied_classes_ &= ~(1u << cls);
+  bytes_ -= p.size_bytes;
+  --packets_;
+  count_dequeue();
+  return p;
 }
 
 std::optional<Duration> DiffServQueue::next_ready_delay(TimePoint /*now*/) const {
@@ -81,36 +85,166 @@ IntServQueue::IntServQueue(Config config) : config_(config) {
   assert(config_.best_effort_capacity > 0);
   assert(config_.flow_capacity > 0);
   assert(config_.control_capacity > 0);
+  if (config_.parent_rate_bps > 0.0) {
+    parent_.emplace(config_.parent_rate_bps, config_.parent_bucket_bytes);
+  }
 }
+
+bool IntServQueue::policer_consume(TokenBucket& child, std::uint32_t bytes,
+                                   TimePoint now) {
+  if (!parent_) return child.consume(bytes, now);
+  return hierarchical_consume(*parent_, child, bytes, now);
+}
+
+Duration IntServQueue::policer_wait(const TokenBucket& child, std::uint32_t bytes,
+                                    TimePoint now) const {
+  if (!parent_) return child.time_until_conforms(bytes, now);
+  return hierarchical_time_until_conforms(*parent_, child, bytes, now);
+}
+
+bool IntServQueue::shape_unconformable(const TokenBucket& child,
+                                       std::uint32_t bytes) const {
+  if (bytes > child.depth_bytes()) return true;
+  return parent_ && bytes > parent_->depth_bytes();
+}
+
+void IntServQueue::trace_demote(const Packet& p, TimePoint now) {
+  if (obs::TraceRecorder* tr = tracer()) {
+    tr->instant(obs::TraceCategory::Net, "intserv.demote", trace_track(), now,
+                p.trace, {{"flow", static_cast<double>(p.flow)},
+                          {"bytes", static_cast<double>(p.size_bytes)}});
+  }
+}
+
+// --- indexed flow table: pool + per-flow FIFO helpers ------------------------
+
+std::uint32_t IntServQueue::pool_alloc(Packet&& p) {
+  if (pool_free_ != kNil) {
+    const std::uint32_t node = pool_free_;
+    pool_free_ = pool_[node].next;
+    pool_[node].pkt = std::move(p);
+    pool_[node].next = kNil;
+    return node;
+  }
+  const auto node = static_cast<std::uint32_t>(pool_.size());
+  pool_.push_back(PacketNode{std::move(p), kNil});
+  return node;
+}
+
+Packet IntServQueue::pool_release(std::uint32_t node) {
+  Packet p = std::move(pool_[node].pkt);
+  pool_[node].pkt = Packet{};  // free any external payload buffer now
+  pool_[node].next = pool_free_;
+  pool_free_ = node;
+  return p;
+}
+
+void IntServQueue::flow_push(std::uint32_t slot, FlowId id, Packet&& p) {
+  const std::uint32_t node = pool_alloc(std::move(p));
+  FlowFifo& fifo = flow_fifo_[slot];
+  if (fifo.tail == kNil) {
+    fifo.head = fifo.tail = node;
+    flow_ready_.emplace(id, slot);
+  } else {
+    pool_[fifo.tail].next = node;
+    fifo.tail = node;
+  }
+  ++fifo.len;
+}
+
+Packet IntServQueue::flow_pop(std::uint32_t slot, FlowId id) {
+  FlowFifo& fifo = flow_fifo_[slot];
+  const std::uint32_t node = fifo.head;
+  fifo.head = pool_[node].next;
+  if (fifo.head == kNil) {
+    fifo.tail = kNil;
+    flow_ready_.erase({id, slot});
+  }
+  --fifo.len;
+  return pool_release(node);
+}
+
+// --- reservation plane -------------------------------------------------------
 
 void IntServQueue::install_reservation(FlowId flow, double rate_bps,
                                        std::uint32_t bucket_bytes, TimePoint now) {
   assert(flow != kNoFlow);
-  // Replace any existing reservation for the flow (RSVP refresh/modify);
-  // queued packets of the old state are preserved.
-  const auto it = flows_.find(flow);
-  if (it != flows_.end()) {
-    std::deque<Packet> pending = std::move(it->second.q);
-    for (const auto& p : pending) bytes_ -= p.size_bytes;  // re-added below
-    flows_.erase(it);
-    auto [nit, inserted] =
-        flows_.emplace(flow, FlowState{TokenBucket{rate_bps, bucket_bytes, now}, {}});
-    assert(inserted);
-    for (auto& p : pending) {
-      bytes_ += p.size_bytes;
-      nit->second.q.push_back(std::move(p));
+  if (config_.legacy_flow_map) {
+    // Replace any existing reservation for the flow (RSVP refresh/modify);
+    // queued packets of the old state are preserved.
+    const auto it = flows_.find(flow);
+    if (it != flows_.end()) {
+      std::deque<Packet> pending = std::move(it->second.q);
+      for (const auto& p : pending) bytes_ -= p.size_bytes;  // re-added below
+      flows_.erase(it);
+      auto [nit, inserted] =
+          flows_.emplace(flow, FlowState{TokenBucket{rate_bps, bucket_bytes, now}, {}});
+      assert(inserted);
+      for (auto& p : pending) {
+        bytes_ += p.size_bytes;
+        nit->second.q.push_back(std::move(p));
+      }
+      return;
     }
+    flows_.emplace(flow, FlowState{TokenBucket{rate_bps, bucket_bytes, now}, {}});
     return;
   }
-  flows_.emplace(flow, FlowState{TokenBucket{rate_bps, bucket_bytes, now}, {}});
+  const auto it = slot_of_.find(flow);
+  if (it != slot_of_.end()) {
+    // Modify: swap in the new bucket, keep the queued packets. The rate
+    // changed in the middle of id order, so the running sum goes stale.
+    flow_bucket_[it->second] = TokenBucket{rate_bps, bucket_bytes, now};
+    reserved_dirty_ = true;
+    return;
+  }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    flow_bucket_[slot] = TokenBucket{rate_bps, bucket_bytes, now};
+    flow_fifo_[slot] = FlowFifo{};
+  } else {
+    slot = static_cast<std::uint32_t>(flow_bucket_.size());
+    flow_bucket_.emplace_back(rate_bps, bucket_bytes, now);
+    flow_fifo_.emplace_back();
+  }
+  slot_of_.emplace(flow, slot);
+  // Incremental sum, PR-5 idiom: an append at the end of id order extends
+  // the running value exactly as the legacy scan would; anything else is
+  // recomputed lazily in id order, so the result stays bit-identical.
+  if (!reserved_dirty_) {
+    if (flow_order_.empty() || flow > *flow_order_.rbegin()) {
+      reserved_sum_ += rate_bps;
+    } else {
+      reserved_dirty_ = true;
+    }
+  }
+  flow_order_.insert(flow);
 }
 
 void IntServQueue::remove_reservation(FlowId flow) {
-  const auto it = flows_.find(flow);
-  if (it == flows_.end()) return;
-  // Queued packets of the torn-down flow demote to best effort (clamped by
-  // the best-effort capacity).
-  for (auto& p : it->second.q) {
+  if (config_.legacy_flow_map) {
+    const auto it = flows_.find(flow);
+    if (it == flows_.end()) return;
+    // Queued packets of the torn-down flow demote to best effort (clamped
+    // by the best-effort capacity).
+    for (auto& p : it->second.q) {
+      if (best_effort_.size() >= config_.best_effort_capacity) {
+        bytes_ -= p.size_bytes;
+        --packets_;
+        count_drop(p);
+        continue;
+      }
+      best_effort_.push_back(std::move(p));
+    }
+    flows_.erase(it);
+    return;
+  }
+  const auto it = slot_of_.find(flow);
+  if (it == slot_of_.end()) return;
+  const std::uint32_t slot = it->second;
+  while (flow_fifo_[slot].len > 0) {
+    Packet p = flow_pop(slot, flow);
     if (best_effort_.size() >= config_.best_effort_capacity) {
       bytes_ -= p.size_bytes;
       --packets_;
@@ -119,21 +253,170 @@ void IntServQueue::remove_reservation(FlowId flow) {
     }
     best_effort_.push_back(std::move(p));
   }
-  flows_.erase(it);
+  free_slots_.push_back(slot);
+  slot_of_.erase(it);
+  flow_order_.erase(flow);
+  reserved_dirty_ = true;
 }
 
 double IntServQueue::flow_rate_bps(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? 0.0 : it->second.bucket.rate_bps();
+  if (config_.legacy_flow_map) {
+    const auto it = flows_.find(flow);
+    return it == flows_.end() ? 0.0 : it->second.bucket.rate_bps();
+  }
+  const auto it = slot_of_.find(flow);
+  return it == slot_of_.end() ? 0.0 : flow_bucket_[it->second].rate_bps();
 }
 
 double IntServQueue::reserved_rate_bps() const {
-  double sum = 0.0;
-  for (const auto& [id, f] : flows_) sum += f.bucket.rate_bps();
-  return sum;
+  if (config_.legacy_flow_map) {
+    double sum = 0.0;
+    for (const auto& [id, f] : flows_) sum += f.bucket.rate_bps();
+    return sum;
+  }
+  if (reserved_dirty_) {
+    reserved_sum_ = 0.0;
+    for (const FlowId id : flow_order_) {
+      reserved_sum_ += flow_bucket_[slot_of_.at(id)].rate_bps();
+    }
+    reserved_dirty_ = false;
+  }
+  return reserved_sum_;
 }
 
+// --- data plane --------------------------------------------------------------
+
 std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
+  if (config_.legacy_flow_map) return enqueue_legacy(std::move(p), now);
+  if (classify(p.dscp) == PhbClass::NetworkControl) {
+    if (control_.size() >= config_.control_capacity) {
+      count_drop(p);
+      return p;
+    }
+    count_enqueue(p);
+    bytes_ += p.size_bytes;
+    ++packets_;
+    control_.push_back(std::move(p));
+    return std::nullopt;
+  }
+  const auto it = p.flow != kNoFlow ? slot_of_.find(p.flow) : slot_of_.end();
+  if (it != slot_of_.end()) {
+    const std::uint32_t slot = it->second;
+    if (config_.excess_to_best_effort) {
+      // Policing: pay for the packet now; conforming packets get the
+      // guaranteed queue, excess falls through to best effort below.
+      // (Capacity is checked first so a full queue does not burn tokens.)
+      if (flow_fifo_[slot].len < config_.flow_capacity &&
+          policer_consume(flow_bucket_[slot], p.size_bytes, now)) {
+        count_enqueue(p);
+        bytes_ += p.size_bytes;
+        ++packets_;
+        const FlowId id = p.flow;
+        flow_push(slot, id, std::move(p));
+        return std::nullopt;
+      }
+      // Non-conforming: demoted to best effort below.
+      trace_demote(p, now);
+    } else {
+      // Shaping: a packet larger than a bucket depth could never conform
+      // and would wedge the flow queue; treat it as non-conformable.
+      if (shape_unconformable(flow_bucket_[slot], p.size_bytes) ||
+          flow_fifo_[slot].len >= config_.flow_capacity) {
+        count_drop(p);
+        return p;
+      }
+      count_enqueue(p);
+      bytes_ += p.size_bytes;
+      ++packets_;
+      const FlowId id = p.flow;
+      flow_push(slot, id, std::move(p));
+      return std::nullopt;
+    }
+  }
+  if (best_effort_.size() >= config_.best_effort_capacity) {
+    count_drop(p);
+    return p;
+  }
+  count_enqueue(p);
+  bytes_ += p.size_bytes;
+  ++packets_;
+  best_effort_.push_back(std::move(p));
+  return std::nullopt;
+}
+
+std::optional<Packet> IntServQueue::dequeue(TimePoint now) {
+  if (config_.legacy_flow_map) return dequeue_legacy(now);
+  // 1. Control plane first.
+  if (!control_.empty()) {
+    Packet p = std::move(control_.front());
+    control_.pop_front();
+    bytes_ -= p.size_bytes;
+    --packets_;
+    count_dequeue();
+    return p;
+  }
+  // 2. Conforming reserved-flow packets, lowest ready FlowId first — the
+  // same pick as the legacy ascending-map scan, found in the ready index
+  // instead of by walking every reserved flow.
+  if (config_.excess_to_best_effort) {
+    // Demote mode: queued packets pre-paid their tokens at enqueue, so the
+    // first ready flow is always servable.
+    if (!flow_ready_.empty()) {
+      const auto [id, slot] = *flow_ready_.begin();
+      Packet p = flow_pop(slot, id);
+      bytes_ -= p.size_bytes;
+      --packets_;
+      count_dequeue();
+      return p;
+    }
+  } else {
+    for (const auto& [id, slot] : flow_ready_) {
+      if (policer_consume(flow_bucket_[slot], flow_front(slot).size_bytes, now)) {
+        Packet p = flow_pop(slot, id);  // returns immediately: safe erase
+        bytes_ -= p.size_bytes;
+        --packets_;
+        count_dequeue();
+        return p;
+      }
+    }
+  }
+  // 3. Best effort.
+  if (!best_effort_.empty()) {
+    Packet p = std::move(best_effort_.front());
+    best_effort_.pop_front();
+    bytes_ -= p.size_bytes;
+    --packets_;
+    count_dequeue();
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<Duration> IntServQueue::next_ready_delay(TimePoint now) const {
+  if (config_.legacy_flow_map) return next_ready_delay_legacy(now);
+  if (!control_.empty() || !best_effort_.empty()) return Duration::zero();
+  if (config_.excess_to_best_effort) {
+    // Pre-paid: any ready flow is immediately servable.
+    return flow_ready_.empty() ? std::nullopt
+                               : std::make_optional(Duration::zero());
+  }
+  Duration best = Duration::max();
+  for (const auto& [id, slot] : flow_ready_) {
+    best = std::min(best, policer_wait(flow_bucket_[slot],
+                                       flow_front(slot).size_bytes, now));
+  }
+  if (best == Duration::max()) return std::nullopt;  // nothing queued anywhere
+  return best;
+}
+
+// --- legacy oracle data plane (config_.legacy_flow_map == true) --------------
+// The original ordered-map implementation, kept verbatim as the
+// differential oracle; only the policing calls route through the shared
+// policer_* helpers so the hierarchical parent behaves identically in
+// both modes (with the parent disabled the helpers are the original
+// single-bucket calls).
+
+std::optional<Packet> IntServQueue::enqueue_legacy(Packet p, TimePoint now) {
   if (classify(p.dscp) == PhbClass::NetworkControl) {
     if (control_.size() >= config_.control_capacity) {
       count_drop(p);
@@ -148,27 +431,17 @@ std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
   const auto it = p.flow != kNoFlow ? flows_.find(p.flow) : flows_.end();
   if (it != flows_.end()) {
     if (config_.excess_to_best_effort) {
-      // Policing: pay for the packet now; conforming packets get the
-      // guaranteed queue, excess falls through to best effort below.
-      // (Capacity is checked first so a full queue does not burn tokens.)
       if (it->second.q.size() < config_.flow_capacity &&
-          it->second.bucket.consume(p.size_bytes, now)) {
+          policer_consume(it->second.bucket, p.size_bytes, now)) {
         count_enqueue(p);
         bytes_ += p.size_bytes;
         ++packets_;
         it->second.q.push_back(std::move(p));
         return std::nullopt;
       }
-      // Non-conforming: demoted to best effort below.
-      if (obs::TraceRecorder* tr = tracer()) {
-        tr->instant(obs::TraceCategory::Net, "intserv.demote", trace_track(), now,
-                    p.trace, {{"flow", static_cast<double>(p.flow)},
-                              {"bytes", static_cast<double>(p.size_bytes)}});
-      }
+      trace_demote(p, now);
     } else {
-      // Shaping: a packet larger than the bucket depth could never conform
-      // and would wedge the flow queue; treat it as non-conformable.
-      if (p.size_bytes > it->second.bucket.depth_bytes() ||
+      if (shape_unconformable(it->second.bucket, p.size_bytes) ||
           it->second.q.size() >= config_.flow_capacity) {
         count_drop(p);
         return p;
@@ -191,7 +464,7 @@ std::optional<Packet> IntServQueue::enqueue(Packet p, TimePoint now) {
   return std::nullopt;
 }
 
-std::optional<Packet> IntServQueue::dequeue(TimePoint now) {
+std::optional<Packet> IntServQueue::dequeue_legacy(TimePoint now) {
   // 1. Control plane first.
   if (!control_.empty()) {
     Packet p = std::move(control_.front());
@@ -206,7 +479,7 @@ std::optional<Packet> IntServQueue::dequeue(TimePoint now) {
   for (auto& [id, f] : flows_) {
     if (f.q.empty()) continue;
     if (config_.excess_to_best_effort ||
-        f.bucket.consume(f.q.front().size_bytes, now)) {
+        policer_consume(f.bucket, f.q.front().size_bytes, now)) {
       Packet p = std::move(f.q.front());
       f.q.pop_front();
       bytes_ -= p.size_bytes;
@@ -227,13 +500,13 @@ std::optional<Packet> IntServQueue::dequeue(TimePoint now) {
   return std::nullopt;
 }
 
-std::optional<Duration> IntServQueue::next_ready_delay(TimePoint now) const {
+std::optional<Duration> IntServQueue::next_ready_delay_legacy(TimePoint now) const {
   if (!control_.empty() || !best_effort_.empty()) return Duration::zero();
   Duration best = Duration::max();
   for (const auto& [id, f] : flows_) {
     if (f.q.empty()) continue;
     if (config_.excess_to_best_effort) return Duration::zero();  // pre-paid
-    best = std::min(best, f.bucket.time_until_conforms(f.q.front().size_bytes, now));
+    best = std::min(best, policer_wait(f.bucket, f.q.front().size_bytes, now));
   }
   if (best == Duration::max()) return std::nullopt;  // nothing queued anywhere
   return best;

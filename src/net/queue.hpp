@@ -14,7 +14,10 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/time.hpp"
 #include "net/dscp.hpp"
@@ -131,6 +134,10 @@ class DiffServQueue final : public Queue {
   std::array<std::size_t, kPhbClassCount> capacities_;
   std::size_t bytes_ = 0;
   std::size_t packets_ = 0;  // total across classes; packets() is on the hot path
+  /// Bit c set iff classes_[c] is non-empty; dequeue picks the lowest set
+  /// bit (== highest-priority occupied class) instead of scanning, so the
+  /// serve decision is O(1) no matter how the occupied classes spread.
+  std::uint32_t occupied_classes_ = 0;
 };
 
 /// IntServ guaranteed service. Flows with an installed reservation get a
@@ -144,6 +151,16 @@ class DiffServQueue final : public Queue {
 ///    are tail-dropped when it fills.
 /// Control-plane (CS6) packets bypass into a dedicated high-priority
 /// sub-queue so signaling survives congestion.
+///
+/// Per-flow state is flat SoA (DESIGN.md §10): a hashed FlowId -> dense-slot
+/// index over struct-of-arrays fields (token bucket, FIFO head/tail into a
+/// shared packet-node pool, queue length), with two explicit ordered
+/// FlowId indexes — all reserved flows (admission re-sums) and the ready
+/// flows holding packets (service scans) — so enqueue is O(1)+O(log n) and
+/// dequeue serves the lowest ready FlowId without touching the other
+/// n-1 flows. The original std::map storage is kept verbatim behind
+/// Config::legacy_flow_map as a differential oracle (the CpuConfig::
+/// legacy_scan pattern); both modes are observably byte-identical.
 class IntServQueue final : public Queue {
  public:
   struct Config {
@@ -152,6 +169,17 @@ class IntServQueue final : public Queue {
     std::size_t control_capacity = 100;       // packets (CS6 signaling)
     /// true: police excess into best effort; false: shape in the flow queue.
     bool excess_to_best_effort = true;
+    /// > 0 enables the hierarchical policing parent: one shared per-class
+    /// token bucket over all reserved flows; a packet must conform at both
+    /// its flow's child bucket and the parent (two bucket touches per
+    /// packet, independent of flow count). 0 = per-flow policing only.
+    double parent_rate_bps = 0.0;
+    std::uint32_t parent_bucket_bytes = 64'000;
+    /// Differential oracle: true selects the original ordered-map flow
+    /// table (O(log n) lookups, O(n) service scans). Observable behavior
+    /// is identical to the indexed table; exists so randomized tests can
+    /// diff the two (mirrors CpuConfig::legacy_scan).
+    bool legacy_flow_map = false;
   };
 
   explicit IntServQueue(Config config);
@@ -160,10 +188,19 @@ class IntServQueue final : public Queue {
   void install_reservation(FlowId flow, double rate_bps, std::uint32_t bucket_bytes,
                            TimePoint now);
   void remove_reservation(FlowId flow);
-  [[nodiscard]] bool has_reservation(FlowId flow) const { return flows_.count(flow) > 0; }
+  [[nodiscard]] bool has_reservation(FlowId flow) const {
+    return config_.legacy_flow_map ? flows_.count(flow) > 0 : slot_of_.count(flow) > 0;
+  }
+  /// Sum of reserved rates. O(1) amortized: maintained incrementally on
+  /// id-order appends and recomputed lazily (in id order, so the value is
+  /// bit-identical to the legacy full scan) after removes/modifies.
   [[nodiscard]] double reserved_rate_bps() const;
   /// Reserved rate of one flow; 0 when it holds no reservation.
   [[nodiscard]] double flow_rate_bps(FlowId flow) const;
+  /// Number of installed reservations.
+  [[nodiscard]] std::size_t reservation_count() const {
+    return config_.legacy_flow_map ? flows_.size() : slot_of_.size();
+  }
 
   // --- Queue interface -------------------------------------------------------
   std::optional<Packet> enqueue(Packet p, TimePoint now) override;
@@ -178,8 +215,75 @@ class IntServQueue final : public Queue {
     std::deque<Packet> q;
   };
 
+  // Two-level policing helpers shared by both storage modes: with the
+  // parent disabled they collapse to the exact single-bucket calls the
+  // original code made (including the refill-on-failed-consume side
+  // effect), which keeps pre-HTB configurations bit-identical.
+  bool policer_consume(TokenBucket& child, std::uint32_t bytes, TimePoint now);
+  [[nodiscard]] Duration policer_wait(const TokenBucket& child, std::uint32_t bytes,
+                                      TimePoint now) const;
+  /// Shape mode: true when the packet could never conform (larger than the
+  /// child or parent bucket depth) and would wedge the flow queue.
+  [[nodiscard]] bool shape_unconformable(const TokenBucket& child,
+                                         std::uint32_t bytes) const;
+  void trace_demote(const Packet& p, TimePoint now);
+
+  // --- indexed flow table (config_.legacy_flow_map == false) ----------------
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  /// Shared FIFO arena: every queued reserved-flow packet lives in one
+  /// recycled node pool; per-flow queues are intrusive head/tail lists, so
+  /// a flow's queue costs 12 bytes when empty instead of a heap-backed
+  /// deque per flow.
+  struct PacketNode {
+    Packet pkt;
+    std::uint32_t next = kNil;
+  };
+  /// Per-flow FIFO cursor. head/tail/len live together (not as three
+  /// parallel arrays) because every touch of a flow needs all three: one
+  /// 12-byte line fill per packet instead of three scattered ones.
+  struct FlowFifo {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t len = 0;
+  };
+
+  std::uint32_t pool_alloc(Packet&& p);
+  Packet pool_release(std::uint32_t node);
+  void flow_push(std::uint32_t slot, FlowId id, Packet&& p);
+  Packet flow_pop(std::uint32_t slot, FlowId id);
+  [[nodiscard]] const Packet& flow_front(std::uint32_t slot) const {
+    return pool_[flow_fifo_[slot].head].pkt;
+  }
+
+  std::optional<Packet> enqueue_legacy(Packet p, TimePoint now);
+  std::optional<Packet> dequeue_legacy(TimePoint now);
+  [[nodiscard]] std::optional<Duration> next_ready_delay_legacy(TimePoint now) const;
+
   Config config_;
+  /// Legacy oracle storage (config_.legacy_flow_map == true).
   std::map<FlowId, FlowState> flows_;  // ordered: deterministic service order
+  /// Indexed storage: hashed id -> slot over SoA per-flow fields.
+  std::unordered_map<FlowId, std::uint32_t> slot_of_;
+  std::vector<TokenBucket> flow_bucket_;    // by slot
+  std::vector<FlowFifo> flow_fifo_;         // by slot
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<PacketNode> pool_;
+  std::uint32_t pool_free_ = kNil;
+  /// Explicit rank indexes preserving the legacy map's ascending-FlowId
+  /// order: all reserved flows (admission re-sum order) and the subset
+  /// with queued packets (service order — dequeue takes begin()). The
+  /// ready index carries each flow's slot so the service path never pays
+  /// a second hash probe per packet.
+  std::set<FlowId> flow_order_;
+  std::set<std::pair<FlowId, std::uint32_t>> flow_ready_;
+  /// Running sum of reserved rates; dirty after a remove or a mid-order
+  /// install, recomputed over flow_order_ on the next query.
+  mutable double reserved_sum_ = 0.0;
+  mutable bool reserved_dirty_ = false;
+
+  /// Hierarchical policing parent (Config::parent_rate_bps > 0).
+  std::optional<TokenBucket> parent_;
+
   std::deque<Packet> best_effort_;
   std::deque<Packet> control_;
   std::size_t bytes_ = 0;

@@ -34,36 +34,38 @@ void RsvpAgent::reserve(FlowId flow, NodeId receiver, FlowSpec spec, ReserveCall
   assert(receiver != node_ && "cannot reserve to self");
   assert(spec.rate_bps > 0.0);
   // Supersede any in-flight request for the same flow.
-  if (auto it = pending_.find(flow); it != pending_.end()) {
-    net_.engine().cancel(it->second.timeout);
-    if (it->second.cb) it->second.cb(Status<std::string>::err("superseded by a new request"));
-    pending_.erase(it);
+  if (PendingReserve* prev = pending_.find(flow)) {
+    net_.engine().cancel(prev->timeout);
+    if (prev->cb) prev->cb(Status<std::string>::err("superseded by a new request"));
+    pending_.erase(flow);
   }
-  pending_.emplace(flow, PendingReserve{std::move(cb), spec, receiver, sim::EventId{}, 0});
+  pending_[flow] = PendingReserve{std::move(cb), spec, receiver, sim::EventId{}, 0};
   send_path(flow);
 }
 
 void RsvpAgent::send_path(FlowId flow) {
-  auto& pending = pending_.at(flow);
-  ++pending.attempts;
+  PendingReserve* pending = pending_.find(flow);
+  assert(pending != nullptr);
+  ++pending->attempts;
   PathMsg msg;
   msg.flow = flow;
   msg.sender = node_;
-  msg.receiver = pending.receiver;
-  msg.spec = pending.spec;
+  msg.receiver = pending->receiver;
+  msg.spec = pending->spec;
   msg.phop = node_;
   // Local path state lets the sender process the returning RESV.
-  path_state_[flow] = PathState{kInvalidNode, node_, pending.receiver, pending.spec};
-  emit(pending.receiver, PacketKind::RsvpPath, msg);
+  path_state_[flow] = PathState{kInvalidNode, node_, msg.receiver, msg.spec};
+  emit(msg.receiver, PacketKind::RsvpPath, msg);
   arm_timeout(flow);
 }
 
 void RsvpAgent::arm_timeout(FlowId flow) {
-  auto& pending = pending_.at(flow);
-  pending.timeout = net_.engine().after(config_.retry_timeout, [this, flow] {
-    const auto it = pending_.find(flow);
-    if (it == pending_.end()) return;
-    if (it->second.attempts >= config_.max_retries) {
+  PendingReserve* pending = pending_.find(flow);
+  assert(pending != nullptr);
+  pending->timeout = net_.engine().after(config_.retry_timeout, [this, flow] {
+    const PendingReserve* pr = pending_.find(flow);
+    if (pr == nullptr) return;
+    if (pr->attempts >= config_.max_retries) {
       finish_pending(flow, Status<std::string>::err("reservation timed out"));
       return;
     }
@@ -73,11 +75,11 @@ void RsvpAgent::arm_timeout(FlowId flow) {
 }
 
 void RsvpAgent::finish_pending(FlowId flow, Status<std::string> status) {
-  const auto it = pending_.find(flow);
-  if (it == pending_.end()) return;
-  net_.engine().cancel(it->second.timeout);
-  auto cb = std::move(it->second.cb);
-  pending_.erase(it);
+  PendingReserve* pr = pending_.find(flow);
+  if (pr == nullptr) return;
+  net_.engine().cancel(pr->timeout);
+  auto cb = std::move(pr->cb);
+  pending_.erase(flow);
   if (cb) cb(std::move(status));
 }
 
@@ -85,13 +87,13 @@ void RsvpAgent::release(FlowId flow) {
   TearMsg msg;
   msg.flow = flow;
   msg.sender = node_;
-  const auto it = confirmed_.find(flow);
-  const auto ps = path_state_.find(flow);
+  const NodeId* conf = confirmed_.find(flow);
+  const PathState* ps = path_state_.find(flow);
   NodeId receiver = kInvalidNode;
-  if (it != confirmed_.end()) {
-    receiver = it->second;
-  } else if (ps != path_state_.end()) {
-    receiver = ps->second.receiver;
+  if (conf != nullptr) {
+    receiver = *conf;
+  } else if (ps != nullptr) {
+    receiver = ps->receiver;
   }
   finish_pending(flow, Status<std::string>::err("released"));
   confirmed_.erase(flow);
@@ -190,8 +192,8 @@ void RsvpAgent::on_path(PathMsg msg) {
 }
 
 void RsvpAgent::on_resv(ResvMsg msg) {
-  const auto ps = path_state_.find(msg.flow);
-  if (ps == path_state_.end()) {
+  const PathState* ps = path_state_.find(msg.flow);
+  if (ps == nullptr) {
     AQM_DEBUG() << "rsvp: node " << node_ << " got RESV without path state, flow "
                 << msg.flow;
     return;
@@ -225,10 +227,12 @@ void RsvpAgent::on_resv(ResvMsg msg) {
     finish_pending(msg.flow, {});
     return;
   }
-  // Continue upstream along the recorded path.
+  // Continue upstream along the recorded path. (Copy the hop out first:
+  // the arena entry may move if emit's control path inserts path state.)
+  const NodeId phop = ps->phop;
   ResvMsg fwd = msg;
   fwd.nhop = node_;
-  emit(ps->second.phop, PacketKind::RsvpResv, fwd);
+  emit(phop, PacketKind::RsvpResv, fwd);
 }
 
 void RsvpAgent::on_resv_err(ResvErrMsg msg) {

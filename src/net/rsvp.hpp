@@ -20,11 +20,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 
 #include "common/result.hpp"
 #include "common/time.hpp"
+#include "net/flow_table.hpp"
 #include "net/network.hpp"
 #include "net/packet.hpp"
 
@@ -90,10 +90,10 @@ class RsvpAgent {
   void release(FlowId flow);
 
   /// True once this (sender-side) agent has received the RESV confirmation.
-  [[nodiscard]] bool confirmed(FlowId flow) const { return confirmed_.count(flow) > 0; }
+  [[nodiscard]] bool confirmed(FlowId flow) const { return confirmed_.contains(flow); }
 
   /// True if this node holds PATH state for the flow (any hop).
-  [[nodiscard]] bool has_path_state(FlowId flow) const { return path_state_.count(flow) > 0; }
+  [[nodiscard]] bool has_path_state(FlowId flow) const { return path_state_.contains(flow); }
 
  private:
   struct PathState {
@@ -131,9 +131,13 @@ class RsvpAgent {
   Network& net_;
   NodeId node_;
   Config config_;
-  std::map<FlowId, PathState> path_state_;
-  std::map<FlowId, PendingReserve> pending_;
-  std::map<FlowId, NodeId> confirmed_;  // flow -> receiver (sender side)
+  // Per-flow soft state lives in slot arenas (DESIGN.md §10): refresh/tear
+  // churn at scale recycles slots instead of exercising the heap, and every
+  // lookup on the signaling path is one hash probe. None of these tables is
+  // ever iterated, so no ordering surface is needed here.
+  FlowMap<PathState> path_state_;
+  FlowMap<PendingReserve> pending_;
+  FlowMap<NodeId> confirmed_;  // flow -> receiver (sender side)
 };
 
 }  // namespace aqm::net

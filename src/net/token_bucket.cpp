@@ -47,4 +47,23 @@ Duration TokenBucket::time_until_conforms(std::uint32_t bytes, TimePoint now) co
   return Duration{static_cast<std::int64_t>(std::ceil(wait_s * 1e9))};
 }
 
+bool hierarchical_consume(TokenBucket& parent, TokenBucket& child, std::uint32_t bytes,
+                          TimePoint now) {
+  if (!child.conforms(bytes, now) || !parent.conforms(bytes, now)) return false;
+  const bool child_ok = child.consume(bytes, now);
+  const bool parent_ok = parent.consume(bytes, now);
+  assert(child_ok && parent_ok);
+  (void)child_ok;
+  (void)parent_ok;
+  return true;
+}
+
+Duration hierarchical_time_until_conforms(const TokenBucket& parent,
+                                          const TokenBucket& child, std::uint32_t bytes,
+                                          TimePoint now) {
+  const Duration child_wait = child.time_until_conforms(bytes, now);
+  const Duration parent_wait = parent.time_until_conforms(bytes, now);
+  return std::max(child_wait, parent_wait);
+}
+
 }  // namespace aqm::net

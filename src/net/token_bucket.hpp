@@ -39,4 +39,27 @@ class TokenBucket {
   TimePoint last_refill_;
 };
 
+// --- hierarchical (two-level) policing --------------------------------------
+//
+// High-fan-in egress queues police per-flow children under one shared
+// per-class parent: a packet conforms iff BOTH its flow's child bucket and
+// the class parent hold enough tokens, and a conforming packet debits both.
+// The check touches exactly two buckets however many sibling flows exist,
+// so aggregate policing cost per packet is independent of flow count.
+// A non-conforming packet debits neither level (the check uses conforms(),
+// which is side-effect free), so a burst rejected by the parent cannot
+// starve the child of tokens it never spent.
+
+/// Consumes from child and parent iff the packet conforms at both levels.
+[[nodiscard]] bool hierarchical_consume(TokenBucket& parent, TokenBucket& child,
+                                        std::uint32_t bytes, TimePoint now);
+
+/// Earliest instant-from-now at which the packet conforms at both levels
+/// (the max of the two per-bucket waits; Duration::max() if either bucket
+/// is too shallow to ever pass the packet).
+[[nodiscard]] Duration hierarchical_time_until_conforms(const TokenBucket& parent,
+                                                        const TokenBucket& child,
+                                                        std::uint32_t bytes,
+                                                        TimePoint now);
+
 }  // namespace aqm::net

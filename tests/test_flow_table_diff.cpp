@@ -1,0 +1,378 @@
+// Differential suite for the indexed per-flow network state (DESIGN.md §10).
+//
+// The SoA flow table behind IntServQueue (hashed FlowId -> dense slot,
+// shared packet-node pool, explicit ordered/ready indexes, incremental
+// reserved-rate accounting) must be observably indistinguishable from the
+// original std::map implementation, which is kept verbatim behind
+// IntServQueue::Config::legacy_flow_map as the oracle — the same
+// new-vs-oracle pattern the CPU scheduler uses for CpuConfig::legacy_scan.
+// Every test builds one deterministic operation script, replays it against
+// both queues, and asserts byte-identical observation logs (doubles are
+// compared through hexfloat formatting, so the reserved-rate sums must
+// match bit for bit, not just approximately).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iomanip>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/flow_table.hpp"
+#include "net/network.hpp"
+#include "net/flow_monitor.hpp"
+#include "net/queue.hpp"
+#include "net/rsvp.hpp"
+#include "net/token_bucket.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::net {
+namespace {
+
+// --- FlowMap unit coverage ---------------------------------------------------
+
+TEST(FlowMap, InsertFindEraseRecycle) {
+  FlowMap<int> m;
+  EXPECT_TRUE(m.empty());
+  m[7] = 70;
+  m[3] = 30;
+  m[11] = 110;
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  EXPECT_EQ(m.find(8), nullptr);
+  EXPECT_TRUE(m.contains(3));
+
+  EXPECT_TRUE(m.erase(3));
+  EXPECT_FALSE(m.erase(3));
+  EXPECT_FALSE(m.contains(3));
+  // The freed slot is recycled and the value reset, not a stale leftover.
+  m[5] = 50;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(*m.find(5), 50);
+  EXPECT_EQ(*m.find(7), 70);
+}
+
+TEST(FlowMap, ZeroIsARealKey) {
+  // kNoFlow == 0 indexes unclassified traffic in Network::flows_; the table
+  // must treat it as an ordinary key with no sentinel semantics.
+  FlowMap<int> m;
+  m[kNoFlow] = 1;
+  EXPECT_TRUE(m.contains(kNoFlow));
+  EXPECT_EQ(m.sorted_ids().front(), kNoFlow);
+}
+
+TEST(FlowMap, OrderedIterationIsAscending) {
+  FlowMap<int> m;
+  for (const FlowId id : {9u, 2u, 40u, 1u, 17u}) m[id] = static_cast<int>(id * 10);
+  m.erase(40);
+  m[4] = 40;  // recycles 40's slot: order must follow ids, not slots
+  const std::vector<FlowId> want{1, 2, 4, 9, 17};
+  EXPECT_EQ(m.sorted_ids(), want);
+  std::vector<FlowId> seen;
+  m.for_each_ordered([&](FlowId id, const int& v) {
+    seen.push_back(id);
+    EXPECT_EQ(v, static_cast<int>(id * 10));
+  });
+  EXPECT_EQ(seen, want);
+}
+
+// --- hierarchical token bucket ----------------------------------------------
+
+TEST(HierarchicalTokenBucket, RequiresBothLevels) {
+  const TimePoint t0 = TimePoint::zero();
+  TokenBucket parent(800.0, 100);     // shallow, slow parent
+  TokenBucket child(8000.0, 1000);    // generous child
+  // Conforms at the child but not the parent: rejected, and neither bucket
+  // is debited (the failed check must be side-effect free).
+  EXPECT_FALSE(hierarchical_consume(parent, child, 500, t0));
+  EXPECT_DOUBLE_EQ(child.available(t0), 1000.0);
+  EXPECT_DOUBLE_EQ(parent.available(t0), 100.0);
+  // Small enough for both: accepted, both debited.
+  EXPECT_TRUE(hierarchical_consume(parent, child, 100, t0));
+  EXPECT_DOUBLE_EQ(child.available(t0), 900.0);
+  EXPECT_DOUBLE_EQ(parent.available(t0), 0.0);
+  // Parent exhausted: rejected again with no child debit.
+  EXPECT_FALSE(hierarchical_consume(parent, child, 100, t0));
+  EXPECT_DOUBLE_EQ(child.available(t0), 900.0);
+}
+
+TEST(HierarchicalTokenBucket, WaitIsTheSlowerLevel) {
+  const TimePoint t0 = TimePoint::zero();
+  TokenBucket parent(800.0, 100);
+  TokenBucket child(8000.0, 1000);
+  ASSERT_TRUE(hierarchical_consume(parent, child, 100, t0));
+  // Parent refills 100 bytes/s, child 1000 bytes/s: the parent dominates.
+  const Duration wait = hierarchical_time_until_conforms(parent, child, 100, t0);
+  EXPECT_EQ(wait, parent.time_until_conforms(100, t0));
+  EXPECT_GT(wait, child.time_until_conforms(100, t0));
+  // A packet deeper than the parent can never conform.
+  EXPECT_EQ(hierarchical_time_until_conforms(parent, child, 500, t0), Duration::max());
+}
+
+// --- IntServQueue operation-script differencing ------------------------------
+
+struct Op {
+  enum class Kind {
+    Install,  // flow, rate_bps, bucket_bytes
+    Remove,   // flow
+    Enqueue,  // flow, size, dscp
+    Dequeue,
+    Probe,    // reserved sum (bitwise), per-flow rates, counts, stats
+  };
+  Kind kind;
+  std::int64_t at_ns = 0;
+  FlowId flow = kNoFlow;
+  double rate_bps = 0.0;
+  std::uint32_t bucket_bytes = 0;
+  std::uint32_t size = 0;
+  Dscp dscp = dscp::kBestEffort;
+};
+
+std::string hex(double v) {
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+/// Replays `script` on a fresh queue and records everything observable.
+std::vector<std::string> run_script(const std::vector<Op>& script,
+                                    IntServQueue::Config config, bool legacy) {
+  config.legacy_flow_map = legacy;
+  IntServQueue q(config);
+  std::vector<std::string> log;
+  for (const Op& op : script) {
+    const TimePoint now{op.at_ns};
+    std::ostringstream line;
+    switch (op.kind) {
+      case Op::Kind::Install:
+        q.install_reservation(op.flow, op.rate_bps, op.bucket_bytes, now);
+        line << "install " << op.flow;
+        break;
+      case Op::Kind::Remove:
+        q.remove_reservation(op.flow);
+        line << "remove " << op.flow;
+        break;
+      case Op::Kind::Enqueue: {
+        Packet p;
+        p.src = 0;
+        p.dst = 1;
+        p.flow = op.flow;
+        p.size_bytes = op.size;
+        p.dscp = op.dscp;
+        const auto rejected = q.enqueue(std::move(p), now);
+        line << "enq " << op.flow << " "
+             << (rejected ? "drop:" + std::to_string(rejected->size_bytes) : "ok");
+        break;
+      }
+      case Op::Kind::Dequeue: {
+        const auto p = q.dequeue(now);
+        if (p) {
+          line << "deq " << p->flow << " " << p->size_bytes << " "
+               << static_cast<int>(p->dscp);
+        } else {
+          line << "deq none";
+        }
+        break;
+      }
+      case Op::Kind::Probe: {
+        const auto delay = q.next_ready_delay(now);
+        line << "probe sum=" << hex(q.reserved_rate_bps())
+             << " n=" << q.reservation_count() << " pkts=" << q.packets()
+             << " bytes=" << q.bytes()
+             << " rate(" << op.flow << ")=" << hex(q.flow_rate_bps(op.flow))
+             << " has=" << q.has_reservation(op.flow)
+             << " delay=" << (delay ? std::to_string(delay->ns()) : "none")
+             << " stats=" << q.stats().enqueued << "/" << q.stats().dequeued << "/"
+             << q.stats().dropped << "/" << q.stats().dropped_bytes;
+        break;
+      }
+    }
+    log.push_back(line.str());
+  }
+  // Drain whatever is left, far enough out that every shaped packet has
+  // earned its tokens: exit paths must match too.
+  TimePoint end{script.empty() ? 0 : script.back().at_ns + 10'000'000'000};
+  while (auto p = q.dequeue(end)) {
+    log.push_back("drain " + std::to_string(p->flow) + " " +
+                  std::to_string(p->size_bytes));
+  }
+  log.push_back("final sum=" + hex(q.reserved_rate_bps()) +
+                " n=" + std::to_string(q.reservation_count()));
+  return log;
+}
+
+std::vector<Op> random_script(std::uint64_t seed, std::size_t n_ops) {
+  std::mt19937_64 rng(seed);
+  std::vector<Op> script;
+  std::int64_t now_ns = 0;
+  // A mix of a small hot id set (heavy churn, slot recycling) and a wide
+  // range (exercises ordering away from insertion order).
+  const auto pick_flow = [&]() -> FlowId {
+    return rng() % 4 == 0 ? 100 + rng() % 900 : 1 + rng() % 16;
+  };
+  const Dscp dscps[] = {dscp::kBestEffort, dscp::kEf, dscp::kAf11, dscp::kCs6};
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    now_ns += static_cast<std::int64_t>(rng() % 2'000'000);  // 0-2ms strides
+    Op op;
+    op.at_ns = now_ns;
+    switch (rng() % 10) {
+      case 0:
+      case 1: {
+        op.kind = Op::Kind::Install;  // fresh install or modify
+        op.flow = pick_flow();
+        op.rate_bps = 1e5 + static_cast<double>(rng() % 1000) * 977.0;
+        op.bucket_bytes = 2'000 + static_cast<std::uint32_t>(rng() % 8) * 1'000;
+        break;
+      }
+      case 2:
+        op.kind = Op::Kind::Remove;
+        op.flow = pick_flow();
+        break;
+      case 3:
+      case 4:
+      case 5:
+      case 6: {
+        op.kind = Op::Kind::Enqueue;
+        op.flow = rng() % 8 == 0 ? kNoFlow : pick_flow();  // some unreserved
+        op.size = 64 + static_cast<std::uint32_t>(rng() % 1400);
+        op.dscp = dscps[rng() % 4];
+        break;
+      }
+      case 7:
+      case 8:
+        op.kind = Op::Kind::Dequeue;
+        break;
+      default:
+        op.kind = Op::Kind::Probe;
+        op.flow = pick_flow();
+        break;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+class FlowTableDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableDiff, DemoteModeMatchesLegacy) {
+  IntServQueue::Config config;
+  config.excess_to_best_effort = true;
+  config.flow_capacity = 4;           // small: exercises capacity clamps
+  config.best_effort_capacity = 32;   // small: exercises demote drops
+  const auto script = random_script(GetParam(), 600);
+  EXPECT_EQ(run_script(script, config, false), run_script(script, config, true));
+}
+
+TEST_P(FlowTableDiff, ShapeModeMatchesLegacy) {
+  IntServQueue::Config config;
+  config.excess_to_best_effort = false;
+  config.flow_capacity = 4;
+  config.best_effort_capacity = 32;
+  const auto script = random_script(GetParam() ^ 0xD1FFu, 600);
+  EXPECT_EQ(run_script(script, config, false), run_script(script, config, true));
+}
+
+TEST_P(FlowTableDiff, HierarchicalParentMatchesLegacy) {
+  // The shared parent bucket must behave identically through both storage
+  // modes (demote and shape alike route policing through the same helpers).
+  for (const bool demote : {true, false}) {
+    IntServQueue::Config config;
+    config.excess_to_best_effort = demote;
+    config.flow_capacity = 4;
+    config.best_effort_capacity = 32;
+    config.parent_rate_bps = 2e6;
+    config.parent_bucket_bytes = 6'000;
+    const auto script = random_script(GetParam() ^ (demote ? 0xA1u : 0xB2u), 600);
+    EXPECT_EQ(run_script(script, config, false), run_script(script, config, true));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, FlowTableDiff,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// --- network-level diff: RSVP signaling + forwarding + metrics export --------
+
+/// Runs a small reserved-traffic scenario with every IntServ egress queue in
+/// the given storage mode and returns the full metrics-registry JSON.
+std::string run_network_scenario(bool legacy) {
+  sim::Engine engine;
+  Network net(engine);
+  const NodeId a = net.add_node("a");
+  const NodeId r = net.add_node("r");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 10e6;
+  cfg.propagation = microseconds(50);
+  const auto make_queue = [legacy]() -> std::unique_ptr<Queue> {
+    IntServQueue::Config qc;
+    qc.legacy_flow_map = legacy;
+    return std::make_unique<IntServQueue>(qc);
+  };
+  net.add_duplex_link(a, r, cfg, make_queue);
+  net.add_duplex_link(r, b, cfg, make_queue);
+
+  std::vector<std::unique_ptr<RsvpAgent>> agents;
+  for (const NodeId n : {a, r, b}) agents.push_back(std::make_unique<RsvpAgent>(net, n));
+  FlowMonitor monitor(net, b);
+
+  // Reserve flows 1-4, tear one down mid-run, and keep data flowing across
+  // reserved, unreserved, and torn-down flows throughout.
+  for (FlowId f = 1; f <= 4; ++f) {
+    agents[0]->reserve(f, b, FlowSpec{1e6, 8'000}, [](Status<std::string>) {});
+  }
+  engine.at(TimePoint::zero() + milliseconds(40), [&] { agents[0]->release(2); });
+  for (int i = 0; i < 200; ++i) {
+    engine.at(TimePoint::zero() + milliseconds(1 + i / 2), [&net, a, b, i] {
+      Packet p;
+      p.dst = b;
+      p.flow = static_cast<FlowId>(i % 6);  // 0 = unclassified, 5 = never reserved
+      p.size_bytes = 400 + static_cast<std::uint32_t>(i % 7) * 100;
+      p.dscp = i % 3 == 0 ? dscp::kEf : dscp::kBestEffort;
+      p.seq = static_cast<std::uint64_t>(i);
+      net.send(a, std::move(p));
+    });
+  }
+  engine.run();
+
+  obs::MetricsRegistry reg;
+  net.export_metrics(reg, "net");
+  monitor.export_metrics(reg, "mon");
+  std::ostringstream os;
+  reg.snapshot().write_json(os, 2);
+  return os.str();
+}
+
+TEST(FlowTableDiff, NetworkScenarioExportsIdenticalMetrics) {
+  const std::string indexed = run_network_scenario(false);
+  const std::string legacy = run_network_scenario(true);
+  EXPECT_FALSE(indexed.empty());
+  EXPECT_EQ(indexed, legacy);
+}
+
+TEST(FlowMonitorSnapshot, ObservedFlowsAreSorted) {
+  sim::Engine engine;
+  Network net(engine);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 10e6;
+  net.add_duplex_link(a, b, cfg);
+  FlowMonitor monitor(net, b);
+  for (const FlowId f : {9u, 2u, 31u, 5u}) {
+    engine.after(microseconds(10), [&net, a, b, f] {
+      Packet p;
+      p.dst = b;
+      p.flow = f;
+      p.size_bytes = 200;
+      net.send(a, std::move(p));
+    });
+  }
+  engine.run();
+  const std::vector<FlowId> want{2, 5, 9, 31};
+  EXPECT_EQ(monitor.observed_flows(), want);
+}
+
+}  // namespace
+}  // namespace aqm::net

@@ -62,6 +62,25 @@ with open(dest_path, "w") as f:
 EOF
 run "$build_dir/bench/micro_substrate" "$repo_root/BENCH_net.json"
 
+# The batching tentpole's win is a ratio, so it is machine-independent and
+# holds even when absolute baselines are skipped: pipelined batched calls
+# must sustain >= 3x the plain GIOP round-trip marshal rate measured in
+# this same run (DESIGN.md §11).
+echo "== transport batching gate: BM_GiopPipelined/64 >= 3x BM_GiopRoundTrip (same run)"
+python3 - "$repo_root/BENCH_orb.json" <<'EOF'
+import json, sys
+marks = {b["name"]: b for b in json.load(open(sys.argv[1]))["benchmarks"]}
+pipe = marks.get("BM_GiopPipelined/64")
+base = marks.get("BM_GiopRoundTrip")
+if pipe is None or base is None:
+    sys.exit("BENCH_orb.json is missing BM_GiopPipelined/64 or BM_GiopRoundTrip")
+ratio = pipe["items_per_second"] / base["items_per_second"]
+print(f"  pipelined {pipe['items_per_second']:.4g} calls/s vs round-trip "
+      f"{base['items_per_second']:.4g}/s -> {ratio:.2f}x")
+if ratio < 3.0:
+    sys.exit(f"batching win below gate: {ratio:.2f}x < 3x (DESIGN.md §11)")
+EOF
+
 if [[ "${AQM_BENCH_NO_COMPARE:-0}" == "1" ]]; then
   echo "baseline comparison skipped (AQM_BENCH_NO_COMPARE=1)"
   exit 0

@@ -4,8 +4,10 @@
 // approaches will both have their place").
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
+#include "common/time.hpp"
 #include "net/dscp.hpp"
 #include "net/packet.hpp"
 #include "net/rsvp.hpp"
@@ -13,6 +15,18 @@
 #include "os/cpu.hpp"
 
 namespace aqm::core {
+
+/// Transport coalescing policy for the binding's flow: small messages
+/// accumulate in the GIOP transport and ship as one wire write, flushed by
+/// byte/count thresholds or the deadline — the flush policy is itself QoS
+/// (a latency/efficiency trade), so it lives on the end-to-end policy and
+/// travels through QoSSession / the interceptor pipeline like priority and
+/// DSCP do.
+struct OnewayBatchingPolicy {
+  std::uint32_t max_bytes = 16 * 1024;
+  std::uint32_t max_messages = 64;
+  Duration flush_deadline = microseconds(500);
+};
 
 struct EndToEndQosPolicy {
   /// Network flow id classifying the binding's traffic. Applied to the
@@ -36,6 +50,13 @@ struct EndToEndQosPolicy {
   std::optional<os::ReserveSpec> server_cpu_reserve;
   /// RSVP/IntServ bandwidth reservation for the binding's flow.
   std::optional<net::FlowSpec> network_reservation;
+
+  // --- transport batching (coalesced writes) --------------------------------
+  /// Enables GIOP message coalescing on the binding's flow (requires
+  /// `flow`). QoSSession plumbs this to GiopTransport::set_flow_batching;
+  /// the flush deadline also rides each invocation through the pipeline's
+  /// batch_flush_override slot.
+  std::optional<OnewayBatchingPolicy> oneway_batching;
 
   [[nodiscard]] bool uses_priorities() const {
     return priority.has_value() || map_priority_to_dscp || explicit_dscp.has_value();

@@ -67,6 +67,9 @@ orb::InterceptStatus QosPolicyInterceptor::establish(orb::ClientRequestContext& 
     ctx.dscp_override = b->banded.to_dscp(ctx.priority);
   }
   if (policy.flow && ctx.flow == net::kNoFlow) ctx.flow = *policy.flow;
+  if (policy.oneway_batching) {
+    ctx.batch_flush_override = policy.oneway_batching->flush_deadline;
+  }
   return {};
 }
 

@@ -27,6 +27,22 @@ void QoSSession::apply(EndToEndQosPolicy policy, ApplyCallback cb) {
   QosPolicyInterceptor::install(client_orb_)
       .bind(stub_.ref().node, stub_.ref().object_key, policy_);
 
+  // Transport coalescing is flow-scoped wire behavior, applied directly to
+  // the client transport (the per-invocation flush override additionally
+  // rides through the QoS-policy interceptor).
+  if (policy_.oneway_batching) {
+    if (!policy_.flow) {
+      errors_.emplace_back("oneway batching requires the binding to have a flow id");
+    } else {
+      orb::BatchPolicy batching;
+      batching.enabled = true;
+      batching.max_bytes = policy_.oneway_batching->max_bytes;
+      batching.max_messages = policy_.oneway_batching->max_messages;
+      batching.flush_delay = policy_.oneway_batching->flush_deadline;
+      client_orb_.transport().set_flow_batching(*policy_.flow, batching);
+    }
+  }
+
   // --- asynchronous, reservation-based mechanisms ---------------------------
   if (policy_.network_reservation) {
     if (net_qos_ == nullptr) {
@@ -93,6 +109,10 @@ void QoSSession::revoke() {
   }
   if (QosPolicyInterceptor* icpt = QosPolicyInterceptor::find(client_orb_)) {
     icpt->unbind(stub_.ref().node, stub_.ref().object_key);
+  }
+  if (policy_.oneway_batching && policy_.flow) {
+    // Flushes anything still staged, then drops the override.
+    client_orb_.transport().clear_flow_batching(*policy_.flow);
   }
   stub_.clear_priority();
   stub_.ref().protocol.dscp.reset();

@@ -122,6 +122,23 @@ std::string CdrReader::read_string() {
   return s;
 }
 
+void CdrReader::read_string_into(std::string& out) {
+  const std::uint32_t len = read_u32();
+  if (len == 0) throw MarshalError("CDR string with zero length");
+  require(len);
+  if (data_[pos_ + len - 1] != 0) throw MarshalError("CDR string missing terminator");
+  out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len - 1);
+  pos_ += len;
+}
+
+void CdrReader::read_octets_into(std::vector<std::uint8_t>& out) {
+  const std::uint32_t len = read_u32();
+  require(len);
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+}
+
 std::vector<std::uint8_t> CdrReader::read_octets() {
   const std::uint32_t len = read_u32();
   require(len);

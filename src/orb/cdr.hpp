@@ -131,6 +131,12 @@ class CdrReader {
   [[nodiscard]] std::string read_string();
   [[nodiscard]] std::vector<std::uint8_t> read_octets();
 
+  /// Capacity-reusing variants for decode-into-scratch callers (the
+  /// steady-state receive path): same wire semantics as read_string /
+  /// read_octets, but assign into `out` instead of constructing fresh.
+  void read_string_into(std::string& out);
+  void read_octets_into(std::vector<std::uint8_t>& out);
+
   void align(std::size_t n);
   void skip(std::size_t n);
 

@@ -1,0 +1,126 @@
+// Open-addressing (hi, lo) -> slot index for the transport's per-message
+// tables (DESIGN.md §11).
+//
+// The GIOP transport keys transient state by composite ids that outgrow a
+// single 64-bit word: reassembly by (source node, message id), batch
+// staging by (destination, DSCP, flow). std::map gave O(log n) walks and
+// std::unordered_map allocates a fresh node per insert — visible on the
+// steady-state receive path, where every inbound wire message opens and
+// closes one reassembly entry. Key128Map is a linear-probe table over two
+// flat arrays (cells + a spare used for rehash), so insert/erase churn at
+// stable occupancy touches no allocator at all: growth doubles the cell
+// array, tombstone pressure rehashes in place by swapping with the spare,
+// and both arrays keep their capacity forever after warm-up.
+//
+// Determinism rule (same as net::FlowMap): probe order is unspecified, so
+// the table exposes no iteration — consumers that need ordered emission
+// must keep their own sorted view of the keys.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace aqm::orb {
+
+class Key128Map {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Returns the mapped slot, or kNoSlot when the key is absent.
+  [[nodiscard]] std::uint32_t find(std::uint64_t hi, std::uint64_t lo) const {
+    if (cells_.empty()) return kNoSlot;
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = mix(hi, lo) & mask;; i = (i + 1) & mask) {
+      const Cell& c = cells_[i];
+      if (c.state == State::Empty) return kNoSlot;
+      if (c.state == State::Used && c.hi == hi && c.lo == lo) return c.slot;
+    }
+  }
+
+  /// Inserts a new mapping; the key must be absent.
+  void insert(std::uint64_t hi, std::uint64_t lo, std::uint32_t slot) {
+    assert(find(hi, lo) == kNoSlot && "Key128Map::insert on a present key");
+    // Rehash at 3/4 occupancy counting tombstones, so probe chains stay
+    // short even under sustained insert/erase churn.
+    if (cells_.empty() || (used_ + tombs_ + 1) * 4 >= cells_.size() * 3) {
+      rehash(cells_.empty() ? 16 : (used_ + 1) * 4 > cells_.size() * 3
+                                       ? cells_.size() * 2
+                                       : cells_.size());
+    }
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = mix(hi, lo) & mask;; i = (i + 1) & mask) {
+      Cell& c = cells_[i];
+      if (c.state == State::Used) continue;
+      if (c.state == State::Tomb) --tombs_;
+      c = Cell{hi, lo, slot, State::Used};
+      ++used_;
+      return;
+    }
+  }
+
+  /// Removes the key; returns false when absent.
+  bool erase(std::uint64_t hi, std::uint64_t lo) {
+    if (cells_.empty()) return false;
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = mix(hi, lo) & mask;; i = (i + 1) & mask) {
+      Cell& c = cells_[i];
+      if (c.state == State::Empty) return false;
+      if (c.state == State::Used && c.hi == hi && c.lo == lo) {
+        c.state = State::Tomb;
+        --used_;
+        ++tombs_;
+        return true;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return used_; }
+  [[nodiscard]] bool empty() const { return used_ == 0; }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = 16;
+    while (n * 4 >= cap * 3) cap *= 2;
+    if (cap > cells_.size()) rehash(cap);
+  }
+
+ private:
+  enum class State : std::uint8_t { Empty = 0, Used = 1, Tomb = 2 };
+  struct Cell {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    std::uint32_t slot = 0;
+    State state = State::Empty;
+  };
+
+  /// splitmix64-style avalanche over both words.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t hi, std::uint64_t lo) {
+    std::uint64_t x = hi * 0x9E3779B97F4A7C15ull ^ (lo + 0xBF58476D1CE4E5B9ull);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  void rehash(std::size_t new_cap) {
+    spare_.assign(new_cap, Cell{});
+    const std::size_t mask = new_cap - 1;
+    for (const Cell& c : cells_) {
+      if (c.state != State::Used) continue;
+      std::size_t i = mix(c.hi, c.lo) & mask;
+      while (spare_[i].state == State::Used) i = (i + 1) & mask;
+      spare_[i] = c;
+    }
+    cells_.swap(spare_);
+    tombs_ = 0;
+  }
+
+  std::vector<Cell> cells_;
+  std::vector<Cell> spare_;  // rehash target; retained so rehash never allocates
+  std::size_t used_ = 0;
+  std::size_t tombs_ = 0;
+};
+
+}  // namespace aqm::orb

@@ -19,17 +19,22 @@ void write_contexts(CdrWriter& w, const std::vector<ServiceContext>& contexts) {
   }
 }
 
-std::vector<ServiceContext> read_contexts(CdrReader& r) {
+/// Reads the context sequence into `out`, reusing the vector's elements
+/// (and their data buffers) when the shapes line up — the common case for
+/// a scratch GiopMessage decoding a stream of similarly stamped messages.
+void read_contexts_into(CdrReader& r, std::vector<ServiceContext>& out) {
   const std::uint32_t n = r.read_u32();
   if (n > 1024) throw MarshalError("unreasonable service-context count");
-  std::vector<ServiceContext> out;
-  out.reserve(n);
+  out.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    ServiceContext c;
-    c.id = r.read_u32();
-    c.data = r.read_octets();
-    out.push_back(std::move(c));
+    out[i].id = r.read_u32();
+    r.read_octets_into(out[i].data);
   }
+}
+
+std::vector<ServiceContext> read_contexts(CdrReader& r) {
+  std::vector<ServiceContext> out;
+  read_contexts_into(r, out);
   return out;
 }
 
@@ -39,12 +44,17 @@ void finish(CdrWriter& w) {
 }
 
 void write_header(CdrWriter& w, GiopMsgType type) {
-  for (const auto b : kMagic) w.write_u8(b);
-  w.write_u8(kVersionMajor);
-  w.write_u8(kVersionMinor);
-  w.write_u8(kFlagLittleEndian);
-  w.write_u8(static_cast<std::uint8_t>(type));
-  w.write_u32(0);  // msg_size, patched by finish()
+  // One appended block instead of eight byte-wise writes: the header is
+  // fixed-shape, so build it on the stack and let write_raw do one
+  // capacity check. msg_size (last 4 bytes) is patched by finish().
+  const std::uint8_t hdr[kHeaderSize] = {kMagic[0],     kMagic[1],
+                                         kMagic[2],     kMagic[3],
+                                         kVersionMajor, kVersionMinor,
+                                         kFlagLittleEndian,
+                                         static_cast<std::uint8_t>(type),
+                                         0,             0,
+                                         0,             0};
+  w.write_raw(hdr);
 }
 
 }  // namespace
@@ -91,7 +101,7 @@ std::vector<std::uint8_t> encode_reply(const ReplyHeader& header,
   return out;
 }
 
-GiopMessage decode(std::span<const std::uint8_t> bytes) {
+void decode_into(GiopMessage& msg, std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kHeaderSize) throw MarshalError("GIOP message shorter than header");
   if (std::memcmp(bytes.data(), kMagic, 4) != 0) throw MarshalError("bad GIOP magic");
   const std::uint8_t flags = bytes[6];
@@ -108,24 +118,28 @@ GiopMessage decode(std::span<const std::uint8_t> bytes) {
     throw MarshalError("GIOP message size mismatch");
   }
 
-  GiopMessage msg;
   msg.type = static_cast<GiopMsgType>(type_byte);
   if (msg.type == GiopMsgType::Request) {
     msg.request.request_id = r.read_u32();
     msg.request.response_expected = r.read_u8() != 0;
-    msg.request.object_key = r.read_string();
-    msg.request.operation = r.read_string();
-    msg.request.contexts = read_contexts(r);
+    r.read_string_into(msg.request.object_key);
+    r.read_string_into(msg.request.operation);
+    read_contexts_into(r, msg.request.contexts);
   } else {
     msg.reply.request_id = r.read_u32();
     const std::uint32_t status = r.read_u32();
     if (status != 0 && status != 2) throw MarshalError("unknown reply status");
     msg.reply.status = static_cast<ReplyStatus>(status);
-    msg.reply.contexts = read_contexts(r);
+    read_contexts_into(r, msg.reply.contexts);
   }
   r.align(8);
   const auto rest = r.remaining_bytes();
   msg.body.assign(rest.begin(), rest.end());
+}
+
+GiopMessage decode(std::span<const std::uint8_t> bytes) {
+  GiopMessage msg;
+  decode_into(msg, bytes);
   return msg;
 }
 

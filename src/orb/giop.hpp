@@ -86,6 +86,13 @@ void encode_reply(const ReplyHeader& header, std::span<const std::uint8_t> body,
 /// Parses a full GIOP message; throws MarshalError on malformed input.
 [[nodiscard]] GiopMessage decode(std::span<const std::uint8_t> bytes);
 
+/// Capacity-reusing decode: parses into `out`, reusing its strings,
+/// context vectors, and body storage. The steady-state receive path
+/// decodes every message into one scratch GiopMessage and allocates
+/// nothing once warm. Fields of the non-matching header (request vs
+/// reply) are left stale; `out.type` discriminates.
+void decode_into(GiopMessage& out, std::span<const std::uint8_t> bytes);
+
 // --- service-context helpers ---------------------------------------------------
 
 [[nodiscard]] ServiceContext make_priority_context(CorbaPriority priority);

@@ -115,6 +115,10 @@ struct ClientRequestContext {
   net::FlowId flow = net::kNoFlow;
   /// Absolute end-to-end deadline (simulation clock).
   std::optional<TimePoint> deadline;
+  /// Transport-coalescing flush deadline for this invocation (QoS policy /
+  /// user interceptors). Tightens the staged batch's flush timer; no
+  /// effect when batching is off for the request's flow.
+  std::optional<Duration> batch_flush_override;
   std::uint64_t trace_id = 0;
 
   /// Request payload — mutable during establish only (pre-marshal).

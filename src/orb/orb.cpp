@@ -33,7 +33,7 @@ CompletionStatus decode_error_body(const std::vector<std::uint8_t>& body) {
 OrbEndpoint::OrbEndpoint(net::Network& net, net::NodeId node, os::Cpu& cpu, OrbConfig config)
     : net_(net), cpu_(cpu), config_(config), transport_(net, node, config.transport) {
   transport_.set_message_handler(
-      [this](net::NodeId src, MessageBuffer msg) { on_message(src, std::move(msg)); });
+      [this](net::NodeId src, const MessageView& msg) { on_message(src, msg); });
   install_builtin_interceptors();
 }
 
@@ -225,6 +225,13 @@ void OrbEndpoint::export_metrics(obs::MetricsRegistry& reg, std::string_view pre
   reg.counter(p + ".dispatch_rejected").set(stats_.dispatch_rejected);
   reg.counter(p + ".collocated_calls").set(stats_.collocated_calls);
   reg.counter(p + ".messages_expired").set(transport_.messages_expired());
+  // Emitted only when coalescing is actually in play, so metrics sidecars
+  // of batching-off runs stay byte-identical to the pre-batching ORB.
+  if (config_.transport.batching.enabled || transport_.batched_messages() > 0) {
+    reg.counter(p + ".transport.batches_sent").set(transport_.batches_sent());
+    reg.counter(p + ".transport.batched_messages").set(transport_.batched_messages());
+    reg.counter(p + ".transport.batches_delivered").set(transport_.batches_delivered());
+  }
   reg.counter(p + ".interceptor.client_vetoed").set(stats_.client_vetoed);
   reg.counter(p + ".interceptor.server_vetoed").set(stats_.server_vetoed);
   reg.counter(p + ".interceptor.deadline_dropped").set(stats_.deadline_dropped);
@@ -329,6 +336,7 @@ void OrbEndpoint::invoke_internal(const ObjectRef& ref, const std::string& opera
       [this, ref, operation, body = std::move(body), options, cb = std::move(cb),
        priority, request_id, trace_id, span_name, attempt, deadline = ectx.deadline,
        dscp_override = ectx.dscp_override, flow = ectx.flow,
+       flush_override = ectx.batch_flush_override,
        retry_state = std::move(retry_state)]() mutable {
         RequestHeader header;
         header.request_id = request_id;
@@ -348,6 +356,7 @@ void OrbEndpoint::invoke_internal(const ObjectRef& ref, const std::string& opera
         ctx.dscp_override = dscp_override;
         ctx.flow = flow;
         ctx.deadline = deadline;
+        ctx.batch_flush_override = flush_override;
         ctx.trace_id = trace_id;
         ctx.retry = options.retry;
         ctx.contexts = &header.contexts;
@@ -418,7 +427,7 @@ void OrbEndpoint::invoke_internal(const ObjectRef& ref, const std::string& opera
           on_message(node(), std::move(bytes));
         } else {
           transport_.send_message(ref.node, std::move(bytes), ctx.dscp, ctx.flow,
-                                  trace_id);
+                                  trace_id, ctx.batch_flush_override);
         }
       });
 }
@@ -461,23 +470,25 @@ void OrbEndpoint::complete_exception(ResponseCallback cb, CompletionStatus statu
 
 // --- server side -------------------------------------------------------------
 
-void OrbEndpoint::on_message(net::NodeId src, MessageBuffer msg) {
-  GiopMessage decoded;
+void OrbEndpoint::on_message(net::NodeId src, const MessageView& msg) {
+  // Decode into the endpoint scratch: batched traffic hands us views into a
+  // shared batch buffer, and this path re-parses headers without allocating
+  // once the scratch's strings/contexts/body are warm.
   try {
-    decoded = decode(*msg);
+    decode_into(decode_scratch_, msg.bytes());
   } catch (const MarshalError& e) {
     AQM_WARN() << "orb@" << net_.node_name(node()) << ": dropping malformed GIOP ("
                << e.what() << ")";
     return;
   }
-  if (decoded.type == GiopMsgType::Request) {
-    handle_request(src, std::move(decoded), msg->size());
+  if (decode_scratch_.type == GiopMsgType::Request) {
+    handle_request(src, decode_scratch_, msg.size());
   } else {
-    handle_reply(std::move(decoded), msg->size());
+    handle_reply(decode_scratch_, msg.size());
   }
 }
 
-void OrbEndpoint::handle_request(net::NodeId src, GiopMessage msg, std::size_t wire_size) {
+void OrbEndpoint::handle_request(net::NodeId src, GiopMessage& msg, std::size_t wire_size) {
   RequestHeader& header = msg.request;
 
   // object_key = "<poa>/<object-id>"
@@ -660,7 +671,7 @@ void OrbEndpoint::send_reply(net::NodeId client, std::uint32_t request_id,
       });
 }
 
-void OrbEndpoint::handle_reply(GiopMessage msg, std::size_t wire_size) {
+void OrbEndpoint::handle_reply(GiopMessage& msg, std::size_t wire_size) {
   const auto it = pending_.find(msg.reply.request_id);
   if (it == pending_.end()) return;  // late reply after timeout: drop
   PendingRequest pending = std::move(it->second);

@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -133,10 +134,17 @@ class OrbEndpoint {
   // --- client side -------------------------------------------------------------
 
   /// Fire an invocation. For oneways `cb` may be null; for twoways it is
-  /// called exactly once with the outcome.
+  /// called exactly once with the outcome. With transport batching on,
+  /// any number of invocations can be in flight on one logical connection
+  /// — completions demux by request id — and small requests coalesce in
+  /// the transport until a threshold/deadline flush or flush_transport().
   void invoke(const ObjectRef& ref, const std::string& operation,
               std::vector<std::uint8_t> body, InvokeOptions options,
               ResponseCallback cb = nullptr);
+
+  /// Ships every staged (batched) message now — the AMI-style pipelining
+  /// submit/flush boundary. A no-op when nothing is staged.
+  void flush_transport() { transport_.flush_all(); }
 
   // --- plumbing -----------------------------------------------------------------
 
@@ -207,9 +215,11 @@ class OrbEndpoint {
   InterceptStatus run_server_receive(ServerRequestContext& ctx);
   InterceptStatus run_server_reply(ServerRequestContext& ctx);
 
-  void on_message(net::NodeId src, MessageBuffer msg);
-  void handle_request(net::NodeId src, GiopMessage msg, std::size_t wire_size);
-  void handle_reply(GiopMessage msg, std::size_t wire_size);
+  void on_message(net::NodeId src, const MessageView& msg);
+  /// Both take the decode scratch by reference and move its movable
+  /// fields out; decode_into reinitializes them on the next message.
+  void handle_request(net::NodeId src, GiopMessage& msg, std::size_t wire_size);
+  void handle_reply(GiopMessage& msg, std::size_t wire_size);
   void send_reply(net::NodeId client, std::uint32_t request_id, ReplyStatus status,
                   std::vector<std::uint8_t> body, CorbaPriority priority,
                   std::uint64_t trace = 0);
@@ -231,7 +241,14 @@ class OrbEndpoint {
   rt::DscpMappingManager dscp_mappings_;
   CorbaPriority client_priority_ = 0;
   std::map<std::string, std::unique_ptr<Poa>> poas_;
-  std::map<std::uint32_t, PendingRequest> pending_;
+  /// In-flight twoway completions, demuxed by request id. Hashed (O(1) at
+  /// pipelining depths) and never iterated, so determinism holds.
+  std::unordered_map<std::uint32_t, PendingRequest> pending_;
+  /// Receive-path decode scratch: every inbound message decodes into this
+  /// one GiopMessage, reusing its strings/contexts/body capacity. Safe
+  /// because servant and callback work is always deferred through the CPU
+  /// or thread pool, so no nested on_message can run while it is live.
+  GiopMessage decode_scratch_;
   std::uint32_t next_request_id_ = 1;
   OrbStats stats_;
   // Client chain: [user..., built-ins...]; server chain: [built-ins..., user...].

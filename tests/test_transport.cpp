@@ -38,9 +38,9 @@ struct TransportFixture : public ::testing::Test {
 
 TEST_F(TransportFixture, SmallMessageSinglePacket) {
   std::optional<std::size_t> got;
-  tb->set_message_handler([&](net::NodeId src, MessageBuffer msg) {
+  tb->set_message_handler([&](net::NodeId src, MessageView msg) {
     EXPECT_EQ(src, a);
-    got = msg->size();
+    got = msg.size();
   });
   ta->send_message(b, make_message(500), net::dscp::kBestEffort, 1);
   engine.run();
@@ -53,7 +53,7 @@ TEST_F(TransportFixture, SmallMessageSinglePacket) {
 
 TEST_F(TransportFixture, LargeMessageFragmentsToMtu) {
   std::optional<std::size_t> got;
-  tb->set_message_handler([&](net::NodeId, MessageBuffer msg) { got = msg->size(); });
+  tb->set_message_handler([&](net::NodeId, MessageView msg) { got = msg.size(); });
   // 10 KB with MTU 1500 and 40 B overhead: payload per packet 1460 -> 7 fragments.
   ta->send_message(b, make_message(10'000), net::dscp::kBestEffort, 2);
   engine.run();
@@ -63,20 +63,24 @@ TEST_F(TransportFixture, LargeMessageFragmentsToMtu) {
 }
 
 TEST_F(TransportFixture, ContentSurvivesTransit) {
-  MessageBuffer received;
-  tb->set_message_handler([&](net::NodeId, MessageBuffer msg) { received = msg; });
+  std::vector<std::uint8_t> received;
+  bool got = false;
+  tb->set_message_handler([&](net::NodeId, MessageView msg) {
+    received.assign(msg.data(), msg.data() + msg.size());
+    got = true;
+  });
   const auto original = make_message(5000);
   ta->send_message(b, original, net::dscp::kBestEffort);
   engine.run();
-  ASSERT_NE(received, nullptr);
-  EXPECT_EQ(*received, *original);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(received, *original);
 }
 
 TEST_F(TransportFixture, BidirectionalMessaging) {
   int a_got = 0;
   int b_got = 0;
-  ta->set_message_handler([&](net::NodeId, MessageBuffer) { ++a_got; });
-  tb->set_message_handler([&](net::NodeId, MessageBuffer) { ++b_got; });
+  ta->set_message_handler([&](net::NodeId, MessageView) { ++a_got; });
+  tb->set_message_handler([&](net::NodeId, MessageView) { ++b_got; });
   ta->send_message(b, make_message(100), net::dscp::kBestEffort);
   tb->send_message(a, make_message(100), net::dscp::kBestEffort);
   engine.run();
@@ -89,7 +93,7 @@ TEST_F(TransportFixture, DscpStampsEveryFragment) {
   // easiest check is the DiffServ classification on the egress queue, so
   // here we just assert the transport's packets carry the DSCP by observing
   // flow counters on a marked flow (wire-level checks live in queue tests).
-  tb->set_message_handler([](net::NodeId, MessageBuffer) {});
+  tb->set_message_handler([](net::NodeId, MessageView) {});
   ta->send_message(b, make_message(4000), net::dscp::kEf, 3);
   engine.run();
   EXPECT_EQ(net.flow(3).delivered, 3u);  // 4000/1460 -> 3 fragments, all EF
@@ -110,7 +114,7 @@ TEST(TransportLoss, IncompleteMessageExpires) {
   GiopTransport ta(net, a, cfg);
   GiopTransport tb(net, b, cfg);
   int delivered = 0;
-  tb.set_message_handler([&](net::NodeId, MessageBuffer) { ++delivered; });
+  tb.set_message_handler([&](net::NodeId, MessageView) { ++delivered; });
   auto msg = std::make_shared<std::vector<std::uint8_t>>(10'000);  // 7 fragments
   ta.send_message(b, msg, net::dscp::kBestEffort, 4);
   engine.run();
@@ -127,7 +131,7 @@ TEST(TransportLoss, DuplicateFragmentsIgnored) {
   net.add_duplex_link(a, b, net::LinkConfig{});
   GiopTransport tb(net, b);
   int delivered = 0;
-  tb.set_message_handler([&](net::NodeId, MessageBuffer) { ++delivered; });
+  tb.set_message_handler([&](net::NodeId, MessageView) { ++delivered; });
   // Hand-craft duplicate fragments of a 2-fragment message.
   auto data = std::make_shared<const std::vector<std::uint8_t>>(3000);
   auto send_frag = [&](std::uint32_t idx) {
@@ -152,7 +156,7 @@ TEST(TransportLoss, NonGiopPacketsIgnored) {
   net.add_duplex_link(a, b, net::LinkConfig{});
   GiopTransport tb(net, b);
   int delivered = 0;
-  tb.set_message_handler([&](net::NodeId, MessageBuffer) { ++delivered; });
+  tb.set_message_handler([&](net::NodeId, MessageView) { ++delivered; });
   net::Packet p;
   p.dst = b;
   p.size_bytes = 100;  // cross-traffic packet, no payload

@@ -7,6 +7,12 @@
 // runner (--jobs N); output is byte-identical for every worker count —
 // including the --metrics sidecar, whose snapshots are merged in trial
 // order. --trace FILE records the first trial as Chrome trace-event JSON.
+//
+// --slo FILE enables per-flow SLO monitoring (both senders bound to a
+// 250 ms window-p99 / 5% drop-rate objective, which the congested trials
+// breach) and writes the deterministic health-event sidecar; --flight FILE
+// writes the flight-recorder dumps cut at each breach. Both sidecars are
+// byte-identical for any --jobs.
 #include <iostream>
 #include <vector>
 
@@ -14,6 +20,7 @@
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace aqm;
@@ -25,6 +32,11 @@ int main(int argc, char** argv) {
 
   const std::size_t depths[] = {100, 250, 500, 1000, 2000};
 
+  const bool telemetry = !opts.slo_path.empty() || !opts.flight_path.empty();
+  obs::SloSpec slo;
+  slo.max_p99_latency_ms = 250.0;
+  slo.max_drop_rate = 0.05;
+
   core::Experiment<PriorityScenarioResult> exp;
   bool first = true;
   for (const std::size_t depth : depths) {
@@ -34,11 +46,41 @@ int main(int argc, char** argv) {
     cfg.queue_pkts = depth;
     cfg.collect_metrics = !opts.metrics_path.empty();
     cfg.trace = first && !opts.trace_path.empty();
+    cfg.telemetry = telemetry;
+    if (telemetry) {
+      cfg.sender1_policy.slo = slo;
+      cfg.sender2_policy.slo = slo;
+    }
     first = false;
     exp.add("queue-depth-" + std::to_string(depth), cfg.seed,
             [cfg](const core::TrialSpec&) { return run_priority_scenario(cfg); });
   }
   const auto results = exp.run(opts);
+
+  if (!opts.slo_path.empty()) {
+    std::vector<obs::NamedHealthReport> reports;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      reports.push_back({exp.spec(i).name, results[i].health});
+    }
+    if (obs::write_health_sidecar_file(opts.slo_path, reports)) {
+      std::cerr << "health events written to " << opts.slo_path << "\n";
+    } else {
+      std::cerr << "failed to write health events to " << opts.slo_path << "\n";
+      return 1;
+    }
+  }
+  if (!opts.flight_path.empty()) {
+    std::vector<obs::NamedFlightDumps> dumps;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      dumps.push_back({exp.spec(i).name, results[i].flight_dumps});
+    }
+    if (obs::write_flight_sidecar_file(opts.flight_path, dumps)) {
+      std::cerr << "flight dumps written to " << opts.flight_path << "\n";
+    } else {
+      std::cerr << "failed to write flight dumps to " << opts.flight_path << "\n";
+      return 1;
+    }
+  }
 
   if (!opts.metrics_path.empty()) {
     std::vector<obs::NamedSnapshot> snaps;

@@ -6,6 +6,8 @@
 
 #include "common/table.hpp"
 #include "core/qos_session.hpp"
+#include "net/flow_monitor.hpp"
+#include "obs/telemetry.hpp"
 #include "orb/orb.hpp"
 #include "orb/servant.hpp"
 #include "os/load_generator.hpp"
@@ -28,6 +30,28 @@ PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) 
   if (cfg.trace) {
     result.trace = std::make_shared<obs::TraceRecorder>();
     bed.engine.set_tracer(result.trace.get());
+  }
+
+  // Telemetry hub: attached before the QoS sessions apply, so per-policy
+  // SLO specs land on it. With full tracing off, the hub's flight ring
+  // doubles as the engine tracer (lossy, bounded, near-zero cost).
+  std::unique_ptr<obs::TelemetryHub> hub;
+  if (cfg.telemetry) {
+    hub = std::make_unique<obs::TelemetryHub>(cfg.telemetry_config);
+    bed.engine.set_telemetry(hub.get());
+    if (cfg.trace) {
+      hub->set_dump_source(result.trace.get());
+    } else {
+      bed.engine.set_tracer(&hub->flight());
+    }
+  }
+
+  // Receiver-side FlowMonitor: a pure tap in front of the ORB transport's
+  // receiver (swap_receiver chains it as downstream). Feeds jitter into
+  // the hub and the "recv.*" registry names.
+  std::unique_ptr<net::FlowMonitor> monitor;
+  if (cfg.collect_metrics || cfg.telemetry) {
+    monitor = std::make_unique<net::FlowMonitor>(bed.network, bed.receiver_node);
   }
 
   // Two servants in two separate POAs, as in the paper's receiver host.
@@ -93,6 +117,22 @@ PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) 
   // Drain in-flight messages.
   bed.engine.run_until(TimePoint::zero() + cfg.duration + seconds(5));
 
+  if (hub) {
+    hub->finalize(bed.engine.now());
+    result.health = hub->report();
+    result.flight_dumps = hub->dumps();
+    bed.engine.set_telemetry(nullptr);
+    if (!cfg.trace) bed.engine.set_tracer(nullptr);
+  }
+  if (monitor) {
+    const net::FlowId f1 = cfg.sender1_policy.flow.value_or(core::kFlowSender1);
+    const net::FlowId f2 = cfg.sender2_policy.flow.value_or(core::kFlowSender2);
+    result.s1_jitter_ms = monitor->jitter_ms(f1);
+    result.s2_jitter_ms = monitor->jitter_ms(f2);
+    result.s1_dropped = monitor->dropped(f1);
+    result.s2_dropped = monitor->dropped(f2);
+  }
+
   if (cfg.collect_metrics) {
     obs::MetricsRegistry reg;
     bed.sender_orb.export_metrics(reg, "orb.sender");
@@ -100,6 +140,10 @@ PriorityScenarioResult run_priority_scenario(const PriorityScenarioConfig& cfg) 
     bed.network.export_metrics(reg, "net");
     bed.sender_cpu.export_metrics(reg, "cpu.sender");
     bed.receiver_cpu.export_metrics(reg, "cpu.receiver");
+    // Receiver-side quality signals go through registry names (not ad-hoc
+    // prints): recv.flow<id>.jitter_ms / .dropped / .interarrival_ms etc.
+    if (monitor) monitor->export_metrics(reg, "recv");
+    if (hub) hub->export_metrics(reg, "telemetry");
     reg.counter("scenario.s1_sent").set(result.s1_sent);
     reg.counter("scenario.s2_sent").set(result.s2_sent);
     reg.counter("scenario.s1_received").set(result.s1_received);
@@ -134,20 +178,23 @@ void print_summary(const std::string& title, const PriorityScenarioResult& resul
   const RunningStats s1 = result.s1_stats();
   const RunningStats s2 = result.s2_stats();
   std::cout << "\n" << title << "\n";
-  TextTable table({"sender", "sent", "delivered", "loss%", "mean(ms)", "stddev(ms)",
-                   "min(ms)", "max(ms)"});
+  TextTable table({"sender", "sent", "delivered", "dropped", "loss%", "mean(ms)",
+                   "stddev(ms)", "min(ms)", "max(ms)", "jitter(ms)"});
   auto add = [&](const char* name, std::uint64_t sent, std::uint64_t recv,
-                 const RunningStats& s) {
+                 std::uint64_t dropped, double jitter, const RunningStats& s) {
     const double loss =
         sent == 0 ? 0.0
                   : 100.0 * static_cast<double>(sent - std::min(sent, recv)) /
                         static_cast<double>(sent);
-    table.row({name, std::to_string(sent), std::to_string(recv), fmt(loss, 1),
-               fmt(s.mean()), fmt(s.stddev()), fmt(s.empty() ? 0 : s.min()),
-               fmt(s.empty() ? 0 : s.max())});
+    table.row({name, std::to_string(sent), std::to_string(recv),
+               std::to_string(dropped), fmt(loss, 1), fmt(s.mean()), fmt(s.stddev()),
+               fmt(s.empty() ? 0 : s.min()), fmt(s.empty() ? 0 : s.max()),
+               fmt(jitter)});
   };
-  add("sender1", result.s1_sent, result.s1_received, s1);
-  add("sender2", result.s2_sent, result.s2_received, s2);
+  add("sender1", result.s1_sent, result.s1_received, result.s1_dropped,
+      result.s1_jitter_ms, s1);
+  add("sender2", result.s2_sent, result.s2_received, result.s2_dropped,
+      result.s2_jitter_ms, s2);
   table.print();
 }
 

@@ -14,6 +14,7 @@
 #include "core/qos_policy.hpp"
 #include "core/testbed.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "orb/types.hpp"
 
@@ -70,6 +71,12 @@ struct PriorityScenarioConfig {
   bool trace = false;
   /// Fill result.metrics with ORB/network/CPU counters at trial end.
   bool collect_metrics = false;
+  /// Attach a TelemetryHub to the engine for the trial: per-flow SLO specs
+  /// on the sender policies are installed through QoSSession, the flight
+  /// ring records (as the engine tracer unless `trace` already claims it),
+  /// and result.health / result.flight_dumps carry the outcome.
+  bool telemetry = false;
+  obs::TelemetryConfig telemetry_config{};
 };
 
 struct PriorityScenarioResult {
@@ -79,10 +86,19 @@ struct PriorityScenarioResult {
   std::uint64_t s2_sent = 0;
   std::uint64_t s1_received = 0;
   std::uint64_t s2_received = 0;
+  /// Receiver-side FlowMonitor accounting (zeros unless cfg.collect_metrics
+  /// or cfg.telemetry installed the monitor).
+  double s1_jitter_ms = 0.0;
+  double s2_jitter_ms = 0.0;
+  std::uint64_t s1_dropped = 0;
+  std::uint64_t s2_dropped = 0;
   /// Trial-end metrics snapshot (empty unless cfg.collect_metrics).
   obs::MetricsSnapshot metrics;
   /// Recorded trial trace (null unless cfg.trace).
   std::shared_ptr<obs::TraceRecorder> trace;
+  /// Health stream + flight dumps (empty unless cfg.telemetry).
+  obs::HealthReport health;
+  std::vector<obs::FlightDump> flight_dumps;
 
   [[nodiscard]] RunningStats s1_stats() const { return s1_latency_ms.stats(); }
   [[nodiscard]] RunningStats s2_stats() const { return s2_latency_ms.stats(); }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/json_report.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -170,6 +171,64 @@ void BM_TraceOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Arg(2);
+
+/// Telemetry tax on the engine hot loop: the hold model where every 64th
+/// fired event reports a completed call into the TelemetryHub. The density
+/// is calibrated, not guessed: in a PriorityTestbed a completed twoway call
+/// costs ~3.2us of host-side engine work (~510ns/event across the request/
+/// reply event chain), i.e. ~80 hold-model steps' worth — so observing
+/// every 64th step taxes the loop slightly *harder* than the real ORB path
+/// does. The loop is byte-identical across modes; only the hub wiring
+/// differs. Arg(0): hub detached — the observation point degrades to one
+/// pointer test (the shipped default). Arg(1): hub attached, flow
+/// unmonitored — lifetime counters only. Arg(2): hub attached with a quiet
+/// SLO on the flow — the full windowed path (bucket ring, log-histogram
+/// latency, boundary evaluations) with thresholds never violated.
+/// run_bench.sh gates Arg(2) within 3% of Arg(0) in the same run.
+struct TelemetryHoldOp {
+  sim::Engine& e;
+  std::uint64_t& rng;
+  std::uint64_t& sink;
+  void operator()() {
+    const std::uint64_t r = next_rng(rng);
+    sink += r & 1;
+    if ((r & 0x3f) == 0) {
+      if (obs::TelemetryHub* th = e.telemetry()) {
+        th->on_call(101, e.now(), 1.0 + static_cast<double>(r & 0xff) * 0.01);
+      }
+    }
+    e.after(nanoseconds(static_cast<std::int64_t>(r & 0x3fff) + 1),
+            TelemetryHoldOp{e, rng, sink});
+  }
+};
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr int k = 1024;
+  sim::Engine e;
+  e.reserve(k);
+  obs::TelemetryHub hub;
+  if (mode != 0) e.set_telemetry(&hub);
+  if (mode == 2) {
+    obs::SloSpec slo;
+    slo.max_miss_rate = 0.5;            // no misses are ever reported
+    slo.max_p99_latency_ms = 1e9;       // never violated
+    hub.set_slo(101, slo);
+  }
+  std::uint64_t rng = 2024;
+  std::uint64_t sink = 0;
+  std::uint64_t seed_rng = 7;
+  for (int i = 0; i < k; ++i) {
+    e.after(nanoseconds(static_cast<std::int64_t>(next_rng(seed_rng) & 0x3fff) + 1),
+            TelemetryHoldOp{e, rng, sink});
+  }
+  for (auto _ : state) {
+    e.step();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 /// Many periodic timers ticking through a horizon (rate-monotonic style
 /// period spread), measuring the rearm path.

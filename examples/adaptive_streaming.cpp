@@ -10,7 +10,12 @@
 // Pass --trace FILE to capture the whole run as Chrome trace-event JSON
 // (load in Perfetto): ORB call spans chain through per-hop link/queue
 // events to the server dispatch and the QuO region transitions they cause.
-// Pass --metrics FILE for the run's metrics sidecar.
+// Pass --metrics FILE for the run's metrics sidecar. Pass --slo FILE to
+// put the video flow under a drop-rate SLO: the 20s load breaches it, and
+// the contract's immediate frame filtering (reaction 1) sheds enough load
+// that the SLO recovers within ~1s — one breach/recovery pair in the
+// health-event sidecar; --flight FILE writes the flight-recorder dumps
+// cut at each breach.
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -21,7 +26,9 @@
 #include "media/frame_filter.hpp"
 #include "media/video_sink.hpp"
 #include "media/video_source.hpp"
+#include "net/flow_monitor.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "orb/cdr.hpp"
 #include "quo/contract.hpp"
@@ -37,6 +44,27 @@ int main(int argc, char** argv) {
 
   obs::TraceRecorder tracer;
   if (!opts.trace_path.empty()) bed.engine.set_tracer(&tracer);
+
+  // Telemetry: the video flow runs under a drop-rate SLO. With full
+  // tracing off, the hub's lossy flight ring doubles as the engine tracer
+  // so breach dumps still have events to cut.
+  const bool telemetry = !opts.slo_path.empty() || !opts.flight_path.empty();
+  obs::TelemetryHub hub;
+  if (telemetry) {
+    bed.engine.set_telemetry(&hub);
+    if (!opts.trace_path.empty()) {
+      hub.set_dump_source(&tracer);
+    } else {
+      bed.engine.set_tracer(&hub.flight());
+    }
+    obs::SloSpec slo;
+    slo.max_drop_rate = 0.05;
+    hub.set_slo(core::kFlowVideo, slo);
+  }
+
+  // Receiver-side per-flow accounting (jitter, inter-arrival, drops) goes
+  // through registry names via the FlowMonitor tap, not ad-hoc prints.
+  net::FlowMonitor monitor(bed.network, bed.receiver_node);
 
   media::VideoSinkStats stats(bed.engine, gop);
   orb::Poa& poa = bed.receiver_orb.create_poa("video");
@@ -130,6 +158,8 @@ int main(int argc, char** argv) {
   bed.engine.run_until(TimePoint{seconds(63).ns()});
   reporter.stop();
 
+  if (telemetry) hub.finalize(bed.engine.now());
+
   const auto lat = stats.latency_series().stats();
   std::cout << "\nresults:\n"
             << "  frames sourced/transmitted/received : " << stats.source_count() << " / "
@@ -138,7 +168,13 @@ int main(int argc, char** argv) {
             << "  latency mean/max                    : " << lat.mean() << " / "
             << lat.max() << " ms\n"
             << "  contract transitions                : " << contract.transition_count()
-            << "\n";
+            << "\n"
+            << "  receiver jitter (RFC 3550)          : "
+            << monitor.jitter_ms(core::kFlowVideo) << " ms\n";
+  if (telemetry) {
+    std::cout << "  SLO health transitions              : " << hub.events().size()
+              << " (flight dumps: " << hub.dumps().size() << ")\n";
+  }
 
   if (!opts.trace_path.empty()) {
     if (!tracer.write_chrome_json_file(opts.trace_path)) {
@@ -155,6 +191,8 @@ int main(int argc, char** argv) {
     bed.network.export_metrics(reg, "net");
     bed.sender_cpu.export_metrics(reg, "cpu.sender");
     bed.receiver_cpu.export_metrics(reg, "cpu.receiver");
+    monitor.export_metrics(reg, "recv");
+    if (telemetry) hub.export_metrics(reg, "telemetry");
     reg.counter("stream.frames_sourced").set(stats.source_count());
     reg.counter("stream.frames_transmitted").set(stats.transmitted_count());
     reg.counter("stream.frames_received").set(stats.received_count());
@@ -167,6 +205,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "metrics written to " << opts.metrics_path << "\n";
+  }
+  if (!opts.slo_path.empty()) {
+    const std::vector<obs::NamedHealthReport> reports{
+        {"adaptive_streaming", hub.report()}};
+    if (!obs::write_health_sidecar_file(opts.slo_path, reports)) {
+      std::cerr << "failed to write health events to " << opts.slo_path << "\n";
+      return 1;
+    }
+    std::cerr << "health events written to " << opts.slo_path << "\n";
+  }
+  if (!opts.flight_path.empty()) {
+    const std::vector<obs::NamedFlightDumps> dumps{
+        {"adaptive_streaming", hub.dumps()}};
+    if (!obs::write_flight_sidecar_file(opts.flight_path, dumps)) {
+      std::cerr << "failed to write flight dumps to " << opts.flight_path << "\n";
+      return 1;
+    }
+    std::cerr << "flight dumps written to " << opts.flight_path << "\n";
   }
   return 0;
 }

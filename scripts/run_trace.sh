@@ -49,4 +49,34 @@ cmp "$out_dir/queue_depth.metrics.j1.json" "$out_dir/queue_depth.metrics.j4.json
 mv "$out_dir/queue_depth.metrics.j1.json" "$out_dir/queue_depth.metrics.json"
 rm -f "$out_dir/queue_depth.metrics.j4.json"
 
+# SLO telemetry (DESIGN.md §12): the health-event stream and the flight
+# dumps are merged in trial-index order like the metrics sidecar, so both
+# must be byte-identical for any worker count.
+echo "== SLO sidecar determinism: ablation_queue_depth --jobs 1 vs --jobs 4"
+"$build_dir/bench/ablation_queue_depth" --jobs 1 \
+  --slo "$out_dir/queue_depth.health.j1.json" \
+  --flight "$out_dir/queue_depth.flight.j1.json" > /dev/null
+"$build_dir/bench/ablation_queue_depth" --jobs 4 \
+  --slo "$out_dir/queue_depth.health.j4.json" \
+  --flight "$out_dir/queue_depth.flight.j4.json" > /dev/null
+python3 -m json.tool "$out_dir/queue_depth.health.j1.json" > /dev/null
+python3 -m json.tool "$out_dir/queue_depth.flight.j1.json" > /dev/null
+cmp "$out_dir/queue_depth.health.j1.json" "$out_dir/queue_depth.health.j4.json"
+cmp "$out_dir/queue_depth.flight.j1.json" "$out_dir/queue_depth.flight.j4.json"
+mv "$out_dir/queue_depth.health.j1.json" "$out_dir/queue_depth.health.json"
+mv "$out_dir/queue_depth.flight.j1.json" "$out_dir/queue_depth.flight.json"
+rm -f "$out_dir/queue_depth.health.j4.json" "$out_dir/queue_depth.flight.j4.json"
+
+# The congested trials must actually breach (the sweep overloads a 10 Mbps
+# bottleneck 2x): an empty health stream means the monitors are not wired.
+python3 - "$out_dir/queue_depth.health.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = sum(len(t["health"]["events"]) for t in doc["trials"])
+assert events > 0, "no SLO breach events in the congested sweep"
+assert doc["merged"]["events"] == events, "merged event count mismatch"
+print(f"   {events} health events across {len(doc['trials'])} trials")
+EOF
+
 echo "done; open the *.trace.json files in https://ui.perfetto.dev"
+echo "flight dumps for post-mortems: $out_dir/queue_depth.flight.json"

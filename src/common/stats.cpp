@@ -56,13 +56,16 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
   assert(buckets > 0);
 }
 
-void Histogram::add(double x) {
-  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto idx = static_cast<std::int64_t>((x - lo_) / w);
-  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
-  ++total_;
+Histogram Histogram::log_scaled(double lo, double hi, std::size_t buckets) {
+  assert(lo > 0.0);
+  Histogram h(lo, hi, buckets);
+  h.log_scale_ = true;
+  h.log_step_ = std::log(hi / lo) / static_cast<double>(buckets);
+  h.inv_log_step_ = 1.0 / h.log_step_;
+  return h;
 }
+
+void Histogram::add(double x) { add_at(bucket_index(x)); }
 
 void Histogram::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
@@ -70,6 +73,11 @@ void Histogram::clear() {
 }
 
 double Histogram::bucket_lo(std::size_t i) const {
+  if (log_scale_) {
+    if (i == 0) return lo_;
+    if (i >= counts_.size()) return hi_;
+    return lo_ * std::exp(log_step_ * static_cast<double>(i));
+  }
   const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + w * static_cast<double>(i);
 }
@@ -95,12 +103,26 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
+bool Histogram::same_layout(const Histogram& other) const {
+  return lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size() && log_scale_ == other.log_scale_;
+}
+
 bool Histogram::merge(const Histogram& other) {
-  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
-    return false;
-  }
+  if (!same_layout(other)) return false;
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;
+  return true;
+}
+
+bool Histogram::subtract(const Histogram& other) {
+  if (!same_layout(other)) return false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    assert(counts_[i] >= other.counts_[i]);
+    counts_[i] -= other.counts_[i];
+  }
+  assert(total_ >= other.total_);
+  total_ -= other.total_;
   return true;
 }
 

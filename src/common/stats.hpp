@@ -2,6 +2,8 @@
 // harnesses and QuO system condition objects.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -42,32 +44,77 @@ class RunningStats {
 
 /// Fixed-bucket histogram over [lo, hi); out-of-range samples are clamped
 /// into the first/last bucket so totals always match the sample count.
+/// Two bucket layouts share the same interface: the default linear layout
+/// (equal-width buckets) and an HDR-style geometric layout from
+/// `log_scaled` (equal-ratio buckets, so relative quantile error is
+/// bounded across several orders of magnitude — the right shape for
+/// latency p50/p99 tracking).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
 
+  /// Geometric bucket edges lo * (hi/lo)^(i/buckets); requires 0 < lo < hi.
+  /// Samples <= lo clamp into the first bucket.
+  [[nodiscard]] static Histogram log_scaled(double lo, double hi, std::size_t buckets);
+
   void add(double x);
+  /// Bucket index `x` lands in — exposed so hot paths that feed several
+  /// same-layout histograms classify once (one log for the log layout)
+  /// and add_at() the shared index into each. Inline: telemetry
+  /// observation points sit on the engine hot loop.
+  [[nodiscard]] std::size_t bucket_index(double x) const {
+    std::int64_t idx;
+    if (log_scale_) {
+      // Samples at or below lo (including non-positive values, which have
+      // no logarithm) clamp into the first bucket.
+      idx = x <= lo_ ? 0 : static_cast<std::int64_t>(std::log(x / lo_) * inv_log_step_);
+    } else {
+      const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+      idx = static_cast<std::int64_t>((x - lo_) / w);
+    }
+    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    return static_cast<std::size_t>(idx);
+  }
+  /// Increments the bucket at an index computed by bucket_index() on a
+  /// histogram with the same layout.
+  void add_at(std::size_t idx) {
+    ++counts_[idx];
+    ++total_;
+  }
   void clear();
 
   [[nodiscard]] std::size_t count() const { return total_; }
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] bool log_scale() const { return log_scale_; }
   [[nodiscard]] double bucket_lo(std::size_t i) const;
   [[nodiscard]] double bucket_hi(std::size_t i) const;
 
   /// Linear-interpolated quantile in [0, 1]; 0 when empty.
   [[nodiscard]] double quantile(double q) const;
 
-  /// Merges another histogram with identical bounds and bucket count
-  /// (bucket-wise sum). Returns false (and leaves this unchanged) on a
-  /// layout mismatch.
+  /// Merges another histogram with identical layout (bounds, bucket count
+  /// and scale; bucket-wise sum). Returns false (and leaves this
+  /// unchanged) on a layout mismatch.
   bool merge(const Histogram& other);
 
+  /// Exact inverse of merge for sliding-window maintenance: bucket-wise
+  /// subtraction of counts previously merged in. Returns false (and
+  /// leaves this unchanged) on a layout mismatch; callers must only
+  /// subtract histograms whose counts are still contained in this one.
+  bool subtract(const Histogram& other);
+
  private:
+  [[nodiscard]] bool same_layout(const Histogram& other) const;
+
   double lo_;
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::size_t total_ = 0;
+  bool log_scale_ = false;
+  // Cached for the log layout: step = ln(hi/lo)/buckets and its inverse.
+  double log_step_ = 0.0;
+  double inv_log_step_ = 0.0;
 };
 
 /// A (time, value) series with helpers for per-interval aggregation.

@@ -60,6 +60,18 @@ ExperimentOptions parse_experiment_options(int& argc, char** argv) {
     } else if (std::strcmp(arg, "--metrics") == 0) {
       value_in_next = true;
       path_target = &opts.metrics_path;
+    } else if (std::strncmp(arg, "--slo=", 6) == 0) {
+      value = arg + 6;
+      path_target = &opts.slo_path;
+    } else if (std::strcmp(arg, "--slo") == 0) {
+      value_in_next = true;
+      path_target = &opts.slo_path;
+    } else if (std::strncmp(arg, "--flight=", 9) == 0) {
+      value = arg + 9;
+      path_target = &opts.flight_path;
+    } else if (std::strcmp(arg, "--flight") == 0) {
+      value_in_next = true;
+      path_target = &opts.flight_path;
     } else {
       argv[out++] = argv[i];
       continue;

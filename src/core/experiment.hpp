@@ -40,10 +40,17 @@ struct ExperimentOptions {
   /// Non-empty: drivers that support metrics write the per-trial + merged
   /// metrics sidecar JSON here.
   std::string metrics_path;
+  /// Non-empty: drivers that support SLO monitoring write the per-trial +
+  /// merged health-event sidecar JSON here.
+  std::string slo_path;
+  /// Non-empty: drivers that support the flight recorder write the breach
+  /// dump sidecar JSON here.
+  std::string flight_path;
 };
 
 /// Parses and strips `--jobs N`, `--jobs=N`, `-jN`, `-j N`,
-/// `--trace FILE`, `--trace=FILE`, `--metrics FILE` and `--metrics=FILE`
+/// `--trace FILE`, `--trace=FILE`, `--metrics FILE`, `--metrics=FILE`,
+/// `--slo FILE`, `--slo=FILE`, `--flight FILE` and `--flight=FILE`
 /// from an argv-style array (argc is updated). Unrecognised arguments are
 /// left in place; an unparsable value prints an error and exits.
 ExperimentOptions parse_experiment_options(int& argc, char** argv);

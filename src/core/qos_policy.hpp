@@ -11,6 +11,7 @@
 #include "net/dscp.hpp"
 #include "net/packet.hpp"
 #include "net/rsvp.hpp"
+#include "obs/telemetry.hpp"
 #include "orb/types.hpp"
 #include "os/cpu.hpp"
 
@@ -57,6 +58,13 @@ struct EndToEndQosPolicy {
   /// the flush deadline also rides each invocation through the pipeline's
   /// batch_flush_override slot.
   std::optional<OnewayBatchingPolicy> oneway_batching;
+
+  // --- service-level objective (telemetry contract, DESIGN.md §12) ----------
+  /// Windowed SLO for the binding's flow (requires `flow` and a
+  /// TelemetryHub attached to the engine). QoSSession installs it on the
+  /// hub's SloMonitor; breach/recovery transitions land in the health
+  /// stream and cut flight-recorder dumps.
+  std::optional<obs::SloSpec> slo;
 
   [[nodiscard]] bool uses_priorities() const {
     return priority.has_value() || map_priority_to_dscp || explicit_dscp.has_value();

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "core/qos_policy_interceptor.hpp"
+#include "obs/telemetry.hpp"
 
 namespace aqm::core {
 
@@ -40,6 +41,19 @@ void QoSSession::apply(EndToEndQosPolicy policy, ApplyCallback cb) {
       batching.max_messages = policy_.oneway_batching->max_messages;
       batching.flush_delay = policy_.oneway_batching->flush_deadline;
       client_orb_.transport().set_flow_batching(*policy_.flow, batching);
+    }
+  }
+
+  // SLO installation: declarative like the rest of the policy — the spec
+  // lands on the engine's telemetry hub, which evaluates it on the flow's
+  // sliding window from here on.
+  if (policy_.slo) {
+    if (!policy_.flow) {
+      errors_.emplace_back("SLO monitoring requires the binding to have a flow id");
+    } else if (obs::TelemetryHub* th = client_orb_.engine().telemetry()) {
+      th->set_slo(*policy_.flow, *policy_.slo);
+    } else {
+      errors_.emplace_back("SLO monitoring requires a TelemetryHub on the engine");
     }
   }
 
@@ -113,6 +127,11 @@ void QoSSession::revoke() {
   if (policy_.oneway_batching && policy_.flow) {
     // Flushes anything still staged, then drops the override.
     client_orb_.transport().clear_flow_batching(*policy_.flow);
+  }
+  if (policy_.slo && policy_.flow) {
+    if (obs::TelemetryHub* th = client_orb_.engine().telemetry()) {
+      th->clear_slo(*policy_.flow);
+    }
   }
   stub_.clear_priority();
   stub_.ref().protocol.dscp.reset();

@@ -3,10 +3,15 @@
 #include <cmath>
 #include <string>
 
+#include "obs/telemetry.hpp"
+
 namespace aqm::net {
 
 FlowMonitor::FlowMonitor(Network& net, NodeId node) : net_(net) {
-  net_.set_receiver(node, [this](Packet&& p) {
+  // Chain in front of any receiver already attached at the node (e.g. an
+  // ORB transport): the previous consumer becomes the default downstream,
+  // so installing the monitor is a pure tap. set_downstream replaces it.
+  downstream_ = net_.swap_receiver(node, [this](Packet&& p) {
     auto& f = flows_[p.flow];
     ++f.count;
     f.bytes += p.size_bytes;
@@ -18,6 +23,9 @@ FlowMonitor::FlowMonitor(Network& net, NodeId node) : net_(net) {
       f.interarrival_ms.add(arrival_ms - f.last_arrival_ms);
       const double d = std::abs(transit_ms - f.last_transit_ms);
       f.jitter_ms += (d - f.jitter_ms) / 16.0;
+      if (obs::TelemetryHub* th = net_.engine().telemetry()) {
+        th->on_jitter(p.flow, f.jitter_ms);
+      }
     }
     f.last_arrival_ms = arrival_ms;
     f.last_transit_ms = transit_ms;

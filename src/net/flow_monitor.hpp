@@ -1,6 +1,7 @@
 // Receiver-side measurement: per-flow latency series and delivery counts.
-// Installs itself as the node's receiver; an optional downstream callback
-// lets application code still observe the packets.
+// Installs itself as the node's receiver, chaining any receiver that was
+// already attached as its downstream (so it taps, never replaces); an
+// explicit set_downstream overrides that default.
 //
 // Besides latency, the monitor maintains the receiver-side quality signals
 // the paper's streaming experiments care about: inter-arrival statistics,

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
+
 namespace aqm::net {
 
 Link::Link(sim::Engine& engine, NodeId from, NodeId to, LinkConfig config,
@@ -46,8 +48,18 @@ void Link::trace_qlen(obs::TraceRecorder* tr, TimePoint t) {
               static_cast<double>(queue_->packets()));
 }
 
+obs::TelemetryHub* Link::net_telemetry() {
+  obs::TelemetryHub* th = engine_.telemetry();
+  if (th != telemetry_bound_) {
+    queue_->set_telemetry(th);
+    telemetry_bound_ = th;
+  }
+  return th;
+}
+
 void Link::send(Packet p) {
   obs::TraceRecorder* tr = net_tracer();
+  obs::TelemetryHub* th = net_telemetry();
   const std::uint64_t trace_id = p.trace;
   const double flow = static_cast<double>(p.flow);
   if (!config_.coalesced_events) {
@@ -64,6 +76,7 @@ void Link::send(Packet p) {
                   trace_id, {{"flow", flow}});
       trace_qlen(tr, engine_.now());
     }
+    if (th != nullptr) th->on_queue_depth(queue_->packets());
     if (!busy_) legacy_try_transmit();
     return;
   }
@@ -85,6 +98,7 @@ void Link::send(Packet p) {
                 trace_id, {{"flow", flow}});
     trace_qlen(tr, engine_.now());
   }
+  if (th != nullptr) th->on_queue_depth(queue_->packets());
   // decision_pending_ false implies the transmitter is idle (any committed
   // transmission ending in the future keeps its decision pending), so the
   // arrival itself triggers a decision — the legacy "kick on !busy_".

@@ -101,6 +101,9 @@ class Link {
   /// Engine recorder iff net tracing is on; binds the lane on first use.
   [[nodiscard]] obs::TraceRecorder* net_tracer();
   void trace_qlen(obs::TraceRecorder* tr, TimePoint t);
+  /// Engine telemetry hub; hands the queue discipline the same pointer
+  /// when it changes (one compare per send, like the tracer binding).
+  [[nodiscard]] obs::TelemetryHub* net_telemetry();
 
   sim::Engine& engine_;
   NodeId from_;
@@ -125,6 +128,7 @@ class Link {
 
   std::string trace_name_;
   obs::TraceRecorder* trace_bound_ = nullptr;  // recorder the lane is bound to
+  obs::TelemetryHub* telemetry_bound_ = nullptr;  // hub the queue was handed
   std::uint16_t trace_track_ = 0;
   const char* qlen_name_ = nullptr;  // interned "qlen <link>" counter label
 };

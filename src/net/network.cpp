@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "common/log.hpp"
+#include "obs/telemetry.hpp"
 
 namespace aqm::net {
 
@@ -60,6 +61,14 @@ const Link* Network::link_between(NodeId from, NodeId to) const {
 void Network::set_receiver(NodeId node, ReceiverFn fn) {
   assert(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
   nodes_[static_cast<std::size_t>(node)].receiver = std::move(fn);
+}
+
+Network::ReceiverFn Network::swap_receiver(NodeId node, ReceiverFn fn) {
+  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  ReceiverFn& slot = nodes_[static_cast<std::size_t>(node)].receiver;
+  ReceiverFn old = std::move(slot);
+  slot = std::move(fn);
+  return old;
 }
 
 void Network::set_control_handler(NodeId node, ControlFn fn) {
@@ -123,12 +132,18 @@ void Network::deliver_local(NodeId node, Packet&& p) {
   counters.delivered_bytes += p.size_bytes;
   ++totals_.delivered;
   totals_.delivered_bytes += p.size_bytes;
+  if (obs::TelemetryHub* th = engine_.telemetry()) {
+    th->on_delivery(p.flow, engine_.now(), p.size_bytes);
+  }
   if (n.receiver) n.receiver(std::move(p));
 }
 
 void Network::on_drop(const Packet& p) {
   ++flows_[p.flow].dropped;
   ++totals_.dropped;
+  if (obs::TelemetryHub* th = engine_.telemetry()) {
+    th->on_drop(p.flow, engine_.now(), p.trace);
+  }
 }
 
 void Network::ensure_routes() const {

@@ -68,6 +68,10 @@ class Network {
   // --- attachment --------------------------------------------------------------
 
   void set_receiver(NodeId node, ReceiverFn fn);
+  /// Installs a receiver and returns the previous one (may be null), so
+  /// taps like FlowMonitor can chain in front of an existing consumer
+  /// instead of silently replacing it.
+  ReceiverFn swap_receiver(NodeId node, ReceiverFn fn);
   void set_control_handler(NodeId node, ControlFn fn);
 
   // --- forwarding ---------------------------------------------------------------

@@ -25,6 +25,10 @@
 #include "net/token_bucket.hpp"
 #include "obs/trace.hpp"
 
+namespace aqm::obs {
+class TelemetryHub;
+}
+
 namespace aqm::net {
 
 struct QueueStats {
@@ -68,6 +72,11 @@ class Queue {
     trace_track_ = track;
   }
 
+  /// Streaming-telemetry wiring, bound lazily by the owning Link the same
+  /// way as the tracer; disciplines report CE marks / policing decisions
+  /// without any engine dependency.
+  void set_telemetry(obs::TelemetryHub* hub) { telemetry_ = hub; }
+
  protected:
   /// Non-null iff a recorder is attached and wants net events.
   [[nodiscard]] obs::TraceRecorder* tracer() const {
@@ -75,6 +84,7 @@ class Queue {
                                                                          : nullptr;
   }
   [[nodiscard]] std::uint16_t trace_track() const { return trace_track_; }
+  [[nodiscard]] obs::TelemetryHub* telemetry() const { return telemetry_; }
 
   void count_enqueue(const Packet& p) {
     ++stats_.enqueued;
@@ -89,6 +99,7 @@ class Queue {
  private:
   QueueStats stats_;
   obs::TraceRecorder* tracer_ = nullptr;
+  obs::TelemetryHub* telemetry_ = nullptr;
   std::uint16_t trace_track_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/telemetry.hpp"
+
 namespace aqm::net {
 
 RedQueue::RedQueue(RedConfig config) : config_(config), rng_(config.seed) {
@@ -51,6 +53,7 @@ std::optional<Packet> RedQueue::enqueue(Packet p, TimePoint now) {
         tr->instant(obs::TraceCategory::Net, "red.mark", trace_track(), now, p.trace,
                     {{"avg", avg_}, {"flow", static_cast<double>(p.flow)}});
       }
+      if (obs::TelemetryHub* th = telemetry()) th->on_ce_mark(p.flow, now);
     } else {
       ++early_dropped_;
       if (obs::TraceRecorder* tr = tracer()) {

@@ -1,0 +1,637 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace aqm::obs {
+
+TelemetryHub::TelemetryHub(TelemetryConfig cfg)
+    : cfg_(cfg),
+      bucket_ns_(cfg.bucket.ns()),
+      latency_layout_(Histogram::log_scaled(cfg.latency_lo_ms, cfg.latency_hi_ms,
+                                            cfg.latency_buckets)),
+      window_ns_(cfg.bucket.ns() * static_cast<std::int64_t>(cfg.buckets)),
+      window_scratch_(latency_layout_),
+      flight_(kDefaultCategories),
+      dump_source_(&flight_) {
+  assert(bucket_ns_ > 0);
+  assert(cfg_.buckets > 0);
+  flight_.set_ring_capacity(cfg_.flight_capacity);
+}
+
+TelemetryHub::FlowState& TelemetryHub::flow_state(std::uint64_t flow) {
+  if (flow == mru_flow_ && mru_flow_ != 0) return flows_[mru_slot_];
+  const auto it = flow_index_.find(flow);
+  std::uint32_t slot;
+  if (it != flow_index_.end()) {
+    slot = it->second;
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+    flows_.back().id = flow;
+    flow_index_.emplace(flow, slot);
+  }
+  mru_flow_ = flow;
+  mru_slot_ = slot;
+  return flows_[slot];
+}
+
+void TelemetryHub::enable_window(FlowState& f, TimePoint now) {
+  if (f.windowed) return;
+  f.windowed = true;
+  f.ring.reserve(cfg_.buckets);
+  for (std::uint32_t i = 0; i < cfg_.buckets; ++i) f.ring.emplace_back(latency_layout_);
+  // Bucket boundaries are integer multiples of the bucket width on the
+  // simulation clock, so evaluation instants are deterministic regardless
+  // of when monitoring was enabled.
+  f.bucket_start_ns = (now.ns() / bucket_ns_) * bucket_ns_;
+  f.recent_traces.assign(cfg_.recent_traces, 0);
+}
+
+void TelemetryHub::set_slo(std::uint64_t flow, const SloSpec& spec) {
+  if (flow == 0) return;
+  FlowState& f = flow_state(flow);
+  f.spec = spec;
+  f.has_spec = spec.any();
+  if (f.has_spec) enable_window(f, TimePoint::zero());
+}
+
+void TelemetryHub::clear_slo(std::uint64_t flow) {
+  const auto it = flow_index_.find(flow);
+  if (it == flow_index_.end()) return;
+  FlowState& f = flows_[it->second];
+  f.spec = SloSpec{};
+  f.has_spec = false;
+  f.bad_streak = 0;
+  f.good_streak = 0;
+}
+
+const SloSpec* TelemetryHub::slo(std::uint64_t flow) const {
+  const auto it = flow_index_.find(flow);
+  if (it == flow_index_.end() || !flows_[it->second].has_spec) return nullptr;
+  return &flows_[it->second].spec;
+}
+
+void TelemetryHub::roll(FlowState& f, std::int64_t now_ns) {
+  while (now_ns >= f.bucket_start_ns + bucket_ns_) {
+    const std::int64_t boundary = f.bucket_start_ns + bucket_ns_;
+    // The bucket that just completed updates the throughput EWMA before
+    // the window is judged at this boundary.
+    const double inst_bps = static_cast<double>(f.ring[f.cur].bytes) * 8.0e9 /
+                            static_cast<double>(bucket_ns_);
+    if (!f.ewma_seeded) {
+      f.ewma_bps = inst_bps;
+      f.ewma_seeded = true;
+    } else {
+      f.ewma_bps = cfg_.throughput_alpha * inst_bps +
+                   (1.0 - cfg_.throughput_alpha) * f.ewma_bps;
+    }
+    evaluate(f, boundary);
+    // Advance: the next slot holds the window's oldest bucket; retire it
+    // from the incrementally-maintained aggregates and reuse its storage.
+    f.cur = (f.cur + 1) % static_cast<std::uint32_t>(f.ring.size());
+    Bucket& expiring = f.ring[f.cur];
+    f.w_calls -= expiring.calls;
+    f.w_misses -= expiring.misses;
+    f.w_deliveries -= expiring.deliveries;
+    f.w_drops -= expiring.drops;
+    f.w_bytes -= expiring.bytes;
+    expiring.calls = expiring.misses = expiring.deliveries = expiring.drops = 0;
+    expiring.bytes = 0;
+    expiring.latency.clear();
+    f.bucket_start_ns = boundary;
+  }
+}
+
+WindowStats TelemetryHub::window_stats(const FlowState& f) {
+  WindowStats w;
+  w.calls = f.w_calls;
+  w.misses = f.w_misses;
+  w.deliveries = f.w_deliveries;
+  w.drops = f.w_drops;
+  w.bytes = f.w_bytes;
+  w.miss_rate = w.calls == 0 ? 0.0
+                             : static_cast<double>(w.misses) / static_cast<double>(w.calls);
+  const std::uint64_t seen = w.deliveries + w.drops;
+  w.drop_rate = seen == 0 ? 0.0 : static_cast<double>(w.drops) / static_cast<double>(seen);
+  // The window-wide latency histogram is materialized here, not maintained
+  // per observation: merging K bucket histograms at an evaluation instant
+  // amortizes to (K * buckets) / observations-per-bucket — far cheaper
+  // than a second histogram add on every hot-path observation.
+  window_scratch_.clear();
+  for (const Bucket& b : f.ring) window_scratch_.merge(b.latency);
+  w.p99_latency_ms =
+      window_scratch_.count() == 0 ? 0.0 : window_scratch_.quantile(0.99);
+  w.throughput_bps = f.ewma_seeded ? f.ewma_bps : 0.0;
+  return w;
+}
+
+void TelemetryHub::evaluate(FlowState& f, std::int64_t t_ns) {
+  if (!f.has_spec) return;
+  const WindowStats w = window_stats(f);
+  // Windows with no traffic at all are skipped as "clean": an idle flow
+  // recovers (nothing is violated) rather than pinning a throughput
+  // breach forever after load stops.
+  const bool empty = w.calls == 0 && w.deliveries == 0 && w.drops == 0;
+  const char* metric = nullptr;
+  double value = 0.0;
+  double threshold = 0.0;
+  if (!empty) {
+    const SloSpec& s = f.spec;
+    if (s.max_miss_rate && w.miss_rate > *s.max_miss_rate) {
+      metric = "miss_rate";
+      value = w.miss_rate;
+      threshold = *s.max_miss_rate;
+    } else if (s.max_drop_rate && w.drop_rate > *s.max_drop_rate) {
+      metric = "drop_rate";
+      value = w.drop_rate;
+      threshold = *s.max_drop_rate;
+    } else if (s.max_p99_latency_ms && w.p99_latency_ms > *s.max_p99_latency_ms) {
+      metric = "p99_latency_ms";
+      value = w.p99_latency_ms;
+      threshold = *s.max_p99_latency_ms;
+    } else if (s.min_throughput_bps && f.ewma_seeded &&
+               w.throughput_bps < *s.min_throughput_bps) {
+      metric = "throughput_bps";
+      value = w.throughput_bps;
+      threshold = *s.min_throughput_bps;
+    }
+  }
+  if (metric != nullptr) {
+    f.good_streak = 0;
+    ++f.bad_streak;
+    if (!f.breached && f.bad_streak >= f.spec.breach_windows) {
+      f.breached = true;
+      f.breach_since_ns = t_ns;
+      ++f.summary.breaches;
+      events_.push_back({t_ns, f.id, true, metric, value, threshold, w});
+      capture_dump(f, t_ns, metric);
+    }
+  } else {
+    f.bad_streak = 0;
+    ++f.good_streak;
+    if (f.breached && f.good_streak >= f.spec.recover_windows) {
+      f.breached = false;
+      f.summary.breached_ns += t_ns - f.breach_since_ns;
+      ++f.summary.recoveries;
+      events_.push_back({t_ns, f.id, false, "recovered", 0.0, 0.0, w});
+    }
+  }
+}
+
+void TelemetryHub::note_trace(FlowState& f, std::uint64_t trace) {
+  if (trace == 0 || f.recent_traces.empty()) return;
+  f.recent_traces[f.recent_pos] = trace;
+  f.recent_pos = (f.recent_pos + 1) % f.recent_traces.size();
+}
+
+void TelemetryHub::capture_dump(const FlowState& f, std::int64_t t_ns,
+                                const char* metric) {
+  if (dumps_.size() >= cfg_.max_dumps || dump_source_ == nullptr) return;
+  FlightDump d;
+  d.t_ns = t_ns;
+  d.flow = f.id;
+  d.metric = metric;
+  d.ring_overwritten = dump_source_->overwritten();
+  const std::int64_t lo = t_ns - window_ns_;
+  dump_source_->for_each([&](const TraceEvent& e) {
+    if (e.ts_ns < lo) return;
+    bool implicated = false;
+    if (e.id != 0) {
+      for (const std::uint64_t id : f.recent_traces) {
+        if (id != 0 && id == e.id) {
+          implicated = true;
+          break;
+        }
+      }
+    }
+    if (!implicated && e.argc > 0) {
+      const auto flow_val = static_cast<double>(f.id);
+      for (std::uint8_t i = 0; i < e.argc; ++i) {
+        if (e.args[i].key != nullptr && std::string_view(e.args[i].key) == "flow" &&
+            e.args[i].value == flow_val) {
+          implicated = true;
+          break;
+        }
+      }
+    }
+    if (!implicated) return;
+    FlightEvent fe;
+    fe.ts_ns = e.ts_ns;
+    fe.cat = to_string(e.cat);
+    fe.name = e.name != nullptr ? e.name : "?";
+    fe.id = e.id;
+    fe.argc = e.argc;
+    for (std::uint8_t i = 0; i < e.argc; ++i) {
+      fe.args[i] = {e.args[i].key != nullptr ? e.args[i].key : "?", e.args[i].value};
+    }
+    d.events.push_back(std::move(fe));
+  });
+  dumps_.push_back(std::move(d));
+}
+
+void TelemetryHub::on_deadline_miss(std::uint64_t flow, TimePoint now,
+                                    std::uint64_t trace) {
+  if (flow == 0) {
+    ++global_misses_;
+    return;
+  }
+  FlowState& f = flow_state(flow);
+  ++f.total_calls;
+  ++f.total_misses;
+  note_trace(f, trace);
+  if (!f.windowed) return;
+  roll(f, now.ns());
+  Bucket& b = f.ring[f.cur];
+  ++b.calls;
+  ++b.misses;
+  ++f.w_calls;
+  ++f.w_misses;
+}
+
+void TelemetryHub::on_retry(std::uint64_t flow, TimePoint now) {
+  (void)now;
+  if (flow == 0) return;
+  ++flow_state(flow).total_retries;
+}
+
+void TelemetryHub::on_ce_mark(std::uint64_t flow, TimePoint now) {
+  (void)now;
+  if (flow == 0) return;
+  ++flow_state(flow).total_ce_marks;
+}
+
+void TelemetryHub::on_queue_depth(std::size_t packets) {
+  queue_depth_.add(static_cast<double>(packets));
+}
+
+void TelemetryHub::on_jitter(std::uint64_t flow, double jitter_ms) {
+  if (flow == 0) return;
+  flow_state(flow).jitter_ms.add(jitter_ms);
+}
+
+void TelemetryHub::on_reserve_overrun(std::uint64_t reserve_id, TimePoint now) {
+  (void)reserve_id;
+  (void)now;
+  ++reserve_overruns_;
+}
+
+void TelemetryHub::poll(TimePoint now) {
+  // Ascending flow-id order so same-boundary health events from different
+  // flows land in the stream in a deterministic order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(flows_.size());
+  for (const FlowState& f : flows_) {
+    if (f.windowed) ids.push_back(f.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) roll(flows_[flow_index_.at(id)], now.ns());
+}
+
+void TelemetryHub::finalize(TimePoint now) {
+  poll(now);
+  for (FlowState& f : flows_) {
+    if (f.breached) {
+      f.summary.breached_ns += now.ns() - f.breach_since_ns;
+      f.breach_since_ns = now.ns();
+    }
+  }
+}
+
+bool TelemetryHub::breached(std::uint64_t flow) const {
+  const auto it = flow_index_.find(flow);
+  return it != flow_index_.end() && flows_[it->second].breached;
+}
+
+WindowStats TelemetryHub::window(std::uint64_t flow, TimePoint now) {
+  if (flow == 0) return {};
+  FlowState& f = flow_state(flow);
+  if (!f.windowed) return {};
+  roll(f, now.ns());
+  return window_stats(f);
+}
+
+HealthReport TelemetryHub::report() const {
+  HealthReport r;
+  r.events = events_;
+  for (const FlowState& f : flows_) {
+    if (f.has_spec || f.summary.breaches > 0) r.flows.emplace(f.id, f.summary);
+  }
+  return r;
+}
+
+void TelemetryHub::export_metrics(MetricsRegistry& reg, std::string_view prefix) const {
+  const std::string p(prefix);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(flows_.size());
+  for (const FlowState& f : flows_) ids.push_back(f.id);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) {
+    const FlowState& f = flows_[flow_index_.at(id)];
+    const std::string fp = p + ".flow" + std::to_string(id);
+    reg.counter(fp + ".calls").inc(f.total_calls);
+    reg.counter(fp + ".deadline_misses").inc(f.total_misses);
+    reg.counter(fp + ".retries").inc(f.total_retries);
+    reg.counter(fp + ".deliveries").inc(f.total_deliveries);
+    reg.counter(fp + ".drops").inc(f.total_drops);
+    reg.counter(fp + ".ce_marks").inc(f.total_ce_marks);
+    reg.counter(fp + ".delivered_bytes").inc(f.total_bytes);
+    if (!f.jitter_ms.empty()) reg.stats(fp + ".jitter_ms").merge(f.jitter_ms);
+    if (f.has_spec || f.summary.breaches > 0) {
+      reg.counter(fp + ".breaches").inc(f.summary.breaches);
+      reg.counter(fp + ".recoveries").inc(f.summary.recoveries);
+      reg.gauge(fp + ".breached_ms")
+          .set(static_cast<double>(f.summary.breached_ns) / 1e6);
+    }
+  }
+  if (!queue_depth_.empty()) reg.stats(p + ".queue_depth").merge(queue_depth_);
+  reg.counter(p + ".reserve_overruns").inc(reserve_overruns_);
+  reg.counter(p + ".health_events").inc(events_.size());
+  reg.counter(p + ".flight_dumps").inc(dumps_.size());
+  reg.counter(p + ".flight_overwritten").inc(flight_.overwritten());
+  if (global_drops_ + global_deliveries_ + global_misses_ > 0) {
+    reg.counter(p + ".unattributed.drops").inc(global_drops_);
+    reg.counter(p + ".unattributed.deliveries").inc(global_deliveries_);
+    reg.counter(p + ".unattributed.deadline_misses").inc(global_misses_);
+  }
+}
+
+// --- sidecar writers --------------------------------------------------------
+
+namespace {
+
+void escape(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+/// Same fixed double format as the metrics sidecar: %.17g, null for
+/// non-finite (DESIGN.md §7 determinism rules).
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_key(std::string& out, std::string_view key) {
+  out += "\"";
+  escape(out, key);
+  out += "\":";
+}
+
+void append_window(std::string& out, const WindowStats& w) {
+  out += "{";
+  append_key(out, "calls");
+  out += std::to_string(w.calls);
+  out += ",";
+  append_key(out, "misses");
+  out += std::to_string(w.misses);
+  out += ",";
+  append_key(out, "deliveries");
+  out += std::to_string(w.deliveries);
+  out += ",";
+  append_key(out, "drops");
+  out += std::to_string(w.drops);
+  out += ",";
+  append_key(out, "bytes");
+  out += std::to_string(w.bytes);
+  out += ",";
+  append_key(out, "miss_rate");
+  append_double(out, w.miss_rate);
+  out += ",";
+  append_key(out, "drop_rate");
+  append_double(out, w.drop_rate);
+  out += ",";
+  append_key(out, "p99_latency_ms");
+  append_double(out, w.p99_latency_ms);
+  out += ",";
+  append_key(out, "throughput_bps");
+  append_double(out, w.throughput_bps);
+  out += "}";
+}
+
+void append_health_event(std::string& out, const HealthEvent& e) {
+  out += "{";
+  append_key(out, "t_ms");
+  append_double(out, static_cast<double>(e.t_ns) / 1e6);
+  out += ",";
+  append_key(out, "flow");
+  out += std::to_string(e.flow);
+  out += ",";
+  append_key(out, "type");
+  out += e.breach ? "\"breach\"" : "\"recover\"";
+  out += ",";
+  append_key(out, "metric");
+  out += "\"";
+  escape(out, e.metric);
+  out += "\",";
+  append_key(out, "value");
+  append_double(out, e.value);
+  out += ",";
+  append_key(out, "threshold");
+  append_double(out, e.threshold);
+  out += ",";
+  append_key(out, "window");
+  append_window(out, e.window);
+  out += "}";
+}
+
+void write_health_object(std::ostream& os, const HealthReport& r, const char* p1) {
+  std::string line;
+  os << "{\n" << p1 << "  \"events\": [";
+  bool first = true;
+  for (const HealthEvent& e : r.events) {
+    line.clear();
+    line += first ? "\n" : ",\n";
+    line += p1;
+    line += "    ";
+    append_health_event(line, e);
+    os << line;
+    first = false;
+  }
+  if (!first) os << "\n" << p1 << "  ";
+  os << "],\n" << p1 << "  \"flows\": {";
+  first = true;
+  for (const auto& [flow, s] : r.flows) {
+    line.clear();
+    line += first ? "\n" : ",\n";
+    line += p1;
+    line += "    ";
+    append_key(line, "flow" + std::to_string(flow));
+    line += " {";
+    append_key(line, "breaches");
+    line += std::to_string(s.breaches);
+    line += ",";
+    append_key(line, "recoveries");
+    line += std::to_string(s.recoveries);
+    line += ",";
+    append_key(line, "breached_ms");
+    append_double(line, static_cast<double>(s.breached_ns) / 1e6);
+    line += "}";
+    os << line;
+    first = false;
+  }
+  if (!first) os << "\n" << p1 << "  ";
+  os << "}\n" << p1 << "}";
+}
+
+}  // namespace
+
+void write_health_sidecar(std::ostream& os, const std::vector<NamedHealthReport>& trials) {
+  os << "{\n  \"trials\": [";
+  HealthReport merged;
+  std::uint64_t merged_events = 0;
+  bool first = true;
+  for (const auto& t : trials) {
+    std::string head;
+    head += first ? "\n" : ",\n";
+    head += "    {\"name\": \"";
+    escape(head, t.name);
+    head += "\", \"health\": ";
+    os << head;
+    write_health_object(os, t.report, "    ");
+    os << "}";
+    merged_events += t.report.events.size();
+    for (const auto& [flow, s] : t.report.flows) {
+      FlowHealthSummary& m = merged.flows[flow];
+      m.breaches += s.breaches;
+      m.recoveries += s.recoveries;
+      m.breached_ns += s.breached_ns;
+    }
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"merged\": ";
+  // The merged section sums summaries across trials (events stay in their
+  // trials: they live on independent simulated timelines).
+  std::string line;
+  os << "{\n    \"events\": " << merged_events << ",\n    \"flows\": {";
+  bool mfirst = true;
+  for (const auto& [flow, s] : merged.flows) {
+    line.clear();
+    line += mfirst ? "\n" : ",\n";
+    line += "      ";
+    append_key(line, "flow" + std::to_string(flow));
+    line += " {";
+    append_key(line, "breaches");
+    line += std::to_string(s.breaches);
+    line += ",";
+    append_key(line, "recoveries");
+    line += std::to_string(s.recoveries);
+    line += ",";
+    append_key(line, "breached_ms");
+    append_double(line, static_cast<double>(s.breached_ns) / 1e6);
+    line += "}";
+    os << line;
+    mfirst = false;
+  }
+  os << (mfirst ? "" : "\n    ") << "}\n  }\n}\n";
+}
+
+bool write_health_sidecar_file(const std::string& path,
+                               const std::vector<NamedHealthReport>& trials) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_health_sidecar(os, trials);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+void write_flight_sidecar(std::ostream& os, const std::vector<NamedFlightDumps>& trials) {
+  os << "{\n  \"dumps\": [";
+  std::string line;
+  bool first = true;
+  for (const auto& t : trials) {
+    for (const FlightDump& d : t.dumps) {
+      line.clear();
+      line += first ? "\n" : ",\n";
+      line += "    {";
+      append_key(line, "trial");
+      line += "\"";
+      escape(line, t.name);
+      line += "\",";
+      append_key(line, "t_ms");
+      append_double(line, static_cast<double>(d.t_ns) / 1e6);
+      line += ",";
+      append_key(line, "flow");
+      line += std::to_string(d.flow);
+      line += ",";
+      append_key(line, "metric");
+      line += "\"";
+      escape(line, d.metric);
+      line += "\",";
+      append_key(line, "ring_overwritten");
+      line += std::to_string(d.ring_overwritten);
+      line += ",";
+      append_key(line, "events");
+      line += "[";
+      os << line;
+      bool efirst = true;
+      for (const FlightEvent& e : d.events) {
+        line.clear();
+        line += efirst ? "\n      {" : ",\n      {";
+        append_key(line, "t_ms");
+        append_double(line, static_cast<double>(e.ts_ns) / 1e6);
+        line += ",";
+        append_key(line, "cat");
+        line += "\"";
+        escape(line, e.cat);
+        line += "\",";
+        append_key(line, "name");
+        line += "\"";
+        escape(line, e.name);
+        line += "\",";
+        append_key(line, "id");
+        line += std::to_string(e.id);
+        if (e.argc > 0) {
+          line += ",";
+          append_key(line, "args");
+          line += "{";
+          for (std::uint8_t i = 0; i < e.argc; ++i) {
+            if (i > 0) line += ",";
+            append_key(line, e.args[i].first);
+            append_double(line, e.args[i].second);
+          }
+          line += "}";
+        }
+        line += "}";
+        os << line;
+        efirst = false;
+      }
+      os << (efirst ? "]}" : "\n    ]}");
+      first = false;
+    }
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+bool write_flight_sidecar_file(const std::string& path,
+                               const std::vector<NamedFlightDumps>& trials) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_flight_sidecar(os, trials);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace aqm::obs

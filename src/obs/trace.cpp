@@ -47,8 +47,16 @@ void TraceRecorder::push(TraceCategory cat, TracePhase phase, const char* name,
                          std::uint64_t id, std::initializer_list<TraceArg> args) {
   if (!wants(cat)) return;
   if (chunks_.empty() || chunks_[active_]->n == kChunkEvents) {
-    if (!chunks_.empty() && active_ + 1 < chunks_.size()) {
+    if (!chunks_.empty() && active_ + 1 < chunks_.size() &&
+        chunks_[active_ + 1]->n == 0) {
       ++active_;  // recycled chunk from a previous clear()
+    } else if (ring_chunks_ != 0 && chunks_.size() >= ring_chunks_) {
+      // Flight-recorder ring: reclaim the oldest chunk wholesale.
+      active_ = (active_ + 1) % chunks_.size();
+      Chunk& victim = *chunks_[active_];
+      overwritten_ += victim.n;
+      total_ -= victim.n;
+      victim.n = 0;
     } else {
       chunks_.push_back(std::make_unique<Chunk>());
       active_ = chunks_.size() - 1;
@@ -76,6 +84,7 @@ void TraceRecorder::clear() {
   active_ = 0;
   total_ = 0;
   current_ = 0;
+  overwritten_ = 0;
 }
 
 namespace {

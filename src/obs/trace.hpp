@@ -101,6 +101,19 @@ class TraceRecorder {
 
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Flight-recorder mode: bound storage to roughly `max_events` (rounded
+  /// up to whole chunks, at least one). Once the ring is full each new
+  /// chunk overwrites the oldest one wholesale — chunk-granular loss, with
+  /// the evicted event count reported by overwritten(). 0 (the default)
+  /// restores unbounded recording. Call before recording starts.
+  void set_ring_capacity(std::size_t max_events) {
+    ring_chunks_ = max_events == 0 ? 0 : (max_events + kChunkEvents - 1) / kChunkEvents;
+  }
+  [[nodiscard]] std::size_t ring_capacity() const { return ring_chunks_ * kChunkEvents; }
+  /// Events lost to ring overwrites since the last clear().
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
+
   void set_categories(std::uint32_t mask) { categories_ = mask; }
   [[nodiscard]] std::uint32_t categories() const { return categories_; }
   [[nodiscard]] bool wants(TraceCategory c) const {
@@ -161,11 +174,22 @@ class TraceRecorder {
   [[nodiscard]] bool empty() const { return total_ == 0; }
   [[nodiscard]] std::size_t track_count() const { return track_names_.size(); }
 
-  /// Invokes fn(const TraceEvent&) over all events in record order.
+  /// Invokes fn(const TraceEvent&) over all events in record order
+  /// (oldest surviving event first when the ring has wrapped).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& chunk : chunks_) {
-      for (std::size_t i = 0; i < chunk->n; ++i) fn(chunk->ev[i]);
+    if (overwritten_ == 0) {
+      for (const auto& chunk : chunks_) {
+        for (std::size_t i = 0; i < chunk->n; ++i) fn(chunk->ev[i]);
+      }
+      return;
+    }
+    // Wrapped ring: every chunk is in use and the oldest sits just after
+    // the active one in storage order.
+    const std::size_t n = chunks_.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+      const Chunk& chunk = *chunks_[(active_ + k) % n];
+      for (std::size_t i = 0; i < chunk.n; ++i) fn(chunk.ev[i]);
     }
   }
 
@@ -195,7 +219,9 @@ class TraceRecorder {
   std::uint64_t last_id_ = 0;
   std::uint64_t current_ = 0;
   std::size_t total_ = 0;
-  std::size_t active_ = 0;  // chunk currently being filled
+  std::size_t active_ = 0;       // chunk currently being filled
+  std::size_t ring_chunks_ = 0;  // 0 = unbounded; else max chunks kept
+  std::uint64_t overwritten_ = 0;
   std::vector<std::unique_ptr<Chunk>> chunks_;
   std::vector<std::string> track_names_;
   std::map<std::string, std::uint16_t, std::less<>> track_index_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/telemetry.hpp"
 
 namespace aqm::orb {
 namespace {
@@ -235,6 +236,7 @@ void OrbEndpoint::export_metrics(obs::MetricsRegistry& reg, std::string_view pre
   reg.counter(p + ".interceptor.client_vetoed").set(stats_.client_vetoed);
   reg.counter(p + ".interceptor.server_vetoed").set(stats_.server_vetoed);
   reg.counter(p + ".interceptor.deadline_dropped").set(stats_.deadline_dropped);
+  reg.counter(p + ".interceptor.deadline_missed").set(stats_.deadline_missed);
   reg.counter(p + ".interceptor.retries").set(stats_.retries);
   for (const auto& entry : client_chain_) {
     const std::string base = p + ".interceptor.client." + entry.icpt->name();
@@ -293,6 +295,14 @@ void OrbEndpoint::invoke_internal(const ObjectRef& ref, const std::string& opera
   ectx.body = &body;
   if (const auto st = run_client_establish(ectx); !st) {
     ++stats_.client_vetoed;
+    if (st.error() == CompletionStatus::Timeout) {
+      // Deadline already expired at establish time: the pipeline vetoed the
+      // call before any cost was paid, but the application still missed it.
+      ++stats_.deadline_missed;
+      if (obs::TelemetryHub* th = engine().telemetry()) {
+        th->on_deadline_miss(ectx.flow, engine().now());
+      }
+    }
     if (obs::TraceRecorder* tr = orb_tracer()) {
       tr->instant(obs::TraceCategory::Orb, "icpt.veto", obs_track_, engine().now(), 0,
                   {{"request_id", static_cast<double>(request_id)}});
@@ -392,6 +402,8 @@ void OrbEndpoint::invoke_internal(const ObjectRef& ref, const std::string& opera
           pending.span_name = span_name;
           pending.attempt = attempt;
           pending.retry = std::move(retry_state);
+          pending.flow = ctx.flow;
+          pending.sent_at = engine().now();
           pending.timeout = engine().after(options.timeout, [this, request_id] {
             const auto it = pending_.find(request_id);
             if (it == pending_.end()) return;
@@ -399,9 +411,14 @@ void OrbEndpoint::invoke_internal(const ObjectRef& ref, const std::string& opera
             const std::uint64_t trace = it->second.trace;
             const char* span = it->second.span_name;
             const int att = it->second.attempt;
+            const net::FlowId flow = it->second.flow;
             auto retry = std::move(it->second.retry);
             pending_.erase(it);
             ++stats_.timeouts;
+            ++stats_.deadline_missed;
+            if (obs::TelemetryHub* th = engine().telemetry()) {
+              th->on_deadline_miss(flow, engine().now(), trace);
+            }
             if (trace != 0 && span != nullptr) {
               if (obs::TraceRecorder* tr = orb_tracer()) {
                 tr->async_end(obs::TraceCategory::Orb, span, obs_track_, engine().now(),
@@ -451,6 +468,9 @@ void OrbEndpoint::complete_exception(ResponseCallback cb, CompletionStatus statu
 
   if (ctx.retry_requested && retry_state != nullptr) {
     ++stats_.retries;
+    if (obs::TelemetryHub* th = engine().telemetry()) {
+      th->on_retry(retry_state->options.flow, engine().now());
+    }
     if (obs::TraceRecorder* tr = orb_tracer()) {
       tr->instant(obs::TraceCategory::Orb, "icpt.retry", obs_track_, engine().now(),
                   trace,
@@ -690,6 +710,7 @@ void OrbEndpoint::handle_reply(GiopMessage& msg, std::size_t wire_size) {
       [this, cb = std::move(pending.cb), status, trace = pending.trace,
        span = pending.span_name, attempt = pending.attempt,
        retry_state = std::move(pending.retry), priority = pending.priority,
+       flow = pending.flow, sent_at = pending.sent_at,
        request_id = msg.reply.request_id, body = std::move(msg.body)]() mutable {
         // The client call span closes once the reply is
         // demarshaled — end-to-end latency as the app sees it.
@@ -702,6 +723,10 @@ void OrbEndpoint::handle_reply(GiopMessage& msg, std::size_t wire_size) {
         }
         if (status == ReplyStatus::NoException) {
           ++stats_.replies_ok;
+          if (obs::TelemetryHub* th = engine().telemetry()) {
+            th->on_call(flow, engine().now(), (engine().now() - sent_at).millis(),
+                        trace);
+          }
           ClientRequestContext ctx;
           ctx.request_id = request_id;
           ctx.attempt = attempt;

@@ -79,6 +79,7 @@ struct OrbStats {
   std::uint64_t server_vetoed = 0;     // requests rejected by the server chain
   std::uint64_t deadline_dropped = 0;  // server vetoes for expired deadlines
   std::uint64_t retries = 0;           // re-issued attempts (deadline/retry)
+  std::uint64_t deadline_missed = 0;   // client-side misses: pre-send expiry + timeouts
 };
 
 class OrbEndpoint {
@@ -189,6 +190,8 @@ class OrbEndpoint {
     const char* span_name = nullptr;  // interned "call <op>" for the async end
     int attempt = 1;
     std::shared_ptr<RetryState> retry;  // null unless retries were requested
+    net::FlowId flow = net::kNoFlow;    // resolved flow, for telemetry
+    TimePoint sent_at{};                // post-marshal send instant
   };
 
   template <typename T>

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "obs/telemetry.hpp"
 
 namespace aqm::os {
 namespace {
@@ -347,6 +348,10 @@ void Cpu::charge_running() {
                       engine_.now(), 0,
                       {{"reserve", static_cast<double>(job.reserve)},
                        {"hard", rit->second.spec.hard ? 1.0 : 0.0}});
+        }
+        if (obs::TelemetryHub* th = engine_.telemetry()) {
+          th->on_reserve_overrun(static_cast<std::uint64_t>(job.reserve),
+                                 engine_.now());
         }
         // Boost state flipped: attached jobs drop out of the boost band
         // (hard: out of the ready index entirely until replenishment).

@@ -41,6 +41,10 @@
 #include "common/time.hpp"
 #include "obs/trace.hpp"
 
+namespace aqm::obs {
+class TelemetryHub;
+}
+
 namespace aqm::sim {
 
 /// Small-buffer-optimized move-only callable for simulation event handlers.
@@ -215,6 +219,25 @@ class Engine {
     return tracer_ != nullptr && tracer_->wants(cat) ? tracer_ : nullptr;
 #else
     (void)cat;
+    return nullptr;
+#endif
+  }
+
+  /// Attaches (or detaches, with nullptr) the streaming telemetry hub,
+  /// exactly like the tracer: the engine does not own it, subsystems reach
+  /// it through the engine, and every observation point costs one pointer
+  /// test when telemetry is detached.
+  void set_telemetry(obs::TelemetryHub* hub) {
+#if AQM_OBS_ENABLED
+    telemetry_ = hub;
+#else
+    (void)hub;
+#endif
+  }
+  [[nodiscard]] obs::TelemetryHub* telemetry() const {
+#if AQM_OBS_ENABLED
+    return telemetry_;
+#else
     return nullptr;
 #endif
   }
@@ -409,6 +432,7 @@ class Engine {
   TimePoint now_ = TimePoint::zero();
 #if AQM_OBS_ENABLED
   obs::TraceRecorder* tracer_ = nullptr;
+  obs::TelemetryHub* telemetry_ = nullptr;
   std::uint16_t engine_track_ = 0;
 #endif
   std::uint64_t next_order_ = 1;

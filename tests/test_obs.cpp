@@ -75,6 +75,57 @@ TEST(TraceRecorder, ClearKeepsRegistriesAndReusesChunks) {
   EXPECT_EQ(tr.size(), 1u);
 }
 
+TEST(TraceRecorder, RingCapacityRoundsUpToWholeChunks) {
+  obs::TraceRecorder tr;
+  EXPECT_EQ(tr.ring_capacity(), 0u);  // unbounded by default
+  tr.set_ring_capacity(100);          // chunks are 2048 events
+  EXPECT_EQ(tr.ring_capacity(), 2048u);
+  tr.set_ring_capacity(2049);
+  EXPECT_EQ(tr.ring_capacity(), 4096u);
+}
+
+TEST(TraceRecorder, RingEvictsWholeChunksAcrossBoundaries) {
+  obs::TraceRecorder tr;
+  tr.set_ring_capacity(4096);  // 2 chunks
+  const std::uint16_t lane = tr.track("ring");
+  const std::size_t recorded = 3 * 2048 + 5;  // crosses two chunk boundaries
+  for (std::size_t i = 0; i < recorded; ++i) {
+    tr.instant(obs::TraceCategory::Net, "e", lane, TimePoint{static_cast<std::int64_t>(i)});
+  }
+  // Eviction is chunk-granular: starting chunk 3 reclaimed chunk 1, starting
+  // chunk 4 reclaimed chunk 2, so exactly two whole chunks were lost.
+  EXPECT_EQ(tr.overwritten(), 4096u);
+  EXPECT_EQ(tr.size(), recorded - 4096u);
+  // Iteration starts at the oldest surviving event and stays in record order.
+  std::int64_t expect_ts = 4096;
+  std::size_t seen = 0;
+  tr.for_each([&](const obs::TraceEvent& e) {
+    EXPECT_EQ(e.ts_ns, expect_ts++);
+    ++seen;
+  });
+  EXPECT_EQ(seen, tr.size());
+  // clear() resets the loss counter along with the events.
+  tr.clear();
+  EXPECT_EQ(tr.overwritten(), 0u);
+  EXPECT_TRUE(tr.empty());
+}
+
+TEST(TraceRecorder, RingModeStillHonorsCategoryMask) {
+  obs::TraceRecorder tr(static_cast<std::uint32_t>(obs::TraceCategory::Net));
+  tr.set_ring_capacity(2048);
+  const std::uint16_t lane = tr.track("ring");
+  for (int i = 0; i < 3000; ++i) {
+    tr.instant(obs::TraceCategory::Orb, "masked", lane, TimePoint{i});
+  }
+  EXPECT_TRUE(tr.empty());  // masked-out events never enter the ring
+  EXPECT_EQ(tr.overwritten(), 0u);
+  for (int i = 0; i < 3000; ++i) {
+    tr.instant(obs::TraceCategory::Net, "kept", lane, TimePoint{i});
+  }
+  EXPECT_EQ(tr.size() + tr.overwritten(), 3000u);
+  tr.for_each([](const obs::TraceEvent& e) { EXPECT_STREQ(e.name, "kept"); });
+}
+
 TEST(TraceRecorder, ChromeJsonIsWellFormedAndNamesTracks) {
   obs::TraceRecorder tr;
   const std::uint16_t lane = tr.track("orb:client");
@@ -168,6 +219,33 @@ TEST(MetricsSnapshot, MergeConflictCountsAndKeepsExisting) {
   merged.merge(r2.snapshot());
   EXPECT_EQ(merged.merge_conflicts, 1u);
   EXPECT_EQ(merged.histograms.at("h").count(), 1u);
+}
+
+TEST(MetricsSnapshot, HistogramMergeRejectsEveryLayoutMismatch) {
+  // Each mismatch axis — bucket count, bounds, linear vs log scale — keeps
+  // the existing histogram and bumps merge_conflicts; a matching layout
+  // then still merges cleanly into the same snapshot.
+  obs::MetricsRegistry base;
+  base.histogram("h", 1.0, 100.0, 10).add(2.0);
+  obs::MetricsSnapshot merged = base.snapshot();
+
+  obs::MetricsSnapshot buckets;
+  buckets.histograms.emplace("h", Histogram(1.0, 100.0, 20));
+  merged.merge(buckets);
+  EXPECT_EQ(merged.merge_conflicts, 1u);
+
+  obs::MetricsSnapshot scale;
+  scale.histograms.emplace("h", Histogram::log_scaled(1.0, 100.0, 10));
+  merged.merge(scale);
+  EXPECT_EQ(merged.merge_conflicts, 2u);
+  EXPECT_EQ(merged.histograms.at("h").count(), 1u);
+  EXPECT_FALSE(merged.histograms.at("h").log_scale());
+
+  obs::MetricsRegistry ok;
+  ok.histogram("h", 1.0, 100.0, 10).add(50.0);
+  merged.merge(ok.snapshot());
+  EXPECT_EQ(merged.merge_conflicts, 2u);
+  EXPECT_EQ(merged.histograms.at("h").count(), 2u);
 }
 
 TEST(MetricsSidecar, DeterministicBytesForAnyGrouping) {

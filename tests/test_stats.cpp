@@ -154,6 +154,75 @@ TEST(Histogram, BucketBounds) {
   EXPECT_DOUBLE_EQ(h.bucket_hi(4), 20.0);
 }
 
+TEST(Histogram, LogScaledGeometricEdgesAndClamping) {
+  // 4 buckets over [1, 10000]: each edge is 10x the previous.
+  Histogram h = Histogram::log_scaled(1.0, 10000.0, 4);
+  EXPECT_TRUE(h.log_scale());
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 1.0);
+  EXPECT_NEAR(h.bucket_hi(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucket_lo(3), 1000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 10000.0);
+  EXPECT_EQ(h.bucket_index(5.0), 0u);
+  EXPECT_EQ(h.bucket_index(50.0), 1u);
+  EXPECT_EQ(h.bucket_index(5000.0), 3u);
+  // At or below lo clamps into the first bucket — including non-positive
+  // values, which have no logarithm; above hi clamps into the last.
+  EXPECT_EQ(h.bucket_index(1.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(-3.0), 0u);
+  EXPECT_EQ(h.bucket_index(1e9), 3u);
+}
+
+TEST(Histogram, BucketIndexPlusAddAtMatchesAdd) {
+  // The hot-path split (classify once, add_at into same-layout histograms)
+  // must land samples exactly where add() does.
+  Histogram a = Histogram::log_scaled(0.01, 1e5, 96);
+  Histogram b = Histogram::log_scaled(0.01, 1e5, 96);
+  const double samples[] = {0.005, 0.01, 0.7, 1.0, 33.3, 950.0, 2e5};
+  for (const double x : samples) {
+    a.add(x);
+    b.add_at(b.bucket_index(x));
+  }
+  ASSERT_EQ(a.count(), b.count());
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), b.bucket(i)) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, LogScaledQuantileTracksUpperBucket) {
+  Histogram h = Histogram::log_scaled(0.01, 1e5, 96);
+  for (int i = 0; i < 99; ++i) h.add(1.0);
+  h.add(500.0);
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  // Geometric buckets bound relative error: p50 sits in the bucket
+  // holding 1.0, the tail quantile in the bucket holding 500.
+  EXPECT_GT(p50, 0.8);
+  EXPECT_LT(p50, 1.3);
+  EXPECT_GT(p99, 1.0);
+  EXPECT_LE(h.quantile(1.0), 600.0);
+  EXPECT_GT(h.quantile(1.0), 400.0);
+}
+
+TEST(Histogram, SubtractInvertsMergeAndRejectsMismatch) {
+  Histogram window = Histogram::log_scaled(1.0, 1000.0, 12);
+  Histogram expiring = Histogram::log_scaled(1.0, 1000.0, 12);
+  window.add(5.0);
+  window.add(50.0);
+  expiring.add(5.0);
+  ASSERT_TRUE(window.merge(expiring));
+  EXPECT_EQ(window.count(), 3u);
+  ASSERT_TRUE(window.subtract(expiring));
+  EXPECT_EQ(window.count(), 2u);
+  EXPECT_EQ(window.bucket(window.bucket_index(5.0)), 1u);
+  // Scale is part of the layout: a linear histogram with the same bounds
+  // and bucket count neither merges nor subtracts.
+  Histogram linear(1.0, 1000.0, 12);
+  EXPECT_FALSE(window.merge(linear));
+  EXPECT_FALSE(window.subtract(linear));
+  EXPECT_EQ(window.count(), 2u);
+}
+
 TEST(TimeSeries, StatsBetweenWindow) {
   TimeSeries ts;
   ts.add(TimePoint{seconds(1).ns()}, 10.0);

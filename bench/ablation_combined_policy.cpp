@@ -55,9 +55,10 @@ int main(int argc, char** argv) {
       // priority via an explicit EF protocol property (so "dscp" does NOT
       // silently raise the thread priority too).
       cfg.diffserv_router = true;
-      cfg.sender1_policy.priority = p.thread_prio ? 30'000 : 1'000;
-      cfg.sender2_policy.priority = 1'000;
-      if (p.dscp) cfg.sender1_policy.explicit_dscp = net::dscp::kEf;
+      auto s1 = PolicyBuilder::sender(core::kFlowSender1, p.thread_prio ? 30'000 : 1'000);
+      if (p.dscp) s1.dscp(net::dscp::kEf);
+      cfg.sender1_policy = s1;
+      cfg.sender2_policy = PolicyBuilder::sender(core::kFlowSender2, 1'000);
       cfg.cross_rate_bps = cross;
       cells.push_back({cross, &p});
       exp.add(std::string("cross-") + fmt(cross / 1e6, 0) + "-" + p.name, cfg.seed,

@@ -16,6 +16,7 @@
 #include "core/experiment.hpp"
 
 #include "avstreams/stream.hpp"
+#include "common/policy_builder.hpp"
 #include "common/table.hpp"
 #include "core/qos_session.hpp"
 #include "core/testbed.hpp"
@@ -67,9 +68,8 @@ std::array<StreamRow, 4> run_case(bool priority_driven_reservations) {
     s.binding = std::make_unique<av::StreamBinding>(bed.sender_orb, s.sink->ref(), s.flow);
     // Per-stream CORBA priority as a declarative policy binding on the
     // QoS-policy interceptor (rather than pinning the stub).
-    core::EndToEndQosPolicy stream_policy;
-    stream_policy.priority = s.priority;
-    core::QoSSession(bed.sender_orb, s.binding->stub()).apply(stream_policy);
+    core::QoSSession(bed.sender_orb, s.binding->stub())
+        .apply(PolicyBuilder{}.priority(s.priority));
     auto* binding = s.binding.get();
     s.source = std::make_unique<media::VideoSource>(
         bed.engine, gop, 30.0, [stats, binding](const media::VideoFrame& f) {

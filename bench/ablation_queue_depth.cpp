@@ -48,8 +48,8 @@ int main(int argc, char** argv) {
     cfg.trace = first && !opts.trace_path.empty();
     cfg.telemetry = telemetry;
     if (telemetry) {
-      cfg.sender1_policy.slo = slo;
-      cfg.sender2_policy.slo = slo;
+      cfg.sender1_policy = PolicyBuilder::sender(core::kFlowSender1).slo(slo);
+      cfg.sender2_policy = PolicyBuilder::sender(core::kFlowSender2).slo(slo);
     }
     first = false;
     exp.add("queue-depth-" + std::to_string(depth), cfg.seed,

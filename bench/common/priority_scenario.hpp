@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "common/policy_builder.hpp"
 #include "common/stats.hpp"
 #include "net/dscp.hpp"
 #include "core/qos_policy.hpp"
@@ -21,12 +22,10 @@
 namespace aqm::bench {
 
 /// Baseline per-sender policy: flow id for the classifier plus a low CORBA
-/// priority; drivers override the fields their figure varies.
+/// priority; drivers override the fields their figure varies (usually by
+/// rebuilding with PolicyBuilder::sender and chaining the varied knobs).
 inline core::EndToEndQosPolicy default_sender_policy(net::FlowId flow) {
-  core::EndToEndQosPolicy policy;
-  policy.flow = flow;
-  policy.priority = 1000;
-  return policy;
+  return PolicyBuilder::sender(flow);
 }
 
 struct PriorityScenarioConfig {

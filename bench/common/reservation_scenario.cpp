@@ -5,6 +5,7 @@
 #include "avstreams/rate_adaptation.hpp"
 #include "avstreams/stream.hpp"
 #include "common/log.hpp"
+#include "common/policy_builder.hpp"
 #include "core/qos_session.hpp"
 #include "core/testbed.hpp"
 #include "media/frame_filter.hpp"
@@ -85,9 +86,7 @@ ReservationScenarioResult run_reservation_scenario(const ReservationScenarioConf
   // manager's sender-side agent for the stream binding's flow.
   core::QoSSession session(bed.sender_orb, binding.stub(), &bed.qos);
   if (cfg.reservation != ReservationLevel::None) {
-    core::EndToEndQosPolicy policy;
-    policy.network_reservation = net::FlowSpec{reserved_rate, 40'000};
-    session.apply(policy, [](Status<std::string> s) {
+    session.apply(PolicyBuilder{}.network(reserved_rate), [](Status<std::string> s) {
       if (!s.ok()) {
         AQM_WARN() << "reservation failed: " << s.error();
       }

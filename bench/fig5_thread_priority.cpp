@@ -23,8 +23,9 @@ int main(int argc, char** argv) {
 
   PriorityScenarioConfig base;
   base.duration = seconds(30);
-  base.sender1_policy.priority = 30'000;  // maps to high native thread priority
-  base.sender2_policy.priority = 1'000;   // maps to low native thread priority
+  // 30'000 maps to a high native thread priority, 1'000 to a low one.
+  base.sender1_policy = PolicyBuilder::sender(core::kFlowSender1, 30'000);
+  base.sender2_policy = PolicyBuilder::sender(core::kFlowSender2, 1'000);
   base.cpu_load = true;            // load lands between the two
 
   PriorityScenarioConfig congested = base;

@@ -24,18 +24,18 @@ int main(int argc, char** argv) {
 
   PriorityScenarioConfig cfg;
   cfg.duration = seconds(30);
-  cfg.sender1_policy.priority = 30'000;  // banded mapping: EF; native prio above the CPU load
-  cfg.sender2_policy.priority = 10'000;  // banded mapping: AF11; native prio below the CPU load
-  // DiffServ router + per-binding banded DSCP mapping on both senders.
-  cfg.sender1_policy.map_priority_to_dscp = true;
-  cfg.sender2_policy.map_priority_to_dscp = true;
+  // DiffServ router + per-binding banded DSCP mapping on both senders:
+  // 30'000 maps to EF with native prio above the CPU load, 10'000 to AF11
+  // with native prio below it.
+  cfg.sender1_policy = PolicyBuilder::sender(core::kFlowSender1, 30'000).banded_dscp();
+  cfg.sender2_policy = PolicyBuilder::sender(core::kFlowSender2, 10'000).banded_dscp();
   cfg.cpu_load = true;
   cfg.cross_traffic = true;
 
   // For comparison: the same contention with thread priority only (Fig 5b).
   PriorityScenarioConfig fig5b = cfg;
-  fig5b.sender1_policy.map_priority_to_dscp = false;
-  fig5b.sender2_policy.map_priority_to_dscp = false;
+  fig5b.sender1_policy = PolicyBuilder::sender(core::kFlowSender1, 30'000);
+  fig5b.sender2_policy = PolicyBuilder::sender(core::kFlowSender2, 10'000);
 
   core::Experiment<PriorityScenarioResult> exp;
   exp.add("fig6-combined", cfg.seed,

@@ -13,6 +13,9 @@
 #include "orb/transport.hpp"
 #include "orb/poa.hpp"
 #include "orb/orb.hpp"
+#include "core/qos_control_plane.hpp"
+#include "core/qos_policy.hpp"
+#include "core/qos_session.hpp"
 #include "net/network.hpp"
 #include "os/cpu.hpp"
 #include "quo/contract.hpp"
@@ -315,6 +318,61 @@ void BM_GiopBatchedOneway(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kWindow);
 }
 BENCHMARK(BM_GiopBatchedOneway)->Arg(64)->Arg(1024);
+
+/// Live policy re-stamp cost (DESIGN.md §13): QoSSession::update diffing a
+/// changed priority/deadline onto the versioned interceptor binding.
+/// Arg(0): the direct session path. Arg(1): the same re-stamp driven
+/// through QosControlPlane::override_flow (merge + managed-slot
+/// bookkeeping on top). Both are synchronous and allocation-free in
+/// steady state — this prices the per-update arithmetic the
+/// FeedbackScheduler and override channel pay every actuation.
+void BM_PolicyUpdate(benchmark::State& state) {
+  const bool via_plane = state.range(0) != 0;
+  sim::Engine engine;
+  net::Network net(engine);
+  const auto a = net.add_node("client");
+  const auto b = net.add_node("server");
+  net::LinkConfig link;
+  link.bandwidth_bps = 1e9;
+  net.add_duplex_link(a, b, link);
+  os::Cpu client_cpu(engine, "client-cpu");
+  os::Cpu server_cpu(engine, "server-cpu");
+  orb::OrbEndpoint client(net, a, client_cpu);
+  orb::OrbEndpoint server(net, b, server_cpu);
+  orb::Poa& poa = server.create_poa("app");
+  const orb::ObjectRef ref = poa.activate_object(
+      "sink", std::make_shared<orb::FunctionServant>(microseconds(1),
+                                                     [](orb::ServerRequest&) {}));
+  orb::ObjectStub stub(client, ref);
+  stub.set_flow(42);
+  core::QoSSession session(client, stub);
+  core::EndToEndQosPolicy policy;
+  policy.flow = 42;
+  policy.priority = 10'000;
+  policy.deadline = milliseconds(20);
+  session.apply(policy);
+  orb::Poa& ctrl_poa = client.create_poa("ctrl");
+  core::QosControlPlane plane(ctrl_poa);
+  plane.manage(42, session);
+  core::PolicyOverride ov;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const auto priority = static_cast<orb::CorbaPriority>(10'000 + (i & 1) * 5'000);
+    if (via_plane) {
+      ov.priority = priority;
+      ov.deadline = milliseconds(5 + (i % 3));
+      benchmark::DoNotOptimize(plane.override_flow(42, ov).ok());
+    } else {
+      policy.priority = priority;
+      policy.deadline = milliseconds(5 + (i % 3));
+      session.update(policy);
+    }
+    ++i;
+  }
+  benchmark::DoNotOptimize(session.updates_applied());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyUpdate)->Arg(0)->Arg(1);
 
 void BM_ContractEval(benchmark::State& state) {
   sim::Engine engine;

@@ -12,6 +12,8 @@
 
 #include "common/json_report.hpp"
 #include "core/experiment.hpp"
+#include "core/feedback_scheduler.hpp"
+#include "obs/telemetry.hpp"
 #include "imgproc/edge.hpp"
 #include "imgproc/synth.hpp"
 #include "net/network.hpp"
@@ -201,6 +203,109 @@ void BM_RouterFanIn(benchmark::State& state) {
   state.SetLabel(std::to_string(n_flows) + "_flows");
 }
 BENCHMARK(BM_RouterFanIn)->Arg(1'024)->Arg(32'768)->Arg(262'144);
+
+/// One FeedbackScheduler control epoch over N rate-controlled flows
+/// (DESIGN.md §13): sense N hub windows, run the proportional-to-deficit
+/// law, and re-stamp the IntServ reservations that moved outside the
+/// hysteresis band. Alternate epochs drop half the flows' traffic so the
+/// deficits genuinely oscillate and the actuation path (update_reservation
+/// on a live table) is exercised, not just the dead zone. One item per
+/// controlled-flow visit.
+void BM_FeedbackEpoch(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  sim::Engine engine;
+  obs::TelemetryHub hub;
+  net::IntServQueue::Config qc;
+  net::IntServQueue queue(qc);
+  core::FeedbackConfig cfg;
+  cfg.net_pool_bps = static_cast<double>(n) * 100e3;
+  core::FeedbackScheduler fs(engine, hub, cfg);
+  for (std::uint64_t f = 1; f <= n; ++f) {
+    queue.install_reservation(f, 50e3, 64'000, engine.now());
+    fs.control_rate(f, queue, 64'000);
+  }
+  fs.start();  // watches the controlled flows; epochs are stepped manually
+  TimePoint now = TimePoint::zero();
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    now = now + cfg.epoch;
+    const bool stress = (epoch & 1) != 0;
+    for (std::uint64_t f = 1; f <= n; ++f) {
+      hub.on_delivery(f, now, 1'000);
+      if (stress && (f & 1) != 0) hub.on_drop(f, now);
+    }
+    fs.run_epoch(now);
+    ++epoch;
+  }
+  benchmark::DoNotOptimize(fs.restamps_applied());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetLabel(std::to_string(n) + "_flows");
+}
+BENCHMARK(BM_FeedbackEpoch)->Arg(4)->Arg(64);
+
+/// Price of having the adaptation loop installed but disabled: the
+/// BM_RouterFanIn forwarding world (1k reserved flows, bursty fan-in) with
+/// a TelemetryHub on the engine in both arms (the hub's own budget is the
+/// §12 telemetry gate). Arg(1) additionally installs a FeedbackScheduler
+/// registered over every flow — watched windows, controlled table — but
+/// never starts it: the controller-disabled configuration every deployment
+/// ships with. scripts/run_bench.sh holds Arg(1) to >= 0.98x Arg(0)
+/// measured in the same run (interleaved medians): disabling the
+/// controller must actually make it free, within 2% (DESIGN.md §13).
+void BM_ControllerOverhead(benchmark::State& state) {
+  const bool installed = state.range(0) != 0;
+  constexpr std::uint64_t kFlows = 1'024;
+  constexpr int kPacketsPerIter = 1'024;
+
+  sim::Engine engine;
+  net::Network net(engine);
+  const auto a = net.add_node("a");
+  const auto r = net.add_node("r");
+  const auto b = net.add_node("b");
+  net::LinkConfig cfg;
+  cfg.bandwidth_bps = 10e9;
+  net.add_duplex_link(a, r, cfg);
+  net::IntServQueue::Config qc;
+  qc.best_effort_capacity = 4'096;
+  auto intserv = std::make_unique<net::IntServQueue>(qc);
+  net::IntServQueue& egress = *intserv;
+  net.add_link(r, b, cfg, std::move(intserv));
+  net.add_link(b, r, cfg);
+  for (std::uint64_t f = 1; f <= kFlows; ++f) {
+    egress.install_reservation(f, 20e3, 64'000, engine.now());
+  }
+  obs::TelemetryHub hub;
+  engine.set_telemetry(&hub);
+  std::unique_ptr<core::FeedbackScheduler> controller;
+  if (installed) {
+    controller = std::make_unique<core::FeedbackScheduler>(engine, hub);
+    for (std::uint64_t f = 1; f <= kFlows; ++f) {
+      controller->control_rate(f, egress, 64'000);
+    }
+    // Deliberately not started: the disabled controller must cost nothing
+    // on the forwarding path.
+  }
+  std::uint64_t delivered = 0;
+  net.set_receiver(b, [&delivered](net::Packet&&) { ++delivered; });
+
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kPacketsPerIter; ++i) {
+      net::Packet p;
+      p.dst = b;
+      p.flow = 1 + (base + static_cast<std::uint64_t>(i)) % kFlows;
+      p.dscp = net::dscp::kEf;
+      p.size_bytes = 1'000;
+      net.send(a, std::move(p));
+    }
+    base += kPacketsPerIter;
+    engine.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  engine.set_telemetry(nullptr);
+  state.SetItemsProcessed(state.iterations() * kPacketsPerIter);
+}
+BENCHMARK(BM_ControllerOverhead)->Arg(0)->Arg(1);
 
 /// A saturated 10 Mbps link draining a deep burst. Tracks the tentpole
 /// metric of the event-coalescing change: simulator events executed per

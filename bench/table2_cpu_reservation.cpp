@@ -17,6 +17,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "common/policy_builder.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/cpu_reservation_manager.hpp"
@@ -96,8 +97,8 @@ RunResult run_condition(bool with_load, bool with_reserve, std::uint64_t load_se
   // CORBA reservation manager through a QoSSession on the ATR binding.
   core::QoSSession session(bed.client_orb, atr_stub, nullptr, &reserve_client);
   if (with_reserve) {
-    core::EndToEndQosPolicy policy;
-    policy.server_cpu_reserve = os::ReserveSpec{microseconds(47'500), milliseconds(50), true};
+    const auto policy =
+        PolicyBuilder{}.cpu_reserve(microseconds(47'500), milliseconds(50), true).build();
     std::optional<bool> granted;
     session.apply(policy, [&](Status<std::string> s) { granted = s.ok(); });
     bed.engine.run_until(bed.engine.now() + seconds(1));

@@ -110,6 +110,35 @@ if ratio < 0.97:
 EOF
 rm -f "$tel_tmp"
 
+# The control-plane budget (DESIGN.md §13) is the same kind of same-run
+# ratio: a FeedbackScheduler installed over every flow but never started
+# (Arg 1) must sustain >= 98% of the uncontrolled forwarding rate (Arg 0)
+# — disabling the controller has to actually make it free. Interleaved
+# repetitions + medians for the same noise-immunity reasons as above.
+echo "== control-plane gate: BM_ControllerOverhead/1 >= 0.98x /0 (15 interleaved reps, median)"
+ctl_tmp="$(mktemp)"
+"$build_dir/bench/micro_substrate" \
+  --benchmark_filter='BM_ControllerOverhead' \
+  --benchmark_min_time=0.1 \
+  --benchmark_repetitions=15 \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$ctl_tmp" --benchmark_out_format=json > /dev/null
+python3 - "$ctl_tmp" <<'EOF'
+import json, sys
+marks = {b["name"]: b for b in json.load(open(sys.argv[1]))["benchmarks"]}
+disabled = marks.get("BM_ControllerOverhead/1_median")
+base = marks.get("BM_ControllerOverhead/0_median")
+if disabled is None or base is None:
+    sys.exit("control-plane gate run is missing BM_ControllerOverhead medians")
+ratio = disabled["items_per_second"] / base["items_per_second"]
+print(f"  controller-disabled {disabled['items_per_second']:.4g} pkts/s vs bare "
+      f"{base['items_per_second']:.4g}/s -> {ratio:.4f}x")
+if ratio < 0.98:
+    sys.exit(f"controller-disabled overhead above gate: {ratio:.4f}x < 0.98x (DESIGN.md §13)")
+EOF
+rm -f "$ctl_tmp"
+
 if [[ "${AQM_BENCH_NO_COMPARE:-0}" == "1" ]]; then
   echo "baseline comparison skipped (AQM_BENCH_NO_COMPARE=1)"
   exit 0
@@ -139,6 +168,10 @@ LOOSE = {
     # (quiet monitors within 3% of a detached loop, interleaved medians);
     # the absolute hold-loop floors recorded here are a loose backstop.
     "BM_TelemetryOverhead": 0.40,
+    # The control-plane budget is the dedicated same-run ratio gate above
+    # (controller-disabled within 2% of bare forwarding, interleaved
+    # medians); the absolute floors here are a loose backstop.
+    "BM_ControllerOverhead": 0.40,
 }
 
 

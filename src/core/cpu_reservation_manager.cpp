@@ -40,6 +40,29 @@ Result<os::ReserveId> decode_create_reply(const std::vector<std::uint8_t>& body)
   return Result<os::ReserveId>::err(r.read_string());
 }
 
+std::vector<std::uint8_t> encode_update_request(os::ReserveId id,
+                                                const os::ReserveSpec& spec) {
+  orb::CdrWriter w;
+  w.write_u64(id);
+  w.write_i64(spec.compute.ns());
+  w.write_i64(spec.period.ns());
+  w.write_bool(spec.hard);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_status_reply(const Status<std::string>& status) {
+  orb::CdrWriter w;
+  w.write_bool(status.ok());
+  if (!status.ok()) w.write_string(status.error());
+  return w.take();
+}
+
+Status<std::string> decode_status_reply(const std::vector<std::uint8_t>& body) {
+  orb::CdrReader r(body);
+  if (r.read_bool()) return {};
+  return Status<std::string>::err(r.read_string());
+}
+
 }  // namespace
 
 CpuReservationManagerServer::CpuReservationManagerServer(orb::Poa& poa, os::Cpu& cpu) {
@@ -49,6 +72,16 @@ CpuReservationManagerServer::CpuReservationManagerServer(orb::Poa& poa, os::Cpu&
         if (req.operation == kCreateReserveOp) {
           const os::ReserveSpec spec = decode_create_request(req.body);
           req.reply_body = encode_create_reply(cpu.create_reserve(spec));
+          return;
+        }
+        if (req.operation == kUpdateReserveOp) {
+          orb::CdrReader r(req.body);
+          const os::ReserveId id = r.read_u64();
+          os::ReserveSpec spec;
+          spec.compute = Duration{r.read_i64()};
+          spec.period = Duration{r.read_i64()};
+          spec.hard = r.read_bool();
+          req.reply_body = encode_status_reply(cpu.update_reserve(id, spec));
           return;
         }
         if (req.operation == kDestroyReserveOp) {
@@ -87,6 +120,25 @@ void CpuReservationClient::create_reserve(const os::ReserveSpec& spec, CreateCal
                    cb(decode_create_reply(body));
                  } catch (const orb::MarshalError& e) {
                    cb(Result<os::ReserveId>::err(e.what()));
+                 }
+               },
+               timeout);
+}
+
+void CpuReservationClient::update_reserve(os::ReserveId id, const os::ReserveSpec& spec,
+                                          UpdateCallback cb, Duration timeout) {
+  stub_.twoway(kUpdateReserveOp, encode_update_request(id, spec),
+               [cb = std::move(cb)](orb::CompletionStatus status,
+                                    std::vector<std::uint8_t> body) {
+                 if (status != orb::CompletionStatus::Ok) {
+                   cb(Status<std::string>::err(std::string("rpc failed: ") +
+                                               orb::to_string(status)));
+                   return;
+                 }
+                 try {
+                   cb(decode_status_reply(body));
+                 } catch (const orb::MarshalError& e) {
+                   cb(Status<std::string>::err(e.what()));
                  }
                },
                timeout);

@@ -23,6 +23,7 @@ namespace aqm::core {
 
 inline constexpr const char* kCpuReserveManagerObjectId = "cpu_reserve_manager";
 inline constexpr const char* kCreateReserveOp = "create_reserve";
+inline constexpr const char* kUpdateReserveOp = "update_reserve";
 inline constexpr const char* kDestroyReserveOp = "destroy_reserve";
 inline constexpr const char* kQueryUtilizationOp = "query_utilization";
 
@@ -42,6 +43,7 @@ class CpuReservationManagerServer {
 class CpuReservationClient {
  public:
   using CreateCallback = std::function<void(Result<os::ReserveId>)>;
+  using UpdateCallback = std::function<void(Status<std::string>)>;
   using DestroyCallback = std::function<void(bool ok)>;
   using UtilizationCallback = std::function<void(Result<double>)>;
 
@@ -50,6 +52,13 @@ class CpuReservationClient {
   /// Requests a reserve of `spec.compute` every `spec.period` on the remote
   /// host. The callback receives the reserve id or the admission error.
   void create_reserve(const os::ReserveSpec& spec, CreateCallback cb,
+                      Duration timeout = seconds(2));
+
+  /// Resizes a live reserve in place on the remote host (os::Cpu::
+  /// update_reserve): same reserve id, attached jobs stay attached,
+  /// admission re-checked with the reserve's old share excluded. The
+  /// control plane's CPU re-stamp primitive.
+  void update_reserve(os::ReserveId id, const os::ReserveSpec& spec, UpdateCallback cb,
                       Duration timeout = seconds(2));
 
   void destroy_reserve(os::ReserveId id, DestroyCallback cb = nullptr,

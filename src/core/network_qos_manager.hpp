@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "net/network.hpp"
 #include "net/rsvp.hpp"
@@ -28,6 +29,16 @@ class NetworkQosManager {
   /// End-to-end reservation for `flow` from `src` to `dst`.
   void reserve(net::FlowId flow, net::NodeId src, net::NodeId dst,
                const net::FlowSpec& spec, net::RsvpAgent::ReserveCallback cb);
+
+  /// Renegotiates a live flow's reservation: RSVP re-signals Path/Resv
+  /// with the new spec and each hop's admission check replaces the flow's
+  /// old rate (install_reservation modify keeps queued packets), so the
+  /// flow is never torn down to best effort mid-change. Spelled separately
+  /// from reserve() so control-plane call sites read as re-stamps.
+  void renegotiate(net::FlowId flow, net::NodeId src, net::NodeId dst,
+                   const net::FlowSpec& spec, net::RsvpAgent::ReserveCallback cb) {
+    reserve(flow, src, dst, spec, std::move(cb));
+  }
 
   void release(net::FlowId flow, net::NodeId src);
 

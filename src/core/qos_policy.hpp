@@ -27,6 +27,8 @@ struct OnewayBatchingPolicy {
   std::uint32_t max_bytes = 16 * 1024;
   std::uint32_t max_messages = 64;
   Duration flush_deadline = microseconds(500);
+
+  friend bool operator==(const OnewayBatchingPolicy&, const OnewayBatchingPolicy&) = default;
 };
 
 struct EndToEndQosPolicy {
@@ -44,6 +46,11 @@ struct EndToEndQosPolicy {
   bool map_priority_to_dscp = false;
   /// Explicit DSCP override via protocol properties (wins over the mapping).
   std::optional<net::Dscp> explicit_dscp;
+  /// Per-invocation end-to-end deadline for the binding, stamped by the
+  /// QoS-policy interceptor in establish (a caller-pinned InvokeOptions
+  /// deadline wins). Rides the deadline service context; bounds retries
+  /// and triggers server-side expiry drops like any other deadline.
+  std::optional<Duration> deadline;
 
   // --- reservation-based control (Sections 3.3, 3.4) -----------------------
   /// CPU reserve to establish on the *server* host through the CORBA
@@ -72,6 +79,11 @@ struct EndToEndQosPolicy {
   [[nodiscard]] bool uses_reservations() const {
     return server_cpu_reserve.has_value() || network_reservation.has_value();
   }
+
+  /// Memberwise equality: the re-stamp path (QoSSession::update and the
+  /// control plane) diffs old-vs-new per mechanism and only touches the
+  /// mechanisms whose parameters actually changed.
+  friend bool operator==(const EndToEndQosPolicy&, const EndToEndQosPolicy&) = default;
 };
 
 }  // namespace aqm::core

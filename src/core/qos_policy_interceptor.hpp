@@ -25,6 +25,18 @@ class OrbEndpoint;
 
 namespace aqm::core {
 
+/// Versioned policy state of one live binding. Interceptor stages read the
+/// *current* state per invocation — never captured constants — so a
+/// control-plane re-stamp (QoSSession::update, QosControlPlane overrides)
+/// takes effect on the very next invocation without rebinding. The version
+/// counter increments on every re-stamp; tests and the control plane use
+/// it to confirm a live update landed (and that an idempotent re-apply of
+/// identical parameters still counts as a stamp, not a rebind).
+struct QosBindingState {
+  EndToEndQosPolicy policy;
+  std::uint64_t version = 0;
+};
+
 class QosPolicyInterceptor final : public orb::ClientRequestInterceptor {
  public:
   static constexpr const char* kName = "core.qos_policy";
@@ -36,14 +48,24 @@ class QosPolicyInterceptor final : public orb::ClientRequestInterceptor {
   /// Returns the endpoint's instance, or nullptr when none was installed.
   [[nodiscard]] static QosPolicyInterceptor* find(orb::OrbEndpoint& orb);
 
-  /// Binds (or replaces) the policy governing invocations of the given
-  /// target reference.
+  /// Binds (or re-stamps) the policy governing invocations of the given
+  /// target reference. An existing binding is mutated in place — the
+  /// version bumps, map nodes are reused, and the steady-state re-stamp
+  /// path allocates nothing (EndToEndQosPolicy is allocation-free to copy).
   void bind(net::NodeId node, std::string object_key, EndToEndQosPolicy policy);
+  /// Allocation-free re-stamp of an existing binding: returns false (and
+  /// changes nothing) when the target has no binding, so callers that may
+  /// race a teardown fall back to bind().
+  bool rebind(net::NodeId node, std::string_view object_key,
+              const EndToEndQosPolicy& policy);
   void unbind(net::NodeId node, std::string_view object_key);
 
   /// The bound policy for a target, or nullptr.
   [[nodiscard]] const EndToEndQosPolicy* binding(net::NodeId node,
                                                  std::string_view object_key) const;
+  /// The versioned binding state for a target, or nullptr.
+  [[nodiscard]] const QosBindingState* binding_state(net::NodeId node,
+                                                     std::string_view object_key) const;
   /// The DSCP override this interceptor would stamp on an invocation of
   /// the target at `priority` (nullopt: fall through to the ORB mapping).
   [[nodiscard]] std::optional<net::Dscp> effective_dscp(net::NodeId node,
@@ -54,13 +76,14 @@ class QosPolicyInterceptor final : public orb::ClientRequestInterceptor {
 
  private:
   struct Binding {
-    EndToEndQosPolicy policy;
+    QosBindingState state;
     /// Per-binding priority->DSCP bands (used iff policy.map_priority_to_dscp),
     /// so one binding's mapping never leaks onto other traffic of the ORB.
     orb::rt::BandedDscpMapping banded;
   };
 
   [[nodiscard]] const Binding* lookup(net::NodeId node, std::string_view object_key) const;
+  [[nodiscard]] Binding* lookup_mut(net::NodeId node, std::string_view object_key);
 
   // Nested maps with a transparent inner comparator: the establish-phase
   // lookup takes a string_view and allocates nothing.

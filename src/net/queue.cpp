@@ -222,6 +222,39 @@ void IntServQueue::install_reservation(FlowId flow, double rate_bps,
   flow_order_.insert(flow);
 }
 
+bool IntServQueue::update_reservation(FlowId flow, double rate_bps,
+                                      std::uint32_t bucket_bytes, TimePoint now) {
+  assert(flow != kNoFlow);
+  if (config_.legacy_flow_map) {
+    const auto it = flows_.find(flow);
+    if (it == flows_.end()) return false;
+    it->second.bucket.reconfigure(rate_bps, bucket_bytes, now);
+    return true;
+  }
+  const auto it = slot_of_.find(flow);
+  if (it == slot_of_.end()) return false;
+  flow_bucket_[it->second].reconfigure(rate_bps, bucket_bytes, now);
+  // The rate changed in the middle of id order: the running sum goes stale
+  // and is recomputed lazily in id order (bit-identical to the legacy scan).
+  reserved_dirty_ = true;
+  return true;
+}
+
+void IntServQueue::set_parent_rate(double rate_bps, std::uint32_t bucket_bytes,
+                                   TimePoint now) {
+  config_.parent_rate_bps = rate_bps;
+  config_.parent_bucket_bytes = bucket_bytes;
+  if (rate_bps <= 0.0) {
+    parent_.reset();
+    return;
+  }
+  if (parent_) {
+    parent_->reconfigure(rate_bps, bucket_bytes, now);
+    return;
+  }
+  parent_.emplace(rate_bps, bucket_bytes, now);
+}
+
 void IntServQueue::remove_reservation(FlowId flow) {
   if (config_.legacy_flow_map) {
     const auto it = flows_.find(flow);

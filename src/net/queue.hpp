@@ -199,6 +199,22 @@ class IntServQueue final : public Queue {
   void install_reservation(FlowId flow, double rate_bps, std::uint32_t bucket_bytes,
                            TimePoint now);
   void remove_reservation(FlowId flow);
+  /// Live re-stamp of an installed reservation: the flow's token bucket is
+  /// reconfigured in place (fill level settled at the old rate, clamped to
+  /// the new depth) and queued packets stay queued — unlike the RSVP
+  /// refresh path in install_reservation, which swaps in a fresh full
+  /// bucket. Idempotent; returns false when the flow holds no reservation
+  /// (callers fall back to install_reservation). Identical observable
+  /// behavior in both storage modes (tests/test_flow_table_diff).
+  bool update_reservation(FlowId flow, double rate_bps, std::uint32_t bucket_bytes,
+                          TimePoint now);
+  /// Live re-stamp of the hierarchical (HTB-style) parent: rate <= 0 drops
+  /// the parent level, an existing parent is reconfigured in place
+  /// (preserving its fill level), otherwise a fresh parent starts full.
+  void set_parent_rate(double rate_bps, std::uint32_t bucket_bytes, TimePoint now);
+  [[nodiscard]] double parent_rate_bps() const {
+    return parent_ ? parent_->rate_bps() : 0.0;
+  }
   [[nodiscard]] bool has_reservation(FlowId flow) const {
     return config_.legacy_flow_map ? flows_.count(flow) > 0 : slot_of_.count(flow) > 0;
   }

@@ -34,6 +34,8 @@ namespace aqm::net {
 struct FlowSpec {
   double rate_bps = 0.0;
   std::uint32_t bucket_bytes = 16'000;
+
+  friend bool operator==(const FlowSpec&, const FlowSpec&) = default;
 };
 
 struct PathMsg {

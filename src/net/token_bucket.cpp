@@ -15,6 +15,15 @@ TokenBucket::TokenBucket(double rate_bps, std::uint32_t depth_bytes, TimePoint s
   assert(depth_bytes > 0);
 }
 
+void TokenBucket::reconfigure(double rate_bps, std::uint32_t depth_bytes, TimePoint now) {
+  assert(rate_bps > 0.0);
+  assert(depth_bytes > 0);
+  refill(now);  // settle accrual at the old rate first
+  rate_bps_ = rate_bps;
+  depth_bytes_ = depth_bytes;
+  tokens_ = std::min(tokens_, static_cast<double>(depth_bytes));
+}
+
 void TokenBucket::refill(TimePoint now) {
   if (now <= last_refill_) return;
   const double elapsed_s = (now - last_refill_).seconds();

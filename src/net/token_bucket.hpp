@@ -16,6 +16,13 @@ class TokenBucket {
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
   [[nodiscard]] std::uint32_t depth_bytes() const { return depth_bytes_; }
 
+  /// Live re-stamp: changes rate/depth in place without resetting the fill
+  /// level. Tokens accrued so far are settled at the OLD rate up to `now`,
+  /// then clamped to the new depth — so a rate change takes effect exactly
+  /// at `now`, an over-full bucket loses its excess burst, and re-applying
+  /// the current parameters is a no-op (idempotent).
+  void reconfigure(double rate_bps, std::uint32_t depth_bytes, TimePoint now);
+
   /// Tokens (bytes) available at `now`.
   [[nodiscard]] double available(TimePoint now) const;
 

@@ -60,6 +60,11 @@ void TelemetryHub::set_slo(std::uint64_t flow, const SloSpec& spec) {
   if (f.has_spec) enable_window(f, TimePoint::zero());
 }
 
+void TelemetryHub::watch(std::uint64_t flow) {
+  if (flow == 0) return;
+  enable_window(flow_state(flow), TimePoint::zero());
+}
+
 void TelemetryHub::clear_slo(std::uint64_t flow) {
   const auto it = flow_index_.find(flow);
   if (it == flow_index_.end()) return;

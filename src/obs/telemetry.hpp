@@ -59,6 +59,8 @@ struct SloSpec {
   [[nodiscard]] bool any() const {
     return max_miss_rate || max_drop_rate || max_p99_latency_ms || min_throughput_bps;
   }
+
+  friend bool operator==(const SloSpec&, const SloSpec&) = default;
 };
 
 /// Aggregates over one full sliding window, captured at an evaluation
@@ -152,6 +154,11 @@ class TelemetryHub {
   void set_slo(std::uint64_t flow, const SloSpec& spec);
   void clear_slo(std::uint64_t flow);
   [[nodiscard]] const SloSpec* slo(std::uint64_t flow) const;
+  /// Enables windowed aggregation for a flow without attaching an SLO —
+  /// feedback controllers need measured window stats for every flow they
+  /// re-divide resources over, not just the SLO-bearing ones. Idempotent;
+  /// implied by set_slo.
+  void watch(std::uint64_t flow);
 
   // --- observation points ---------------------------------------------------
   // Flow 0 (net::kNoFlow) contributes to global counters only. `now` is

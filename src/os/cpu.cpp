@@ -210,6 +210,58 @@ Result<ReserveId> Cpu::create_reserve(const ReserveSpec& spec) {
   return id;
 }
 
+Status<std::string> Cpu::update_reserve(ReserveId id, const ReserveSpec& spec) {
+  if (spec.compute <= Duration::zero() || spec.period <= Duration::zero() ||
+      spec.compute > spec.period) {
+    return Status<std::string>::err("invalid reserve spec: need 0 < compute <= period");
+  }
+  const auto it = reserves_.find(id);
+  if (it == reserves_.end()) {
+    return Status<std::string>::err("unknown reserve");
+  }
+  Reserve& r = it->second;
+  if (r.spec.compute == spec.compute && r.spec.period == spec.period &&
+      r.spec.hard == spec.hard) {
+    return {};  // idempotent: re-stamping the current spec touches nothing
+  }
+  // Settle the running slice and any due replenishments under the OLD
+  // parameters first, so consumed-budget accounting can't straddle specs.
+  reschedule();
+  // Admission with the reserve's own old utilization excluded. Summed over
+  // reserves_ in id order with the candidate substituted, so the admitted
+  // value is bit-identical to a fresh summation (and to legacy_scan).
+  double candidate_sum = 0.0;
+  for (const auto& [rid, other] : reserves_) {
+    candidate_sum += (rid == id ? spec : other.spec).utilization();
+  }
+  if (candidate_sum > config_.reserve_utilization_cap) {
+    return Status<std::string>::err("reserve admission denied: utilization cap exceeded");
+  }
+  const Duration consumed = std::max(Duration::zero(), r.spec.compute - r.budget);
+  r.spec = spec;
+  r.budget = std::max(Duration::zero(), spec.compute - consumed);
+  reserved_util_sum_ = candidate_sum;
+  AQM_DEBUG() << "cpu " << name_ << ": reserve " << id << " re-stamped ("
+              << spec.compute.millis() << "ms/" << spec.period.millis() << "ms)";
+  if (obs::TraceRecorder* tr = os_tracer()) {
+    tr->instant(obs::TraceCategory::Os, "reserve.update", obs_track_, engine_.now(),
+                tr->current(),
+                {{"compute_ms", spec.compute.millis()}, {"period_ms", spec.period.millis()}});
+  }
+  if (indexed()) {
+    // The boundary moved with the new period: push a fresh replenish entry
+    // (the old one goes stale and is skipped lazily) and re-place attached
+    // jobs — the resize may have flipped the boost state in either
+    // direction (budget gained or clamped to zero).
+    replenish_heap_.push({boundary_of(r).ns(), id});
+    const auto ait = attached_.find(id);
+    if (ait != attached_.end() && !ait->second.empty()) push_wake(r);
+    reindex_attached(id);
+  }
+  reschedule();
+  return {};
+}
+
 void Cpu::destroy_reserve(ReserveId id) {
   const auto it = reserves_.find(id);
   if (it == reserves_.end()) return;

@@ -65,6 +65,8 @@ struct ReserveSpec {
   [[nodiscard]] double utilization() const {
     return static_cast<double>(compute.ns()) / static_cast<double>(period.ns());
   }
+
+  friend bool operator==(const ReserveSpec&, const ReserveSpec&) = default;
 };
 
 struct CpuConfig {
@@ -113,6 +115,17 @@ class Cpu {
 
   /// Creates a reserve if admission control admits it.
   Result<ReserveId> create_reserve(const ReserveSpec& spec);
+
+  /// Resizes a live reserve in place — the control-plane re-stamp primitive.
+  /// Admission re-checks sum(C/T) with the reserve's own old utilization
+  /// excluded; on success the current period keeps its phase (period_start
+  /// is untouched) and the remaining budget becomes
+  /// max(0, new compute - consumed-this-period), so re-applying the same
+  /// spec is a no-op (idempotent) and a resize can never mint back budget
+  /// the jobs already burned. Attached jobs stay attached throughout: no
+  /// detach-reattach, no completion callbacks fire, the ready index is
+  /// repaired via reindex_attached.
+  Status<std::string> update_reserve(ReserveId id, const ReserveSpec& spec);
 
   /// Destroys a reserve. Jobs attached to it continue at base priority.
   void destroy_reserve(ReserveId id);

@@ -31,6 +31,7 @@ struct Op {
     Cancel,         // job_slot
     SetPriority,    // job_slot, priority
     CreateReserve,  // compute/period/hard
+    UpdateReserve,  // reserve_slot, compute/period/hard (in-place re-stamp)
     DestroyReserve, // reserve_slot
     Probe,          // sample utilization/runnable/busy counters
   };
@@ -110,6 +111,13 @@ Outcome run_script(const std::vector<Op>& script, const CpuConfig& base_config,
           if (r.ok()) created.push_back(r.value());
           break;
         }
+        case Op::Kind::UpdateReserve:
+          if (!created.empty()) {
+            cpu.update_reserve(
+                created[static_cast<std::size_t>(op.reserve_slot) % created.size()],
+                {op.compute, op.period, op.hard});
+          }
+          break;
         case Op::Kind::DestroyReserve:
           if (!created.empty()) {
             cpu.destroy_reserve(
@@ -224,12 +232,21 @@ std::vector<Op> random_script(std::uint64_t seed, bool with_reserves,
       op.kind = Op::Kind::SetPriority;
       op.job_slot = slot(rng);
       op.priority = prio(rng);
-    } else if (roll < 88 && with_reserves) {
+    } else if (roll < 86 && with_reserves) {
       op.kind = Op::Kind::CreateReserve;
       op.compute = microseconds(100 + 100 * (slot(rng) % 8));
       op.period = milliseconds(1 + slot(rng) % 5);
       op.hard = pct(rng) < 50;
-    } else if (roll < 92 && with_reserves) {
+    } else if (roll < 90 && with_reserves) {
+      // In-place re-stamp churn: the control plane's update_reserve must
+      // leave both schedulers in lockstep through boundary moves, budget
+      // clamps and admission re-checks.
+      op.kind = Op::Kind::UpdateReserve;
+      op.reserve_slot = slot(rng);
+      op.compute = microseconds(100 + 100 * (slot(rng) % 8));
+      op.period = milliseconds(1 + slot(rng) % 5);
+      op.hard = pct(rng) < 50;
+    } else if (roll < 93 && with_reserves) {
       op.kind = Op::Kind::DestroyReserve;
       op.reserve_slot = slot(rng);
     } else {
@@ -429,6 +446,65 @@ TEST(CpuSchedDiff, DestroyReserveMidBoost) {
            /*min_slices=*/3);
 }
 
+TEST(CpuSchedDiff, UpdateReserveResizeParity) {
+  // A reserved job overruns while its reserve is grown, shrunk (budget
+  // clamp) and period-moved in place; the re-stamp must keep both
+  // schedulers' slice traces and budget probes in lockstep.
+  std::vector<Op> script;
+
+  Op create;
+  create.kind = Op::Kind::CreateReserve;
+  create.at = TimePoint::zero();
+  create.compute = microseconds(400);
+  create.period = milliseconds(2);
+  create.hard = true;
+  script.push_back(create);
+
+  Op reserved;
+  reserved.kind = Op::Kind::Submit;
+  reserved.at = TimePoint::zero();
+  reserved.cycles = 6'000'000;  // 6ms, far past any single budget
+  reserved.priority = 1;
+  reserved.reserve_slot = 0;
+  script.push_back(reserved);
+
+  Op competitor;
+  competitor.kind = Op::Kind::Submit;
+  competitor.at = TimePoint::zero();
+  competitor.cycles = 5'000'000;
+  competitor.priority = 150;
+  script.push_back(competitor);
+
+  Op grow = create;
+  grow.kind = Op::Kind::UpdateReserve;
+  grow.at = TimePoint{milliseconds(1).ns()};
+  grow.reserve_slot = 0;
+  grow.compute = milliseconds(1);  // mid-period grow: extra budget this period
+  script.push_back(grow);
+
+  Op shrink = grow;
+  shrink.at = TimePoint{milliseconds(3).ns()};
+  shrink.compute = microseconds(200);  // shrink below consumption: budget clamps to 0
+  script.push_back(shrink);
+
+  Op move = grow;
+  move.at = TimePoint{(milliseconds(4) + microseconds(500)).ns()};
+  move.compute = microseconds(600);
+  move.period = milliseconds(5);  // boundary moves later: replenish heap re-push
+  script.push_back(move);
+
+  for (int i = 0; i < 10; ++i) {
+    Op probe;
+    probe.kind = Op::Kind::Probe;
+    probe.at = TimePoint{(milliseconds(1) * i).ns()};
+    script.push_back(probe);
+  }
+  std::stable_sort(script.begin(), script.end(),
+                   [](const Op& a, const Op& b) { return a.at < b.at; });
+  run_diff(script, quantum_config(microseconds(500)), "update-resize",
+           /*min_slices=*/4);
+}
+
 // --- incremental accounting ---------------------------------------------------
 
 TEST(CpuSchedDiff, IncrementalUtilizationMatchesRecomputation) {
@@ -456,6 +532,17 @@ TEST(CpuSchedDiff, IncrementalUtilizationMatchesRecomputation) {
         ASSERT_EQ(a.value(), b.value());
         live.push_back(a.value());
       }
+    } else if (rng() % 2 == 0) {
+      // In-place resize: the incremental sum swaps the old share for the
+      // new one; admission must agree bit-for-bit with the fresh summation.
+      const std::size_t pick = rng() % live.size();
+      ReserveSpec spec;
+      spec.compute = microseconds(100 + static_cast<std::int64_t>(rng() % 900));
+      spec.period = milliseconds(10 + static_cast<std::int64_t>(rng() % 90));
+      spec.hard = rng() % 2 == 0;
+      const auto a = indexed.update_reserve(live[pick], spec);
+      const auto b = legacy.update_reserve(live[pick], spec);
+      ASSERT_EQ(a.ok(), b.ok()) << "update admission diverged at step " << i;
     } else {
       const std::size_t pick = rng() % live.size();
       indexed.destroy_reserve(live[pick]);

@@ -116,6 +116,7 @@ TEST(HierarchicalTokenBucket, WaitIsTheSlowerLevel) {
 struct Op {
   enum class Kind {
     Install,  // flow, rate_bps, bucket_bytes
+    Update,   // flow, rate_bps, bucket_bytes (in-place re-stamp, keeps fill)
     Remove,   // flow
     Enqueue,  // flow, size, dscp
     Dequeue,
@@ -149,6 +150,10 @@ std::vector<std::string> run_script(const std::vector<Op>& script,
       case Op::Kind::Install:
         q.install_reservation(op.flow, op.rate_bps, op.bucket_bytes, now);
         line << "install " << op.flow;
+        break;
+      case Op::Kind::Update:
+        line << "update " << op.flow << " "
+             << q.update_reservation(op.flow, op.rate_bps, op.bucket_bytes, now);
         break;
       case Op::Kind::Remove:
         q.remove_reservation(op.flow);
@@ -217,7 +222,7 @@ std::vector<Op> random_script(std::uint64_t seed, std::size_t n_ops) {
     now_ns += static_cast<std::int64_t>(rng() % 2'000'000);  // 0-2ms strides
     Op op;
     op.at_ns = now_ns;
-    switch (rng() % 10) {
+    switch (rng() % 11) {
       case 0:
       case 1: {
         op.kind = Op::Kind::Install;  // fresh install or modify
@@ -230,6 +235,16 @@ std::vector<Op> random_script(std::uint64_t seed, std::size_t n_ops) {
         op.kind = Op::Kind::Remove;
         op.flow = pick_flow();
         break;
+      case 10: {
+        // Control-plane re-stamp churn: rate/bucket change in place, bucket
+        // fill preserved, incremental reserved-rate sum must stay bitwise
+        // equal to the legacy map's fresh bookkeeping.
+        op.kind = Op::Kind::Update;
+        op.flow = pick_flow();
+        op.rate_bps = 1e5 + static_cast<double>(rng() % 1000) * 977.0;
+        op.bucket_bytes = 2'000 + static_cast<std::uint32_t>(rng() % 8) * 1'000;
+        break;
+      }
       case 3:
       case 4:
       case 5:

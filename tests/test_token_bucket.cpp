@@ -48,6 +48,44 @@ TEST(TokenBucket, OversizedPacketNeverConforms) {
   EXPECT_EQ(tb.time_until_conforms(1001, TimePoint::zero()), Duration::max());
 }
 
+TEST(TokenBucket, ReconfigurePreservesFillLevel) {
+  TokenBucket tb(8000.0, 1000);  // 1000 B/s, 1000 B depth
+  ASSERT_TRUE(tb.consume(600, TimePoint::zero()));
+  // Re-stamp to double the rate: the 400 remaining tokens carry over
+  // (no free burst from a rate change), and refill now runs at 2000 B/s.
+  tb.reconfigure(16'000.0, 1000, TimePoint::zero());
+  EXPECT_NEAR(tb.available(TimePoint::zero()), 400.0, 1e-9);
+  const TimePoint quarter{250'000'000};
+  EXPECT_NEAR(tb.available(quarter), 900.0, 1e-6);
+}
+
+TEST(TokenBucket, ReconfigureSettlesOldRateFirst) {
+  TokenBucket tb(8000.0, 1000);
+  ASSERT_TRUE(tb.consume(1000, TimePoint::zero()));
+  // Half a second at the OLD 1000 B/s rate must be credited before the
+  // new rate takes over — the re-stamp is not retroactive.
+  const TimePoint half{500'000'000};
+  tb.reconfigure(80'000.0, 2000, half);
+  EXPECT_NEAR(tb.available(half), 500.0, 1e-6);
+  const TimePoint later{600'000'000};  // +0.1 s at 10 KB/s
+  EXPECT_NEAR(tb.available(later), 1500.0, 1e-6);
+}
+
+TEST(TokenBucket, ReconfigureClampsTokensToShrunkDepth) {
+  TokenBucket tb(8000.0, 1000);
+  tb.reconfigure(8000.0, 250, TimePoint::zero());
+  EXPECT_DOUBLE_EQ(tb.available(TimePoint::zero()), 250.0);
+  EXPECT_FALSE(tb.conforms(251, TimePoint::zero()));
+}
+
+TEST(TokenBucket, ReconfigureIsIdempotent) {
+  TokenBucket tb(8000.0, 1000);
+  ASSERT_TRUE(tb.consume(300, TimePoint::zero()));
+  tb.reconfigure(8000.0, 1000, TimePoint::zero());
+  tb.reconfigure(8000.0, 1000, TimePoint::zero());
+  EXPECT_NEAR(tb.available(TimePoint::zero()), 700.0, 1e-9);
+}
+
 TEST(TokenBucket, SustainedRateMatchesConfigured) {
   // Drain packets as fast as conformance allows; the long-run rate must
   // match the configured token rate.

@@ -18,6 +18,13 @@
 // byte-identical for every worker count — which CI exercises, since every
 // number below ultimately comes out of the hashed flow tables through
 // their deterministic ordered snapshots.
+//
+// --partitions N additionally shards each world ACROSS worker threads with
+// the conservative-lookahead partitioned engine (DESIGN.md §14): the
+// topology cut falls on the edge->core uplinks, whose propagation delay is
+// the lookahead. Counters, the table, the --metrics sidecar and the --slo
+// health stream are all byte-identical for every partition count — CI
+// diffs --partitions 2 against 1.
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -28,7 +35,9 @@
 #include "core/experiment.hpp"
 #include "net/network.hpp"
 #include "net/queue.hpp"
-#include "sim/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/partition.hpp"
 
 namespace {
 
@@ -40,6 +49,9 @@ struct CityConfig {
   std::size_t flows_per_host = 16;   // total flows = hosts * flows_per_host
   int packets_per_flow = 8;
   double parent_rate_bps = 0.0;      // > 0: HTB parent on the core egress
+  unsigned partitions = 1;           // world shards (1 = single engine)
+  bool collect_metrics = false;      // fill CityResult::metrics
+  bool telemetry = false;            // fill CityResult::health (drop-rate SLOs)
 };
 
 struct CityResult {
@@ -54,6 +66,8 @@ struct CityResult {
   // End-to-end latency sums at the sink (ns), split reserved vs. the rest.
   std::int64_t reserved_latency_ns = 0;
   std::int64_t other_latency_ns = 0;
+  obs::MetricsSnapshot metrics;  // --metrics sidecar payload
+  obs::HealthReport health;      // --slo sidecar payload
 
   [[nodiscard]] double reserved_latency_ms() const {
     return reserved_delivered == 0
@@ -72,9 +86,9 @@ struct CityResult {
 bool is_reserved(net::FlowId f) { return (f - 1) % 8 == 0; }
 
 CityResult run_city(const CityConfig& cfg) {
-  sim::Engine engine;
-  engine.reserve(1 << 16);
-  net::Network net(engine);
+  sim::World world(sim::EngineConfig{cfg.partitions});
+  for (unsigned p = 0; p < world.partitions(); ++p) world.engine(p).reserve(1 << 16);
+  net::Network net(world);
 
   const net::NodeId core = net.add_node("core");
   const net::NodeId sink = net.add_node("sink");
@@ -123,16 +137,23 @@ CityResult run_city(const CityConfig& cfg) {
   // both IntServ stages its packets cross. Ids ascend, so each install
   // extends the incremental reserved-rate sum (no O(n) re-sum on this path).
   const std::uint64_t n_flows = cfg.hosts * cfg.flows_per_host;
+  const TimePoint t0 = TimePoint::zero();
   for (std::uint64_t f = 1; f <= n_flows; f += 8) {
     const std::size_t host = static_cast<std::size_t>((f - 1) / cfg.flows_per_host);
-    edge_egress[host % cfg.edge_routers]->install_reservation(f, 50e3, 16'000,
-                                                              engine.now());
-    core_egress.install_reservation(f, 50e3, 16'000, engine.now());
+    edge_egress[host % cfg.edge_routers]->install_reservation(f, 50e3, 16'000, t0);
+    core_egress.install_reservation(f, 50e3, 16'000, t0);
   }
 
+  // Cut the world: the branch heuristic puts each edge router's host tree
+  // in one unit and cuts on the edge->core uplinks (positive propagation,
+  // so they carry the lookahead); core + sink stay on partition 0.
+  net.auto_partition();
+  if (cfg.telemetry) net.enable_telemetry_log();
+
   CityResult out;
-  net.set_receiver(sink, [&engine, &out](net::Packet&& p) {
-    const std::int64_t lat = (engine.now() - p.sent_at).ns();
+  sim::Engine& sink_engine = net.engine_of(sink);
+  net.set_receiver(sink, [&sink_engine, &out](net::Packet&& p) {
+    const std::int64_t lat = (sink_engine.now() - p.sent_at).ns();
     (is_reserved(p.flow) ? out.reserved_latency_ns : out.other_latency_ns) += lat;
   });
 
@@ -144,7 +165,7 @@ CityResult run_city(const CityConfig& cfg) {
         TimePoint::zero() + microseconds(static_cast<std::int64_t>(
                                 1 + (h * 1'000'000) / cfg.hosts));
     const net::NodeId src = hosts[h];
-    engine.at(start, [&net, &cfg, h, src, sink] {
+    net.engine_of(src).at(start, [&net, &cfg, h, src, sink] {
       for (int round = 0; round < cfg.packets_per_flow; ++round) {
         for (std::size_t j = 0; j < cfg.flows_per_host; ++j) {
           const auto f =
@@ -162,7 +183,7 @@ CityResult run_city(const CityConfig& cfg) {
       }
     });
   }
-  engine.run();
+  world.run();
 
   out.sent = net.totals().sent;
   out.delivered = net.totals().delivered;
@@ -173,6 +194,46 @@ CityResult run_city(const CityConfig& cfg) {
   }
   out.core_reserved_rate_bps = core_egress.reserved_rate_bps();
   out.core_dropped = core_egress.stats().dropped;
+
+  if (cfg.collect_metrics) {
+    // Totals plus a probe flow per traffic class (full per-flow export at
+    // 256k flows would be a ~1.5M-line sidecar). The probes cross shard
+    // boundaries in partitioned runs, so the merge itself is on the diff.
+    obs::MetricsRegistry reg;
+    const auto emit = [&reg](const std::string& base, const net::FlowCounters& c) {
+      reg.counter(base + ".sent").set(c.sent);
+      reg.counter(base + ".delivered").set(c.delivered);
+      reg.counter(base + ".dropped").set(c.dropped);
+      reg.counter(base + ".sent_bytes").set(c.sent_bytes);
+      reg.counter(base + ".delivered_bytes").set(c.delivered_bytes);
+    };
+    emit("net.total", net.totals());
+    const net::FlowId probes[] = {1, 2, 4, static_cast<net::FlowId>(n_flows)};
+    for (const net::FlowId f : probes) {
+      emit("net.flow" + std::to_string(f), net.flow(f));
+    }
+    reg.counter("net.core.dropped").set(out.core_dropped);
+    out.metrics = reg.snapshot();
+  }
+
+  if (cfg.telemetry) {
+    // One hub, fed after the fact from the per-partition telemetry logs in
+    // merged (time, partition, sequence) order — never attached to the
+    // engines, so the health stream is independent of the partition count.
+    obs::TelemetryHub hub;
+    obs::SloSpec slo;
+    slo.max_drop_rate = 0.05;
+    // 64 monitors spread across the id space, so they land on hosts over
+    // the whole burst stagger — late hosts hit the saturated core uplink
+    // and their best-effort monitors breach.
+    const std::uint64_t stride = n_flows < 64 ? 1 : n_flows / 64;
+    for (std::uint64_t f = 1; f <= n_flows; f += stride) {
+      hub.set_slo(f, slo);
+    }
+    net.replay_telemetry(hub);
+    hub.finalize(net.end_time());
+    out.health = hub.report();
+  }
   return out;
 }
 
@@ -199,11 +260,39 @@ int main(int argc, char** argv) {
 
   core::Experiment<CityResult> exp;
   for (const auto& c : cases) {
-    const CityConfig cfg = c.cfg;
+    CityConfig cfg = c.cfg;
+    cfg.partitions = opts.partitions;
+    cfg.collect_metrics = !opts.metrics_path.empty();
+    cfg.telemetry = !opts.slo_path.empty();
     exp.add(c.name, /*seed=*/cfg.hosts * cfg.flows_per_host,
             [cfg](const core::TrialSpec&) { return run_city(cfg); });
   }
   const auto results = exp.run(opts);
+
+  if (!opts.slo_path.empty()) {
+    std::vector<obs::NamedHealthReport> reports;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      reports.push_back({exp.spec(i).name, results[i].health});
+    }
+    if (obs::write_health_sidecar_file(opts.slo_path, reports)) {
+      std::cerr << "health events written to " << opts.slo_path << "\n";
+    } else {
+      std::cerr << "failed to write health events to " << opts.slo_path << "\n";
+      return 1;
+    }
+  }
+  if (!opts.metrics_path.empty()) {
+    std::vector<obs::NamedSnapshot> snaps;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      snaps.push_back({exp.spec(i).name, results[i].metrics});
+    }
+    if (obs::write_metrics_sidecar_file(opts.metrics_path, snaps)) {
+      std::cerr << "metrics written to " << opts.metrics_path << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << opts.metrics_path << "\n";
+      return 1;
+    }
+  }
 
   TextTable table({"scenario", "flows", "sent", "delivered", "dropped",
                    "resv delivered", "resv lat (ms)", "BE lat (ms)",

@@ -22,6 +22,22 @@ bool parse_jobs_value(const char* text, unsigned& out) {
   std::exit(2);
 }
 
+bool parse_partitions_value(const char* text, unsigned& out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 1 || v > 64) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
+[[noreturn]] void partitions_usage_error(const char* arg) {
+  std::fprintf(stderr,
+               "invalid --partitions argument: %s (expected --partitions N with N in 1..64)\n",
+               arg);
+  std::exit(2);
+}
+
 }  // namespace
 
 namespace detail {
@@ -41,6 +57,7 @@ ExperimentOptions parse_experiment_options(int& argc, char** argv) {
     const char* arg = argv[i];
     const char* value = nullptr;
     bool value_in_next = false;
+    bool is_partitions = false;
     std::string* path_target = nullptr;
     if (std::strncmp(arg, "--jobs=", 7) == 0) {
       value = arg + 7;
@@ -48,6 +65,15 @@ ExperimentOptions parse_experiment_options(int& argc, char** argv) {
       value_in_next = true;
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
       value = arg + 2;
+    } else if (std::strncmp(arg, "--partitions=", 13) == 0) {
+      value = arg + 13;
+      is_partitions = true;
+    } else if (std::strcmp(arg, "--partitions") == 0 || std::strcmp(arg, "-p") == 0) {
+      value_in_next = true;
+      is_partitions = true;
+    } else if (std::strncmp(arg, "-p", 2) == 0 && arg[2] != '\0') {
+      value = arg + 2;
+      is_partitions = true;
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       value = arg + 8;
       path_target = &opts.trace_path;
@@ -82,6 +108,7 @@ ExperimentOptions parse_experiment_options(int& argc, char** argv) {
           std::fprintf(stderr, "missing file argument after %s\n", arg);
           std::exit(2);
         }
+        if (is_partitions) partitions_usage_error(arg);
         jobs_usage_error(arg);
       }
       value = argv[++i];
@@ -92,6 +119,8 @@ ExperimentOptions parse_experiment_options(int& argc, char** argv) {
         std::exit(2);
       }
       *path_target = value;
+    } else if (is_partitions) {
+      if (!parse_partitions_value(value, opts.partitions)) partitions_usage_error(value);
     } else if (!parse_jobs_value(value, opts.jobs)) {
       jobs_usage_error(value);
     }

@@ -9,7 +9,8 @@
 // for any --jobs value, because each result is computed by exactly one
 // single-threaded simulation and written to a slot owned by its index.
 //
-// Drivers accept `--jobs N` (or `-jN`) via parse_experiment_options().
+// Drivers accept `--jobs N` (or `-jN`) and `--partitions N` (or `-pN`)
+// via parse_experiment_options().
 #pragma once
 
 #include <cstdint>
@@ -32,6 +33,11 @@ struct TrialSpec {
 struct ExperimentOptions {
   /// Worker threads; 0 = one per hardware thread, 1 = inline (no threads).
   unsigned jobs = 1;
+  /// Partitions per simulated world (DESIGN.md §14); 1 = the verbatim
+  /// single-threaded engine. Drivers that shard their world honour this;
+  /// others accept and ignore it (the flag is parsed either way so every
+  /// driver can be invoked uniformly from CI diff checks).
+  unsigned partitions = 1;
   /// Print one '.' to stderr as each trial finishes (multi-trial runs only).
   bool progress = true;
   /// Non-empty: drivers that support tracing write a Chrome trace-event
@@ -49,6 +55,7 @@ struct ExperimentOptions {
 };
 
 /// Parses and strips `--jobs N`, `--jobs=N`, `-jN`, `-j N`,
+/// `--partitions N`, `--partitions=N`, `-pN`, `-p N`,
 /// `--trace FILE`, `--trace=FILE`, `--metrics FILE`, `--metrics=FILE`,
 /// `--slo FILE`, `--slo=FILE`, `--flight FILE` and `--flight=FILE`
 /// from an argv-style array (argc is updated). Unrecognised arguments are

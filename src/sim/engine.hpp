@@ -257,10 +257,17 @@ class Engine {
     return EventId{(static_cast<std::uint64_t>(s.gen) << 32) | (slot + 1)};
   }
 
-  /// Schedules a handler after a relative delay (must be >= 0).
+  /// Schedules a handler after a relative delay (must be >= 0). A delay
+  /// that would carry the target past TimePoint::max() saturates to the
+  /// end of time instead of wrapping negative (a wrapped target would trip
+  /// the cannot-schedule-in-the-past assert in debug builds and corrupt
+  /// calendar routing in release builds).
   template <typename F>
   EventId after(Duration d, F&& fn) {
-    return at(now_ + d, std::forward<F>(fn));
+    assert(d >= Duration::zero() && "after() takes a non-negative delay");
+    const std::int64_t headroom = TimePoint::max().ns() - now_.ns();
+    const TimePoint t = d.ns() > headroom ? TimePoint::max() : now_ + d;
+    return at(t, std::forward<F>(fn));
   }
 
   /// Cancels a pending event. Cancelling an already-fired, already-cancelled
@@ -326,6 +333,18 @@ class Engine {
 
   /// Runs all events with time <= t, then advances the clock to t.
   void run_until(TimePoint t);
+
+  /// Runs all events with time strictly < t. Unlike run_until, the clock
+  /// is NOT advanced to t afterwards: it stays at the last fired event so
+  /// that events arriving from outside (cross-partition handoff) may still
+  /// be scheduled anywhere in [now, t). This is the safe-window primitive
+  /// of the partitioned executor (sim::World).
+  void run_before(TimePoint t);
+
+  /// Time of the earliest pending (non-cancelled) event. Returns false and
+  /// leaves `t` untouched when the queue is empty. Used by the partitioned
+  /// executor to compute the next global safe window.
+  [[nodiscard]] bool next_event_time(TimePoint& t) { return peek_next_time(t); }
 
   /// Pre-sizes the handler slab and calendar storage for roughly `n_slots`
   /// concurrently pending events. Capacity-only: scheduling behaviour and

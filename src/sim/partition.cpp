@@ -1,0 +1,146 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace aqm::sim {
+
+namespace {
+constexpr std::int64_t kInfNs = std::numeric_limits<std::int64_t>::max();
+}  // namespace
+
+thread_local unsigned World::current_partition_ = 0;
+
+/// The two protocol barriers. Barrier A closes the inject phase: its
+/// completion step (run by exactly one thread while the rest are blocked,
+/// so the shared fields need no atomics) folds the published horizons into
+/// the next window end and decides termination. Barrier B closes the
+/// execute phase, publishing every cross-partition post made during it.
+struct World::Sync {
+  explicit Sync(World& w, std::ptrdiff_t n)
+      : a(n, CloseInject{&w}), b(n, CloseExecute{&w}) {}
+
+  struct CloseInject {
+    World* w;
+    void operator()() noexcept {
+      std::int64_t min_ns = kInfNs;
+      for (const std::int64_t t : w->next_ns_) min_ns = std::min(min_ns, t);
+      w->done_ = min_ns == kInfNs || w->abort_.load(std::memory_order_relaxed);
+      const std::int64_t la = w->lookahead_.ns();
+      w->window_end_ns_ = la > kInfNs - min_ns ? kInfNs : min_ns + la;
+      w->stats_.horizon_posts += w->engines_.size();
+    }
+  };
+  struct CloseExecute {
+    World* w;
+    void operator()() noexcept { ++w->stats_.windows; }
+  };
+
+  std::barrier<CloseInject> a;
+  std::barrier<CloseExecute> b;
+};
+
+World::World(EngineConfig config) {
+  const unsigned p = config.partitions == 0 ? 1 : config.partitions;
+  engines_.reserve(p);
+  for (unsigned i = 0; i < p; ++i) engines_.push_back(std::make_unique<Engine>());
+  channels_.resize(static_cast<std::size_t>(p) * p);
+  next_ns_.assign(p, kInfNs);
+}
+
+World::~World() = default;
+
+void World::inject(unsigned p) {
+  const unsigned n = partitions();
+  // Gather this window's arrivals from every inbound channel, then order
+  // them by (time, source partition, channel sequence) — a schedule that
+  // depends only on simulation state, never on thread timing.
+  struct Arrival {
+    std::int64_t time_ns;
+    unsigned src;
+    std::uint64_t seq;
+    InlineHandler fn;
+  };
+  std::vector<Arrival> arrivals;
+  for (unsigned q = 0; q < n; ++q) {
+    if (q == p) continue;
+    Channel& ch = channels_[q * n + p];
+    for (Msg& m : ch.msgs) {
+      arrivals.push_back(Arrival{m.time_ns, q, m.seq, std::move(m.fn)});
+    }
+    ch.msgs.clear();
+  }
+  std::sort(arrivals.begin(), arrivals.end(), [](const Arrival& x, const Arrival& y) {
+    if (x.time_ns != y.time_ns) return x.time_ns < y.time_ns;
+    if (x.src != y.src) return x.src < y.src;
+    return x.seq < y.seq;
+  });
+  Engine& eng = *engines_[p];
+  messages_in_[p] += arrivals.size();
+  for (Arrival& a : arrivals) {
+    eng.at(TimePoint{a.time_ns}, std::move(a.fn));
+  }
+}
+
+void World::worker(unsigned p) {
+  current_partition_ = p;
+  Engine& eng = *engines_[p];
+  for (;;) {
+    inject(p);
+    TimePoint t;
+    next_ns_[p] = eng.next_event_time(t) ? t.ns() : kInfNs;
+    sync_->a.arrive_and_wait();
+    if (done_) break;
+    try {
+      eng.run_before(TimePoint{window_end_ns_});
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      if (!error_) error_ = std::current_exception();
+      abort_.store(true, std::memory_order_relaxed);
+    }
+    sync_->b.arrive_and_wait();
+  }
+  current_partition_ = 0;
+}
+
+void World::run() {
+  for (const auto& hook : start_hooks_) hook();
+  const unsigned n = partitions();
+  if (n == 1) {
+    // The oracle path: no protocol, no threads — today's engine loop.
+    Engine& eng = *engines_[0];
+    const std::uint64_t before = eng.executed();
+    eng.run();
+    stats_.events += eng.executed() - before;
+    return;
+  }
+  assert(lookahead_ > Duration::zero() &&
+         "partitioned execution needs a positive cross-partition lookahead");
+  std::vector<std::uint64_t> executed_before(n);
+  for (unsigned p = 0; p < n; ++p) executed_before[p] = engines_[p]->executed();
+  done_ = false;
+  abort_.store(false, std::memory_order_relaxed);
+  messages_in_.assign(n, 0);
+  Sync sync(*this, static_cast<std::ptrdiff_t>(n));
+  sync_ = &sync;
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned p = 0; p < n; ++p) {
+    threads.emplace_back([this, p] { worker(p); });
+  }
+  for (std::thread& th : threads) th.join();
+  sync_ = nullptr;
+  for (unsigned p = 0; p < n; ++p) {
+    stats_.events += engines_[p]->executed() - executed_before[p];
+    stats_.messages += messages_in_[p];
+  }
+  if (error_) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace aqm::sim

@@ -1,0 +1,174 @@
+// Conservative-lookahead partitioned execution of ONE simulated world.
+//
+// sim::World shards a single scenario across worker threads: each
+// partition owns a private sim::Engine and the protocol advances all of
+// them in lock-step "safe windows" (the synchronous variant of
+// null-message / conservative DES synchronization, a la YAWNS):
+//
+//   window_end = min over partitions of (earliest pending event time)
+//              + lookahead
+//
+// where `lookahead` is the minimum propagation delay over all
+// cross-partition links (the only edge type allowed to cross a partition
+// boundary — see DESIGN.md §14). Every partition may safely fire all
+// events with time strictly below window_end, because any message a peer
+// could still emit is committed at a time >= its own earliest event and
+// arrives >= lookahead later, i.e. at or after window_end.
+//
+// Protocol per window (two std::barrier phases):
+//   1. inject:  drain inbound channels, sort arrivals by
+//               (time, source partition, channel sequence), schedule them
+//               into the local engine; publish the local horizon
+//               (earliest pending event time).
+//   2. barrier A (completion step computes window_end / termination).
+//   3. execute: Engine::run_before(window_end); handlers that cross a
+//               boundary call World::post(), which appends to an SPSC
+//               channel.
+//   4. barrier B (posts become visible; window counter advances).
+//
+// Channels are single-producer/single-consumer by construction: channel
+// (q -> p) is written only by partition q's thread during execute and
+// drained only by partition p's thread during inject, and the two phases
+// are separated by barriers on every path — so plain vectors suffice and
+// the whole protocol is data-race-free without a single atomic on the
+// message path.
+//
+// Determinism: arrivals are injected in (time, src, seq) order, which is a
+// pure function of simulation state — never of thread scheduling — so a
+// partitioned run is bit-reproducible for any host machine or core count.
+// `partitions == 1` bypasses the protocol entirely and runs the plain
+// single-threaded engine, byte-identical to a world-less run; it is the
+// differential oracle for the partitioned path (same pattern as
+// legacy_scan / legacy_flow_map).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace aqm::sim {
+
+/// Engine-level execution configuration. `partitions == 1` (the default)
+/// is today's verbatim single-threaded path; N > 1 runs the conservative
+/// safe-window protocol across N worker threads.
+struct EngineConfig {
+  unsigned partitions = 1;
+};
+
+/// Aggregate protocol counters for one World::run().
+struct WorldStats {
+  std::uint64_t windows = 0;        ///< safe-window barrier rounds
+  std::uint64_t horizon_posts = 0;  ///< null-message analogs (windows x partitions)
+  std::uint64_t messages = 0;       ///< cross-partition payload messages
+  std::uint64_t events = 0;         ///< events executed across all engines
+};
+
+class World {
+ public:
+  explicit World(EngineConfig config = {});
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  ~World();
+
+  [[nodiscard]] unsigned partitions() const { return static_cast<unsigned>(engines_.size()); }
+  [[nodiscard]] Engine& engine(unsigned p) {
+    assert(p < engines_.size());
+    return *engines_[p];
+  }
+
+  /// Partition index of the calling thread: the owning partition inside a
+  /// worker, 0 on any other thread (setup / teardown code runs against
+  /// partition 0's engine and clock).
+  [[nodiscard]] static unsigned current_partition() { return current_partition_; }
+
+  /// The calling thread's engine — partition 0's outside the run loop.
+  [[nodiscard]] Engine& current_engine() { return engine(current_partition()); }
+
+  /// Sets the conservative lookahead: the minimum propagation delay over
+  /// all cross-partition links. Must be > 0 when partitions() > 1 (a
+  /// zero-lookahead cut would never open a safe window). The boundary
+  /// wiring layer (net::Network::finalize_partitions) computes and
+  /// installs this; tests may set it directly.
+  void set_lookahead(Duration d) { lookahead_ = d; }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Registers a hook run single-threaded (on the calling thread) at the
+  /// top of run(), before any worker starts. Used to force lazily-built
+  /// shared state (routing tables, boundary wiring) ahead of parallel
+  /// execution.
+  void add_start_hook(std::function<void()> hook) { start_hooks_.push_back(std::move(hook)); }
+
+  /// Posts a handler to fire at absolute time `t` on partition `to`.
+  /// Must be called from the owning thread of some other partition during
+  /// execute (i.e. from inside a handler), with `t` at least lookahead()
+  /// past the posting partition's current event time — the boundary-link
+  /// layer guarantees this by construction. The handler is injected,
+  /// deterministically ordered, before the destination fires any event at
+  /// or beyond the current window end.
+  template <typename F>
+  void post(unsigned to, TimePoint t, F&& fn) {
+    const unsigned from = current_partition();
+    assert(to < engines_.size() && to != from && "post() is for cross-partition handoff");
+    Channel& ch = channels_[from * engines_.size() + to];
+    ch.msgs.push_back(Msg{t.ns(), ch.next_seq++, InlineHandler(std::forward<F>(fn))});
+  }
+
+  /// Runs the world to completion. partitions() == 1 executes the plain
+  /// engine on the calling thread; otherwise spawns one thread per
+  /// partition and drives the safe-window protocol. Rethrows the first
+  /// handler exception after all workers join.
+  void run();
+
+  [[nodiscard]] const WorldStats& stats() const { return stats_; }
+
+ private:
+  struct Msg {
+    std::int64_t time_ns;
+    std::uint64_t seq;  // per-channel FIFO sequence
+    InlineHandler fn;
+  };
+  // SPSC by phase separation (see file comment): producer-side push in
+  // execute, consumer-side drain in inject, never concurrently.
+  struct Channel {
+    std::vector<Msg> msgs;
+    std::uint64_t next_seq = 0;
+  };
+
+  struct Sync;  // the two protocol barriers (defined in partition.cpp)
+
+  void worker(unsigned p);
+  void inject(unsigned p);
+
+  static thread_local unsigned current_partition_;
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<Channel> channels_;  // [from * P + to]
+  std::vector<std::function<void()>> start_hooks_;
+  Duration lookahead_ = Duration::max();
+  WorldStats stats_;
+
+  // Safe-window shared state. Written only inside barrier completion
+  // steps or by the single owning worker between barriers; the barriers
+  // publish every write, so none of these need to be atomic.
+  Sync* sync_ = nullptr;               // live only inside run()
+  std::vector<std::int64_t> next_ns_;  // per-partition horizon, kInfNs = drained
+  std::vector<std::uint64_t> messages_in_;  // per-partition, folded into stats_ post-join
+  std::int64_t window_end_ns_ = 0;
+  bool done_ = false;
+  // Exception capture is the one place two workers may write concurrently
+  // (two handlers throwing in the same window), hence the only atomic in
+  // the protocol. The mutex guards error_ on that same cold path.
+  std::atomic<bool> abort_{false};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace aqm::sim
